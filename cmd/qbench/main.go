@@ -1,0 +1,88 @@
+// Command qbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	qbench [-arch vx64|va64] [-sf 0.05] [-runs 1] [-mem 1024] <experiment>...
+//
+// Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7
+// ablate-llvm fallbacks all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qcc/internal/bench"
+	"qcc/internal/vt"
+)
+
+func main() {
+	archFlag := flag.String("arch", "vx64", "target architecture (vx64 or va64)")
+	sf := flag.Float64("sf", 0.05, "scale factor")
+	runs := flag.Int("runs", 1, "execution repetitions (best-of)")
+	mem := flag.Int("mem", 1024, "VM memory in MiB")
+	sfSmall := flag.Float64("sf-small", 0.02, "small scale factor for fig7")
+	sfLarge := flag.Float64("sf-large", 0.2, "large scale factor for fig7")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.SF = *sf
+	cfg.Runs = *runs
+	cfg.MemMB = *mem
+	switch *archFlag {
+	case "vx64":
+		cfg.Arch = vt.VX64
+	case "va64":
+		cfg.Arch = vt.VA64
+	default:
+		fmt.Fprintf(os.Stderr, "unknown arch %q\n", *archFlag)
+		os.Exit(2)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	type experiment struct {
+		name string
+		run  func() (*bench.Report, error)
+	}
+	exps := []experiment{
+		{"table1", func() (*bench.Report, error) { return bench.Table1(cfg) }},
+		{"table2", func() (*bench.Report, error) { return bench.Table2(cfg) }},
+		{"table3", func() (*bench.Report, error) { return bench.Table3(cfg, false) }},
+		{"fig2", func() (*bench.Report, error) { return bench.Fig2(cfg) }},
+		{"fig3", func() (*bench.Report, error) { return bench.Fig3(cfg) }},
+		{"fig4", func() (*bench.Report, error) { return bench.Fig4(cfg) }},
+		{"fig5", func() (*bench.Report, error) { return bench.Fig5(cfg) }},
+		{"fig6", func() (*bench.Report, error) { return bench.Table3(cfg, true) }},
+		{"fig7", func() (*bench.Report, error) { return bench.Fig7(cfg, *sfSmall, *sfLarge) }},
+		{"ablate-llvm", func() (*bench.Report, error) { return bench.AblateLLVM(cfg) }},
+		{"fallbacks", func() (*bench.Report, error) { return bench.AblateLLVM(cfg) }},
+	}
+	want := map[string]bool{}
+	for _, a := range args {
+		want[a] = true
+	}
+	ranAny := false
+	for _, e := range exps {
+		if !want["all"] && !want[e.name] {
+			continue
+		}
+		if e.name == "fallbacks" && want["all"] {
+			continue // same data as ablate-llvm
+		}
+		ranAny = true
+		rep, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+	}
+	if !ranAny {
+		fmt.Fprintf(os.Stderr, "unknown experiment(s): %v\n", args)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,74 @@
+// Command qrun executes SQL against a generated workload with a chosen
+// back-end and prints results plus the compile-time breakdown.
+//
+// Usage:
+//
+//	qrun [-engine adaptive] [-workload tpch|tpcds] [-sf 0.05] [-arch vx64] "SELECT ..."
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"qcc"
+)
+
+func main() {
+	engine := flag.String("engine", "adaptive", "execution back-end: "+strings.Join(qc.Engines(), ", "))
+	workload := flag.String("workload", "tpch", "preloaded schema: tpch or tpcds")
+	sf := flag.Float64("sf", 0.05, "scale factor")
+	archFlag := flag.String("arch", "vx64", "target architecture")
+	mem := flag.Int("mem", 512, "VM memory in MiB")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qrun [flags] \"SELECT ...\"")
+		os.Exit(2)
+	}
+
+	arch := qc.VX64
+	if *archFlag == "va64" {
+		arch = qc.VA64
+	}
+	db, err := qc.Open(qc.WithArch(arch), qc.WithMemoryMB(*mem), qc.WithEngine(*engine))
+	if err != nil {
+		fatal(err)
+	}
+	switch *workload {
+	case "tpch":
+		err = db.LoadTPCH(*sf)
+	case "tpcds":
+		err = db.LoadTPCDS(*sf)
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := db.Exec(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(strings.Join(row, " | "))
+	}
+	fmt.Fprintf(os.Stderr, "\n%d rows; engine %s; %d functions, %d bytes of code\n",
+		len(res.Rows), res.Stats.Engine, res.Stats.Functions, res.Stats.CodeBytes)
+	fmt.Fprintf(os.Stderr, "compile %v, execute %v\n", res.Stats.CompileTime, res.Stats.ExecTime)
+	var names []string
+	for n := range res.Stats.Phases {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return res.Stats.Phases[names[i]] > res.Stats.Phases[names[j]] })
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, "  %-20s %v\n", n, res.Stats.Phases[n])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qrun:", err)
+	os.Exit(1)
+}

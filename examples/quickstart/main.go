@@ -1,0 +1,61 @@
+// Quickstart: create a table, load rows, and run SQL with the default
+// adaptive engine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qcc"
+)
+
+func main() {
+	db, err := qc.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small product table.
+	t, err := db.CreateTable("products", 6,
+		qc.Column{Name: "id", Type: qc.Int64},
+		qc.Column{Name: "name", Type: qc.Text},
+		qc.Column{Name: "price", Type: qc.Decimal}, // cents
+		qc.Column{Name: "stock", Type: qc.Int32},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := []struct {
+		id    int64
+		name  string
+		price int64
+		stock int64
+	}{
+		{1, "widget", 199, 50},
+		{2, "gadget", 1299, 12},
+		{3, "gizmo", 549, 0},
+		{4, "doohickey", 75, 230},
+		{5, "thingamajig", 9999, 3},
+		{6, "whatsit", 425, 17},
+	}
+	for _, r := range rows {
+		if err := t.Append(r.id, r.name, qc.DecFromInt(r.price), r.stock); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := db.Exec(`
+		SELECT name, price, stock
+		FROM products
+		WHERE stock > 0 AND price < 20.00
+		ORDER BY price DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("in-stock products under $20, most expensive first:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-12s %6s cents  (stock %s)\n", row[0], row[1], row[2])
+	}
+	fmt.Printf("\ncompiled %d functions with %s in %v, executed in %v\n",
+		res.Stats.Functions, res.Stats.Engine, res.Stats.CompileTime, res.Stats.ExecTime)
+}

@@ -1,0 +1,3 @@
+module qcc
+
+go 1.22

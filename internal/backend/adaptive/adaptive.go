@@ -1,0 +1,89 @@
+// Package adaptive implements Umbra's default execution strategy described
+// in Sec. III-C of the paper: every function starts in the low-latency
+// DirectEmit tier; once it has been called a few times, a simple code-size
+// heuristic estimates whether optimized compilation pays off, and if so the
+// module is recompiled with the LLVM-optimized back-end and subsequent calls
+// use the optimized code. Morsel-driven execution makes the function-level
+// switch safe — each call processes a bounded chunk.
+package adaptive
+
+import (
+	"qcc/internal/backend"
+	"qcc/internal/backend/direct"
+	"qcc/internal/backend/lbe"
+	"qcc/internal/qir"
+	"qcc/internal/vt"
+)
+
+// Engine is the adaptive two-tier back-end (vx64 only, like DirectEmit).
+type Engine struct {
+	// CallThreshold is how many calls a function must receive before the
+	// promotion heuristic runs (the paper's "executed a few times").
+	CallThreshold int
+	// SizeThreshold is the minimum QIR instruction count for which
+	// optimized compilation is estimated to be beneficial.
+	SizeThreshold int
+}
+
+// New returns the adaptive engine with the default thresholds.
+func New() *Engine { return &Engine{CallThreshold: 3, SizeThreshold: 40} }
+
+// Name implements backend.Engine.
+func (e *Engine) Name() string { return "Adaptive" }
+
+type exec struct {
+	mod  *qir.Module
+	env  *backend.Env
+	fast backend.Exec
+	opt  backend.Exec
+
+	calls     []int
+	threshold int
+	sizeOK    []bool
+	// Promotions counts tier switches (observable in tests/examples).
+	Promotions int
+	stats      *backend.Stats
+}
+
+// Compile implements backend.Engine.
+func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *backend.Stats, error) {
+	if env.Arch != vt.VX64 {
+		return nil, nil, &backend.ErrUnsupported{Backend: "adaptive", Reason: "DirectEmit tier is vx64-only"}
+	}
+	fast, stats, err := direct.New().Compile(mod, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	x := &exec{
+		mod: mod, env: env, fast: fast,
+		calls:     make([]int, len(mod.Funcs)),
+		sizeOK:    make([]bool, len(mod.Funcs)),
+		threshold: e.CallThreshold,
+		stats:     stats,
+	}
+	for i, f := range mod.Funcs {
+		x.sizeOK[i] = f.NumInstrs() >= e.SizeThreshold
+	}
+	return x, stats, nil
+}
+
+// Call implements backend.Exec with tier switching.
+func (x *exec) Call(fn int, args ...uint64) ([2]uint64, error) {
+	if x.opt != nil {
+		return x.opt.Call(fn, args...)
+	}
+	x.calls[fn]++
+	if x.calls[fn] > x.threshold && x.sizeOK[fn] {
+		// Promote: compile the module with the optimizing tier. (The
+		// paper does this on a background thread; we compile inline,
+		// which only shifts when the cost is paid.)
+		opt, ostats, err := lbe.NewOpt().Compile(x.mod, x.env)
+		if err == nil {
+			x.opt = opt
+			x.Promotions++
+			x.stats.Merge(ostats)
+			return x.opt.Call(fn, args...)
+		}
+	}
+	return x.fast.Call(fn, args...)
+}

@@ -1,0 +1,68 @@
+package adaptive
+
+import (
+	"testing"
+
+	"qcc/internal/backend"
+	"qcc/internal/qir"
+	"qcc/internal/rt"
+	"qcc/internal/vm"
+	"qcc/internal/vt"
+)
+
+// bigFunc builds a function over the size threshold: f(x) = x processed
+// through a chain of overflow-checked operations.
+func bigFunc(mod *qir.Module, name string, chain int) {
+	b := qir.NewFunc(mod, name, qir.I64, qir.I64)
+	v := b.Param(0)
+	one := b.ConstInt(qir.I64, 1)
+	for i := 0; i < chain; i++ {
+		v = b.Bin(qir.OpSAddTrap, v, one)
+	}
+	b.Ret(v)
+}
+
+func TestPromotion(t *testing.T) {
+	mod := qir.NewModule("t")
+	bigFunc(mod, "hot", 60) // above SizeThreshold
+	m := vm.New(vm.Config{Arch: vt.VX64, MemSize: 8 << 20})
+	db := rt.NewDB(m)
+	eng := New()
+	ex, _, err := eng.Compile(mod, &backend.Env{DB: db, Arch: vt.VX64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ex.(*exec)
+	for i := 0; i < 10; i++ {
+		res, err := ex.Call(0, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0] != 65 {
+			t.Fatalf("call %d: got %d", i, res[0])
+		}
+	}
+	if x.Promotions != 1 {
+		t.Errorf("promotions = %d, want 1", x.Promotions)
+	}
+}
+
+func TestNoPromotionForSmallFunctions(t *testing.T) {
+	mod := qir.NewModule("t")
+	bigFunc(mod, "cold", 3) // below SizeThreshold
+	m := vm.New(vm.Config{Arch: vt.VX64, MemSize: 8 << 20})
+	db := rt.NewDB(m)
+	ex, _, err := New().Compile(mod, &backend.Env{DB: db, Arch: vt.VX64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ex.(*exec)
+	for i := 0; i < 10; i++ {
+		if _, err := ex.Call(0, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if x.Promotions != 0 {
+		t.Errorf("promotions = %d, want 0", x.Promotions)
+	}
+}

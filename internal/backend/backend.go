@@ -1,0 +1,141 @@
+// Package backend defines the execution-engine interface shared by all
+// compilation back-ends (interpreter, DirectEmit, Cranelift-like, LLVM-like,
+// GCC/C-like) plus the per-compilation statistics used by the benchmark
+// harness to reproduce the paper's compile-time breakdowns.
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"qcc/internal/qir"
+	"qcc/internal/rt"
+	"qcc/internal/vt"
+)
+
+// Env is the compilation environment: the runtime the generated code will
+// execute against (string constants are interned into its machine memory at
+// compile time, JIT-style) and the target architecture.
+type Env struct {
+	DB   *rt.DB
+	Arch vt.Arch
+}
+
+// Exec is a compiled query module ready to run.
+type Exec interface {
+	// Call invokes function fn of the compiled module.
+	Call(fn int, args ...uint64) ([2]uint64, error)
+}
+
+// Stats records where one compilation spent its time, in the style of the
+// paper's per-phase breakdowns (Figures 2-5, Table I).
+type Stats struct {
+	// Phases holds per-phase wall-clock durations, accumulated in
+	// insertion order.
+	Phases []Phase
+	// Total is the overall compile wall-clock time.
+	Total time.Duration
+	// CodeBytes is the emitted machine-code size (0 for the interpreter).
+	CodeBytes int
+	// Funcs is the number of compiled functions.
+	Funcs int
+	// Counters holds back-end specific event counts (e.g. FastISel
+	// fallbacks by cause).
+	Counters map[string]int64
+}
+
+// Phase is one named compile phase.
+type Phase struct {
+	Name string
+	Dur  time.Duration
+}
+
+// AddPhase accumulates dur into the named phase.
+func (s *Stats) AddPhase(name string, dur time.Duration) {
+	for i := range s.Phases {
+		if s.Phases[i].Name == name {
+			s.Phases[i].Dur += dur
+			return
+		}
+	}
+	s.Phases = append(s.Phases, Phase{Name: name, Dur: dur})
+}
+
+// Count adds delta to a named counter.
+func (s *Stats) Count(name string, delta int64) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64)
+	}
+	s.Counters[name] += delta
+}
+
+// Merge accumulates other into s (for summing per-query stats).
+func (s *Stats) Merge(other *Stats) {
+	for _, p := range other.Phases {
+		s.AddPhase(p.Name, p.Dur)
+	}
+	s.Total += other.Total
+	s.CodeBytes += other.CodeBytes
+	s.Funcs += other.Funcs
+	for k, v := range other.Counters {
+		s.Count(k, v)
+	}
+}
+
+// PhaseDur returns the duration of a named phase (0 if absent).
+func (s *Stats) PhaseDur(name string) time.Duration {
+	for _, p := range s.Phases {
+		if p.Name == name {
+			return p.Dur
+		}
+	}
+	return 0
+}
+
+// SortedCounters returns counter names in stable order.
+func (s *Stats) SortedCounters() []string {
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Engine is one compilation back-end.
+type Engine interface {
+	// Name is the display name used in benchmark tables.
+	Name() string
+	// Compile lowers a QIR module to executable form. The returned Stats
+	// carry the phase breakdown of this compilation.
+	Compile(mod *qir.Module, env *Env) (Exec, *Stats, error)
+}
+
+// Timer measures phases for Stats with minimal overhead.
+type Timer struct {
+	s    *Stats
+	last time.Time
+}
+
+// NewTimer starts a phase timer writing into s.
+func NewTimer(s *Stats) *Timer {
+	return &Timer{s: s, last: time.Now()}
+}
+
+// Lap records the time since the previous lap under the given phase name.
+func (t *Timer) Lap(name string) {
+	now := time.Now()
+	t.s.AddPhase(name, now.Sub(t.last))
+	t.last = now
+}
+
+// ErrUnsupported reports a module using features a back-end cannot compile.
+type ErrUnsupported struct {
+	Backend string
+	Reason  string
+}
+
+func (e *ErrUnsupported) Error() string {
+	return fmt.Sprintf("%s: unsupported: %s", e.Backend, e.Reason)
+}

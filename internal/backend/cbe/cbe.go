@@ -1,0 +1,127 @@
+package cbe
+
+import (
+	"fmt"
+	"strings"
+
+	"qcc/internal/backend"
+	"qcc/internal/qir"
+	"qcc/internal/vm"
+	"qcc/internal/vt"
+)
+
+// Engine is the GCC/C back-end.
+type Engine struct{}
+
+// New returns the GCC/C engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements backend.Engine.
+func (e *Engine) Name() string { return "GCC" }
+
+type exec struct {
+	m       *vm.Machine
+	mod     *vm.Module
+	offsets []int32
+}
+
+func (x *exec) Call(fn int, args ...uint64) ([2]uint64, error) {
+	return x.m.Call(x.mod, x.offsets[fn], args...)
+}
+
+// Compile implements backend.Engine. The phases correspond to the Table I
+// breakdown: C code generation, re-parsing the text, lowering to the
+// GIMPLE-like IR, -O3-style optimization, code generation to textual
+// assembly, assembling, and linking.
+func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *backend.Stats, error) {
+	stats := &backend.Stats{Funcs: len(mod.Funcs)}
+	timer := backend.NewTimer(stats)
+	tgt := vt.ForArch(env.Arch)
+
+	// Phase 1: print the module as C (done by the database system).
+	src, err := GenerateC(mod, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Count("c_source_bytes", int64(len(src)))
+	timer.Lap("GenerateC")
+
+	// Phase 2: the "compiler proper" re-lexes and re-parses the text.
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	fns, err := parseUnit(toks)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Count("c_tokens", int64(len(toks)))
+	timer.Lap("Parse")
+
+	// Phase 3: gimplification.
+	var gfns []*gimpleFunc
+	for _, fn := range fns {
+		gf, err := gimplify(fn)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cbe: %s: %w", fn.name, err)
+		}
+		gfns = append(gfns, gf)
+	}
+	timer.Lap("Gimplify")
+
+	// Phase 4: optimization (-O3-ish scalar pipeline).
+	for _, gf := range gfns {
+		n := optimizeGimple(gf)
+		stats.Count("passes_run", int64(n))
+	}
+	timer.Lap("Optimize")
+
+	// Phase 5: code generation to textual assembly.
+	var asmText strings.Builder
+	for _, gf := range gfns {
+		if err := genAsm(gf, tgt, &asmText); err != nil {
+			return nil, nil, err
+		}
+	}
+	stats.Count("asm_bytes", int64(asmText.Len()))
+	timer.Lap("Codegen")
+
+	// Phase 6: the assembler parses the text into object code.
+	objs, err := assemble(asmText.String(), env.Arch)
+	if err != nil {
+		return nil, nil, err
+	}
+	timer.Lap("Assemble")
+
+	// Phase 7: the linker produces the shared-object image, which is then
+	// dlopen'ed (loaded into the machine).
+	code, offsets, err := link(objs, env.Arch)
+	if err != nil {
+		return nil, nil, err
+	}
+	vmod, err := vm.Load(env.Arch, code)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cbe: %w", err)
+	}
+	var unwind []vm.UnwindRange
+	fnOffsets := make([]int32, len(mod.Funcs))
+	for i, f := range mod.Funcs {
+		off, ok := offsets[mangle(f.Name)]
+		if !ok {
+			return nil, nil, fmt.Errorf("cbe: dlsym: %s not found", f.Name)
+		}
+		fnOffsets[i] = off
+		unwind = append(unwind, vm.UnwindRange{Start: off, End: off + 1, Name: f.Name, CFI: []byte{1}})
+	}
+	vmod.RegisterUnwind(unwind)
+	if err := env.DB.Bind(mod.RTNames); err != nil {
+		return nil, nil, err
+	}
+	timer.Lap("Link")
+
+	stats.CodeBytes = len(code)
+	for _, p := range stats.Phases {
+		stats.Total += p.Dur
+	}
+	return &exec{m: env.DB.M, mod: vmod, offsets: fnOffsets}, stats, nil
+}

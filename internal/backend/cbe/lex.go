@@ -1,0 +1,140 @@
+package cbe
+
+import "fmt"
+
+// Token kinds for the C subset.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tPunct // single or multi-char operator/punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	pos  int
+}
+
+// lexer tokenizes generated C source. Re-parsing the text is the inherent
+// overhead of the GCC/C approach (≈13% of compile time in the paper).
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lexAll(src string) ([]token, error) {
+	lx := &lexer{src: src}
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		lx.toks = append(lx.toks, t)
+		if t.kind == tEOF {
+			return lx.toks, nil
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '&' && false || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func (lx *lexer) next() (token, error) {
+	src := lx.src
+	// Skip whitespace and comments.
+	for lx.pos < len(src) {
+		c := src[lx.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			lx.pos++
+			continue
+		}
+		if c == '/' && lx.pos+1 < len(src) && src[lx.pos+1] == '*' {
+			end := lx.pos + 2
+			for end+1 < len(src) && !(src[end] == '*' && src[end+1] == '/') {
+				end++
+			}
+			lx.pos = end + 2
+			continue
+		}
+		break
+	}
+	if lx.pos >= len(src) {
+		return token{kind: tEOF, pos: lx.pos}, nil
+	}
+	start := lx.pos
+	c := src[lx.pos]
+	switch {
+	case isIdentStart(c):
+		for lx.pos < len(src) && isIdentChar(src[lx.pos]) {
+			lx.pos++
+		}
+		return token{kind: tIdent, text: src[start:lx.pos], pos: start}, nil
+	case c >= '0' && c <= '9' || c == '-' && lx.pos+1 < len(src) && src[lx.pos+1] >= '0' && src[lx.pos+1] <= '9' && lx.minusIsNumber():
+		neg := false
+		if c == '-' {
+			neg = true
+			lx.pos++
+		}
+		var v uint64
+		for lx.pos < len(src) && src[lx.pos] >= '0' && src[lx.pos] <= '9' {
+			v = v*10 + uint64(src[lx.pos]-'0')
+			lx.pos++
+		}
+		// Suffixes (LL, U).
+		for lx.pos < len(src) && (src[lx.pos] == 'L' || src[lx.pos] == 'U') {
+			lx.pos++
+		}
+		n := int64(v)
+		if neg {
+			n = -n
+		}
+		return token{kind: tNumber, num: n, pos: start}, nil
+	default:
+		// Multi-char operators first.
+		two := ""
+		if lx.pos+1 < len(src) {
+			two = src[lx.pos : lx.pos+2]
+		}
+		switch two {
+		case "<<", ">>", "<=", ">=", "==", "!=":
+			lx.pos += 2
+			return token{kind: tPunct, text: two, pos: start}, nil
+		}
+		switch c {
+		case '(', ')', '{', '}', ';', ',', '=', '+', '-', '*', '/', '%',
+			'&', '|', '^', '~', '<', '>', ':', '!', '?':
+			lx.pos++
+			return token{kind: tPunct, text: string(c), pos: start}, nil
+		}
+		return token{}, fmt.Errorf("cbe: lex error at %d: %q", lx.pos, string(c))
+	}
+}
+
+// minusIsNumber decides whether '-' begins a negative literal: true unless
+// the previous token could end an operand (identifier other than `return`,
+// number, or closing parenthesis).
+func (lx *lexer) minusIsNumber() bool {
+	if len(lx.toks) == 0 {
+		return true
+	}
+	t := lx.toks[len(lx.toks)-1]
+	switch t.kind {
+	case tIdent:
+		return t.text == "return"
+	case tNumber:
+		return false
+	case tPunct:
+		return t.text != ")"
+	}
+	return true
+}

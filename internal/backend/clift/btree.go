@@ -1,0 +1,119 @@
+package clift
+
+// intervalTree is a B-tree of disjoint [from, to] intervals keyed by start,
+// tracking the occupancy of one physical register during allocation — the
+// data structure the paper singles out as costing ~6% of Cranelift's
+// register allocation time.
+type intervalTree struct {
+	root *btreeNode
+}
+
+const btreeOrder = 8 // max keys per node
+
+type ival struct {
+	from, to int32
+}
+
+type btreeNode struct {
+	keys     []ival
+	children []*btreeNode // nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return n.children == nil }
+
+// overlaps reports whether [from, to] intersects any stored interval.
+func (t *intervalTree) overlaps(from, to int32) bool {
+	n := t.root
+	for n != nil {
+		// Find the first key with key.from > to.
+		i := 0
+		for i < len(n.keys) && n.keys[i].from <= to {
+			if n.keys[i].to >= from {
+				return true
+			}
+			i++
+		}
+		if n.leaf() {
+			return false
+		}
+		// Intervals in child i start after keys[i-1].from; an overlap
+		// can only hide in child i (the subtree whose keys are between
+		// keys[i-1] and keys[i]). But earlier children hold intervals
+		// with smaller starts whose ends could still reach from; since
+		// stored intervals are disjoint and sorted by start, it is
+		// enough to also check the rightmost interval of child i-1...
+		// we keep it simple and correct by checking child i and, when
+		// i > 0, descending into child i only after the key scan above
+		// covered keys[0..i-1].
+		n = n.children[i]
+	}
+	return false
+}
+
+// insert adds [from, to]; the caller guarantees no overlap.
+func (t *intervalTree) insert(from, to int32) {
+	if t.root == nil {
+		t.root = &btreeNode{keys: []ival{{from, to}}}
+		return
+	}
+	up, mid := t.root.insert(ival{from, to})
+	if up != nil {
+		t.root = &btreeNode{
+			keys:     []ival{mid},
+			children: []*btreeNode{t.root, up},
+		}
+	}
+}
+
+// insert returns a new right sibling and the median key when the node
+// split.
+func (n *btreeNode) insert(k ival) (*btreeNode, ival) {
+	i := 0
+	for i < len(n.keys) && n.keys[i].from < k.from {
+		i++
+	}
+	if n.leaf() {
+		n.keys = append(n.keys, ival{})
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = k
+	} else {
+		up, mid := n.children[i].insert(k)
+		if up != nil {
+			n.keys = append(n.keys, ival{})
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = mid
+			n.children = append(n.children, nil)
+			copy(n.children[i+2:], n.children[i+1:])
+			n.children[i+1] = up
+		}
+	}
+	if len(n.keys) <= btreeOrder {
+		return nil, ival{}
+	}
+	// Split.
+	midIdx := len(n.keys) / 2
+	mid := n.keys[midIdx]
+	right := &btreeNode{keys: append([]ival(nil), n.keys[midIdx+1:]...)}
+	if !n.leaf() {
+		right.children = append([]*btreeNode(nil), n.children[midIdx+1:]...)
+		n.children = n.children[:midIdx+1]
+	}
+	n.keys = n.keys[:midIdx]
+	return right, mid
+}
+
+// count returns the number of stored intervals (test helper).
+func (t *intervalTree) count() int {
+	var rec func(n *btreeNode) int
+	rec = func(n *btreeNode) int {
+		if n == nil {
+			return 0
+		}
+		c := len(n.keys)
+		for _, ch := range n.children {
+			c += rec(ch)
+		}
+		return c
+	}
+	return rec(t.root)
+}

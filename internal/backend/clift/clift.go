@@ -1,0 +1,222 @@
+package clift
+
+import (
+	"fmt"
+
+	"qcc/internal/backend"
+	"qcc/internal/qir"
+	"qcc/internal/vm"
+	"qcc/internal/vt"
+)
+
+// Engine is the Cranelift-like back-end.
+type Engine struct {
+	opts Options
+}
+
+// New returns the engine with all custom instructions enabled (the paper's
+// tuned configuration).
+func New() *Engine { return &Engine{} }
+
+// NewWithOptions returns the engine with specific custom instructions
+// disabled, for the Table II ablation.
+func NewWithOptions(opts Options) *Engine { return &Engine{opts: opts} }
+
+// Name implements backend.Engine.
+func (e *Engine) Name() string { return "Cranelift" }
+
+type exec struct {
+	m       *vm.Machine
+	mod     *vm.Module
+	offsets []int32
+}
+
+func (x *exec) Call(fn int, args ...uint64) ([2]uint64, error) {
+	return x.m.Call(x.mod, x.offsets[fn], args...)
+}
+
+// Compile implements backend.Engine: each function runs through the full
+// Cranelift-style pipeline individually (Cranelift compiles one function at
+// a time); the link step then concatenates the per-function buffers and
+// patches relocations.
+func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *backend.Stats, error) {
+	stats := &backend.Stats{Funcs: len(mod.Funcs)}
+	timer := backend.NewTimer(stats)
+	tgt := vt.ForArch(env.Arch)
+
+	type compiled struct {
+		code   []byte
+		relocs []vt.Reloc
+		name   string
+	}
+	var parts []compiled
+
+	for _, f := range mod.Funcs {
+		// IRGen: two-pass translation with hash-map value mapping.
+		cir, err := translate(f, env, e.opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		timer.Lap("IRGen")
+
+		// IRPasses: CFG and dominator-tree computation on the IR.
+		computeDomTree(cir)
+		timer.Lap("IRPasses")
+
+		// ISelPrepare: the three preparation passes.
+		prep := runPrepare(cir)
+		timer.Lap("ISelPrepare")
+
+		// ISel: tree-matching lowering to VCode.
+		vc, err := lower(cir, prep, tgt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("clift: %s: %w", f.Name, err)
+		}
+		timer.Lap("ISel")
+
+		// RegAlloc (live-range building, bundle merging, assignment).
+		ra := allocateTimed(vc, tgt, timer)
+		stats.Count("bundles", int64(ra.numBundles))
+		stats.Count("spilled", int64(ra.numSpilled))
+		stats.Count("btree_inserts", int64(ra.btreeInserts))
+
+		// Emit.
+		asm := vt.NewAssembler(env.Arch)
+		if err := emit(vc, ra, tgt, asm); err != nil {
+			return nil, nil, err
+		}
+		code, relocs, err := asm.Finish()
+		if err != nil {
+			return nil, nil, fmt.Errorf("clift: %s: %w", f.Name, err)
+		}
+		parts = append(parts, compiled{code: code, relocs: relocs, name: f.Name})
+		timer.Lap("Emit")
+	}
+
+	// Link: concatenate function buffers, apply relocations, register
+	// unwind info.
+	total := 0
+	for _, p := range parts {
+		total += len(p.code)
+	}
+	code := make([]byte, 0, total)
+	offsets := make([]int32, len(parts))
+	var pendingRelocs []vt.Reloc
+	var unwind []vm.UnwindRange
+	for i, p := range parts {
+		offsets[i] = int32(len(code))
+		for _, r := range p.relocs {
+			r.Offset += offsets[i]
+			pendingRelocs = append(pendingRelocs, r)
+		}
+		code = append(code, p.code...)
+		unwind = append(unwind, vm.UnwindRange{
+			Start: offsets[i], End: int32(len(code)), Name: p.name,
+			CFI: []byte{0x01},
+		})
+	}
+	for _, r := range pendingRelocs {
+		r.Patch(code, int64(offsets[r.Sym]))
+	}
+	vmod, err := vm.Load(env.Arch, code)
+	if err != nil {
+		return nil, nil, fmt.Errorf("clift: %w", err)
+	}
+	vmod.RegisterUnwind(unwind)
+	if err := env.DB.Bind(mod.RTNames); err != nil {
+		return nil, nil, err
+	}
+	timer.Lap("Link")
+
+	stats.CodeBytes = len(code)
+	for _, p := range stats.Phases {
+		stats.Total += p.Dur
+	}
+	return &exec{m: env.DB.M, mod: vmod, offsets: offsets}, stats, nil
+}
+
+// allocateTimed splits the register-allocation phases for the Figure 4
+// breakdown.
+func allocateTimed(vc *vcode, tgt *vt.Target, timer *backend.Timer) *raResult {
+	return allocate(vc, tgt, timer)
+}
+
+// computeDomTree runs the Cooper–Harvey–Kennedy dominator algorithm over
+// the CIR CFG (the IRPasses phase of the paper's breakdown). The result
+// feeds block-layout sanity checks.
+func computeDomTree(f *Func) []int32 {
+	n := len(f.Blocks)
+	// Reverse postorder.
+	seen := make([]bool, n)
+	var post []int32
+	var succBuf []int32
+	type frame struct {
+		b    int32
+		next int
+	}
+	stack := []frame{{b: 0}}
+	seen[0] = true
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		succBuf = f.succs(fr.b, succBuf[:0])
+		if fr.next < len(succBuf) {
+			s := succBuf[fr.next]
+			fr.next++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, frame{b: s})
+			}
+			continue
+		}
+		post = append(post, fr.b)
+		stack = stack[:len(stack)-1]
+	}
+	rpo := make([]int32, len(post))
+	for i := range post {
+		rpo[len(post)-1-i] = post[i]
+	}
+	num := make([]int32, n)
+	for i := range num {
+		num[i] = -1
+	}
+	for i, b := range rpo {
+		num[b] = int32(i)
+	}
+	idom := make([]int32, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[rpo[0]] = rpo[0]
+	intersect := func(a, b int32) int32 {
+		for a != b {
+			for num[a] > num[b] {
+				a = idom[a]
+			}
+			for num[b] > num[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var ni int32 = -1
+			for _, p := range f.Blocks[b].Preds {
+				if num[p] < 0 || idom[p] == -1 {
+					continue
+				}
+				if ni == -1 {
+					ni = p
+				} else {
+					ni = intersect(ni, p)
+				}
+			}
+			if ni != -1 && idom[b] != ni {
+				idom[b] = ni
+				changed = true
+			}
+		}
+	}
+	return idom
+}

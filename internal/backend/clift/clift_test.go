@@ -1,0 +1,65 @@
+package clift
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIntervalTreeBasics(t *testing.T) {
+	tr := &intervalTree{}
+	if tr.overlaps(0, 100) {
+		t.Error("empty tree overlaps")
+	}
+	tr.insert(10, 20)
+	tr.insert(30, 40)
+	cases := []struct {
+		from, to int32
+		want     bool
+	}{
+		{0, 5, false}, {21, 29, false}, {41, 100, false},
+		{0, 10, true}, {15, 17, true}, {20, 30, true},
+		{35, 35, true}, {40, 60, true}, {5, 50, true},
+	}
+	for _, c := range cases {
+		if got := tr.overlaps(c.from, c.to); got != c.want {
+			t.Errorf("overlaps(%d,%d) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+// TestIntervalTreeRandomized cross-checks the B-tree against a slice oracle
+// with many disjoint intervals (forcing splits).
+func TestIntervalTreeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := &intervalTree{}
+	var oracle [][2]int32
+	// Insert 500 disjoint intervals at even positions.
+	positions := rng.Perm(2000)
+	for _, p := range positions[:500] {
+		from := int32(p * 10)
+		to := from + int32(rng.Intn(8))
+		if tr.overlaps(from, to) {
+			continue
+		}
+		tr.insert(from, to)
+		oracle = append(oracle, [2]int32{from, to})
+	}
+	if tr.count() != len(oracle) {
+		t.Fatalf("tree has %d intervals, oracle %d", tr.count(), len(oracle))
+	}
+	check := func(from, to int32) bool {
+		for _, iv := range oracle {
+			if iv[0] <= to && iv[1] >= from {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 5000; i++ {
+		from := int32(rng.Intn(21000) - 500)
+		to := from + int32(rng.Intn(50))
+		if got, want := tr.overlaps(from, to), check(from, to); got != want {
+			t.Fatalf("overlaps(%d,%d) = %v, oracle %v", from, to, got, want)
+		}
+	}
+}

@@ -1,0 +1,652 @@
+package clift
+
+import (
+	"fmt"
+
+	"qcc/internal/vt"
+)
+
+// emitter encodes allocated VCode into machine code. It runs the passes the
+// paper attributes to Cranelift's emission stage: a clobber-calculation scan
+// over all instructions and register assignments, a branch-size estimation
+// pass over the register-allocator moves (veneer planning, with the 15-byte
+// over-approximation the paper mentions), and the actual encoding.
+type emitter struct {
+	vc  *vcode
+	ra  *raResult
+	tgt *vt.Target
+	asm vt.Assembler
+
+	labels []vt.Label
+	frame  int64
+	// Reserved scratch registers (two per class).
+	s0, s1   uint8
+	fs0, fs1 uint8
+
+	spillBase   int64
+	cycleSlot   int64
+	calleeBase  int64
+	calleeRegs  []uint8
+	estBytes    int64 // veneer-estimation result
+	clobberMask uint64
+}
+
+// loc is a post-RA location: preg >= 0 or spill slot encoded negative.
+type raLoc = int32
+
+func emit(vc *vcode, ra *raResult, tgt *vt.Target, asm vt.Assembler) error {
+	e := &emitter{vc: vc, ra: ra, tgt: tgt, asm: asm}
+	all := tgt.AllocatableGPRs()
+	e.s0 = all[len(all)-2]
+	e.s1 = all[len(all)-1]
+	e.fs0 = uint8(tgt.NumFPR - 2)
+	e.fs1 = uint8(tgt.NumFPR - 1)
+
+	// Clobber-calculation pass (before emission, as in Cranelift): scan
+	// every instruction's assigned registers.
+	e.clobberScan()
+
+	// Veneer estimation: iterate over the allocator's edge moves and
+	// estimate block sizes with a 15-byte-per-instruction bound.
+	e.estimateVeneers()
+
+	// Frame layout: cycle-break slot, spill slots, callee-saved area.
+	e.cycleSlot = 0
+	e.spillBase = 8
+	e.calleeBase = e.spillBase + int64(ra.spills)*8
+	e.calleeRegs = append([]uint8{}, ra.usedCalleeSaved...)
+	// The scratch registers are callee-saved on both targets and are
+	// always saved: they back spill fix-ups and move cycles.
+	e.calleeRegs = appendUnique(e.calleeRegs, e.s0)
+	e.calleeRegs = appendUnique(e.calleeRegs, e.s1)
+	e.frame = e.calleeBase + int64(len(e.calleeRegs))*8
+	e.frame = (e.frame + 15) &^ 15
+
+	e.labels = make([]vt.Label, len(vc.blocks))
+	for b := range e.labels {
+		e.labels[b] = asm.NewLabel()
+	}
+
+	e.prologue()
+	for b := range vc.blocks {
+		asm.Bind(e.labels[b])
+		blk := &vc.blocks[b]
+		edge := 0
+		for i := range blk.insts {
+			in := &blk.insts[i]
+			if in.op == vt.Br {
+				// Edge moves precede the jump; a jump to the next block
+				// in layout order falls through.
+				if edge < len(blk.moves) {
+					e.parallelMoves(blk.moves[edge][0], blk.moves[edge][1])
+				}
+				edge++
+				if i == len(blk.insts)-1 && in.target == int32(b)+1 {
+					continue
+				}
+				e.asm.Emit(vt.Instr{Op: vt.Br, Target: int32(e.labels[in.target])})
+				continue
+			}
+			if in.op == vt.BrCC || in.op == vt.BrNZ {
+				edge++ // brif edges carry no moves by construction
+			}
+			if err := e.inst(in); err != nil {
+				return fmt.Errorf("clift: %s: %w", vc.name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func appendUnique(s []uint8, v uint8) []uint8 {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func (e *emitter) clobberScan() {
+	for b := range e.vc.blocks {
+		blk := &e.vc.blocks[b]
+		for i := range blk.insts {
+			visitOperands(&blk.insts[i], func(r *vreg, isDef bool, cls RegClass) {
+				if !isDef || cls == ClassFloat {
+					return
+				}
+				if isPreg(*r) {
+					e.clobberMask |= 1 << pregNum(*r)
+				} else if a := e.ra.assign[*r]; a >= 0 {
+					e.clobberMask |= 1 << uint(a)
+				}
+			})
+		}
+	}
+}
+
+func (e *emitter) estimateVeneers() {
+	const overApprox = 15 // bytes per instruction, as in the paper
+	for b := range e.vc.blocks {
+		blk := &e.vc.blocks[b]
+		n := int64(len(blk.insts))
+		for _, mv := range blk.moves {
+			n += int64(len(mv[0]))
+		}
+		e.estBytes += n * overApprox
+	}
+}
+
+func (e *emitter) prologue() {
+	sp := e.tgt.SP
+	e.asm.Emit(vt.Instr{Op: vt.SubI, RD: sp, RA: sp, Imm: e.frame})
+	for i, r := range e.calleeRegs {
+		e.asm.Emit(vt.Instr{Op: vt.Store64, RA: sp, RB: r, Imm: e.calleeBase + int64(i)*8})
+	}
+}
+
+func (e *emitter) epilogue() {
+	sp := e.tgt.SP
+	for i, r := range e.calleeRegs {
+		e.asm.Emit(vt.Instr{Op: vt.Load64, RD: r, RA: sp, Imm: e.calleeBase + int64(i)*8})
+	}
+	e.asm.Emit(vt.Instr{Op: vt.AddI, RD: sp, RA: sp, Imm: e.frame})
+	e.asm.Emit(vt.Instr{Op: vt.Ret})
+}
+
+// locOf returns the location of an operand: preg number (>= 0) or spill
+// slot (< 0, encoded -1-slot).
+func (e *emitter) locOf(r vreg) raLoc {
+	if isPreg(r) {
+		return int32(pregNum(r))
+	}
+	return e.ra.assign[r]
+}
+
+func (e *emitter) slotOff(l raLoc) int64 { return e.spillBase + int64(-1-l)*8 }
+
+// inst encodes one vinst, fixing up spilled operands through scratch
+// registers and two-address constraints through moves.
+func (e *emitter) inst(in *vinst) error {
+	sp := e.tgt.SP
+	// Resolve operand locations; spilled uses load into scratch.
+	resolve := func(r vreg, cls RegClass, scratch uint8) (uint8, error) {
+		l := e.locOf(r)
+		if l == assignNone {
+			return 0, fmt.Errorf("operand vreg %d unallocated", r)
+		}
+		if l >= 0 {
+			return uint8(l), nil
+		}
+		if cls == ClassFloat {
+			e.asm.Emit(vt.Instr{Op: vt.FLoad, RD: scratch, RA: sp, Imm: e.slotOff(l)})
+		} else {
+			e.asm.Emit(vt.Instr{Op: vt.Load64, RD: scratch, RA: sp, Imm: e.slotOff(l)})
+		}
+		return scratch, nil
+	}
+	// Defs: spilled results compute into scratch and store after.
+	type defFix struct {
+		slot  int64
+		reg   uint8
+		float bool
+	}
+	var fixes []defFix
+	defReg := func(r vreg, cls RegClass, scratch uint8) (uint8, error) {
+		l := e.locOf(r)
+		if l == assignNone {
+			return 0, fmt.Errorf("def vreg %d unallocated", r)
+		}
+		if l >= 0 {
+			return uint8(l), nil
+		}
+		fixes = append(fixes, defFix{slot: e.slotOff(l), reg: scratch, float: cls == ClassFloat})
+		return scratch, nil
+	}
+	flush := func() {
+		for _, f := range fixes {
+			if f.float {
+				e.asm.Emit(vt.Instr{Op: vt.FStore, RA: sp, RB: f.reg, Imm: f.slot})
+			} else {
+				e.asm.Emit(vt.Instr{Op: vt.Store64, RA: sp, RB: f.reg, Imm: f.slot})
+			}
+		}
+	}
+
+	emitALU := func(op vt.Op, rd, ra, rb uint8, commutative bool) {
+		if !e.tgt.TwoAddress {
+			e.asm.Emit(vt.Instr{Op: op, RD: rd, RA: ra, RB: rb})
+			return
+		}
+		switch {
+		case rd == ra:
+			e.asm.Emit(vt.Instr{Op: op, RD: rd, RA: rd, RB: rb})
+		case rd == rb && commutative:
+			e.asm.Emit(vt.Instr{Op: op, RD: rd, RA: rd, RB: ra})
+		case rd == rb:
+			e.asm.Emit(vt.Instr{Op: vt.MovRR, RD: e.s1, RA: rb})
+			e.asm.Emit(vt.Instr{Op: vt.MovRR, RD: rd, RA: ra})
+			e.asm.Emit(vt.Instr{Op: op, RD: rd, RA: rd, RB: e.s1})
+		default:
+			e.asm.Emit(vt.Instr{Op: vt.MovRR, RD: rd, RA: ra})
+			e.asm.Emit(vt.Instr{Op: op, RD: rd, RA: rd, RB: rb})
+		}
+	}
+	emitALUImm := func(op vt.Op, rd, ra uint8, imm int64) {
+		if !e.tgt.TwoAddress || rd == ra {
+			e.asm.Emit(vt.Instr{Op: op, RD: rd, RA: ra, Imm: imm})
+			return
+		}
+		e.asm.Emit(vt.Instr{Op: vt.MovRR, RD: rd, RA: ra})
+		e.asm.Emit(vt.Instr{Op: op, RD: rd, RA: rd, Imm: imm})
+	}
+	emitFALU := func(op vt.Op, rd, ra, rb uint8, commutative bool) {
+		if !e.tgt.TwoAddress {
+			e.asm.Emit(vt.Instr{Op: op, RD: rd, RA: ra, RB: rb})
+			return
+		}
+		switch {
+		case rd == ra:
+			e.asm.Emit(vt.Instr{Op: op, RD: rd, RA: rd, RB: rb})
+		case rd == rb && commutative:
+			e.asm.Emit(vt.Instr{Op: op, RD: rd, RA: rd, RB: ra})
+		case rd == rb:
+			e.asm.Emit(vt.Instr{Op: vt.FMovRR, RD: e.fs1, RA: rb})
+			e.asm.Emit(vt.Instr{Op: vt.FMovRR, RD: rd, RA: ra})
+			e.asm.Emit(vt.Instr{Op: op, RD: rd, RA: rd, RB: e.fs1})
+		default:
+			e.asm.Emit(vt.Instr{Op: vt.FMovRR, RD: rd, RA: ra})
+			e.asm.Emit(vt.Instr{Op: op, RD: rd, RA: rd, RB: rb})
+		}
+	}
+
+	switch in.op {
+	case vt.MovRR:
+		ra, err := resolve(in.ra, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		rd, err := defReg(in.rd, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		if rd != ra {
+			e.asm.Emit(vt.Instr{Op: vt.MovRR, RD: rd, RA: ra})
+		}
+		flush()
+	case vt.FMovRR:
+		ra, err := resolve(in.ra, ClassFloat, e.fs0)
+		if err != nil {
+			return err
+		}
+		rd, err := defReg(in.rd, ClassFloat, e.fs0)
+		if err != nil {
+			return err
+		}
+		if rd != ra {
+			e.asm.Emit(vt.Instr{Op: vt.FMovRR, RD: rd, RA: ra})
+		}
+		flush()
+	case vt.MovRI:
+		rd, err := defReg(in.rd, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		if in.sym >= 0 {
+			e.asm.EmitMovSym(rd, in.sym)
+		} else {
+			e.asm.Emit(vt.Instr{Op: vt.MovRI, RD: rd, Imm: in.imm})
+		}
+		flush()
+	case vt.FMovRI:
+		rd, err := defReg(in.rd, ClassFloat, e.fs0)
+		if err != nil {
+			return err
+		}
+		e.asm.Emit(vt.Instr{Op: vt.FMovRI, RD: rd, Imm: in.imm})
+		flush()
+
+	case vt.Add, vt.Sub, vt.Mul, vt.And, vt.Or, vt.Xor, vt.Shl, vt.Shr, vt.Sar,
+		vt.Rotr, vt.SDiv, vt.SRem, vt.UDiv, vt.URem, vt.Crc32:
+		ra, err := resolve(in.ra, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		rb, err := resolve(in.rb, ClassInt, e.s1)
+		if err != nil {
+			return err
+		}
+		rd, err := defReg(in.rd, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		comm := in.op == vt.Add || in.op == vt.Mul || in.op == vt.And ||
+			in.op == vt.Or || in.op == vt.Xor
+		emitALU(in.op, rd, ra, rb, comm)
+		flush()
+
+	case vt.AddI, vt.SubI, vt.MulI, vt.AndI, vt.OrI, vt.XorI, vt.ShlI, vt.ShrI,
+		vt.SarI, vt.RotrI:
+		ra, err := resolve(in.ra, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		rd, err := defReg(in.rd, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		emitALUImm(in.op, rd, ra, in.imm)
+		flush()
+
+	case vt.Neg, vt.Not:
+		ra, err := resolve(in.ra, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		rd, err := defReg(in.rd, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		if e.tgt.TwoAddress && rd != ra {
+			e.asm.Emit(vt.Instr{Op: vt.MovRR, RD: rd, RA: ra})
+			ra = rd
+		}
+		e.asm.Emit(vt.Instr{Op: in.op, RD: rd, RA: ra})
+		flush()
+
+	case vt.MulWideU, vt.MulWideS:
+		ra, err := resolve(in.ra, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		rb, err := resolve(in.rb, ClassInt, e.s1)
+		if err != nil {
+			return err
+		}
+		rd, err := defReg(in.rd, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		rc, err := defReg(in.rc, ClassInt, e.s1)
+		if err != nil {
+			return err
+		}
+		if rd == rc {
+			return fmt.Errorf("mulwide results share register r%d", rd)
+		}
+		e.asm.Emit(vt.Instr{Op: in.op, RD: rd, RC: rc, RA: ra, RB: rb})
+		flush()
+
+	case vt.SetCC:
+		ra, err := resolve(in.ra, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		rb, err := resolve(in.rb, ClassInt, e.s1)
+		if err != nil {
+			return err
+		}
+		rd, err := defReg(in.rd, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		e.asm.Emit(vt.Instr{Op: vt.SetCC, Cond: in.cond, RD: rd, RA: ra, RB: rb})
+		flush()
+
+	case vt.Load8, vt.Load8S, vt.Load16, vt.Load16S, vt.Load32, vt.Load32S, vt.Load64:
+		ra, err := resolve(in.ra, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		rd, err := defReg(in.rd, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		e.asm.Emit(vt.Instr{Op: in.op, RD: rd, RA: ra, Imm: in.imm})
+		flush()
+	case vt.Store8, vt.Store16, vt.Store32, vt.Store64:
+		ra, err := resolve(in.ra, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		rb, err := resolve(in.rb, ClassInt, e.s1)
+		if err != nil {
+			return err
+		}
+		e.asm.Emit(vt.Instr{Op: in.op, RA: ra, RB: rb, Imm: in.imm})
+	case vt.FLoad:
+		ra, err := resolve(in.ra, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		rd, err := defReg(in.rd, ClassFloat, e.fs0)
+		if err != nil {
+			return err
+		}
+		e.asm.Emit(vt.Instr{Op: vt.FLoad, RD: rd, RA: ra, Imm: in.imm})
+		flush()
+	case vt.FStore:
+		ra, err := resolve(in.ra, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		rb, err := resolve(in.rb, ClassFloat, e.fs0)
+		if err != nil {
+			return err
+		}
+		e.asm.Emit(vt.Instr{Op: vt.FStore, RA: ra, RB: rb, Imm: in.imm})
+
+	case vt.FAdd, vt.FSub, vt.FMul, vt.FDiv:
+		ra, err := resolve(in.ra, ClassFloat, e.fs0)
+		if err != nil {
+			return err
+		}
+		rb, err := resolve(in.rb, ClassFloat, e.fs1)
+		if err != nil {
+			return err
+		}
+		rd, err := defReg(in.rd, ClassFloat, e.fs0)
+		if err != nil {
+			return err
+		}
+		emitFALU(in.op, rd, ra, rb, in.op == vt.FAdd || in.op == vt.FMul)
+		flush()
+	case vt.FCmp:
+		ra, err := resolve(in.ra, ClassFloat, e.fs0)
+		if err != nil {
+			return err
+		}
+		rb, err := resolve(in.rb, ClassFloat, e.fs1)
+		if err != nil {
+			return err
+		}
+		rd, err := defReg(in.rd, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		e.asm.Emit(vt.Instr{Op: vt.FCmp, Cond: in.cond, RD: rd, RA: ra, RB: rb})
+		flush()
+	case vt.CvtSI2F:
+		ra, err := resolve(in.ra, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		rd, err := defReg(in.rd, ClassFloat, e.fs0)
+		if err != nil {
+			return err
+		}
+		e.asm.Emit(vt.Instr{Op: vt.CvtSI2F, RD: rd, RA: ra})
+		flush()
+	case vt.CvtF2SI:
+		ra, err := resolve(in.ra, ClassFloat, e.fs0)
+		if err != nil {
+			return err
+		}
+		rd, err := defReg(in.rd, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		e.asm.Emit(vt.Instr{Op: vt.CvtF2SI, RD: rd, RA: ra})
+		flush()
+	case vt.MovRF:
+		ra, err := resolve(in.ra, ClassFloat, e.fs0)
+		if err != nil {
+			return err
+		}
+		rd, err := defReg(in.rd, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		e.asm.Emit(vt.Instr{Op: vt.MovRF, RD: rd, RA: ra})
+		flush()
+	case vt.MovFR:
+		ra, err := resolve(in.ra, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		rd, err := defReg(in.rd, ClassFloat, e.fs0)
+		if err != nil {
+			return err
+		}
+		e.asm.Emit(vt.Instr{Op: vt.MovFR, RD: rd, RA: ra})
+		flush()
+
+	case vt.BrCC:
+		ra, err := resolve(in.ra, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		rb, err := resolve(in.rb, ClassInt, e.s1)
+		if err != nil {
+			return err
+		}
+		e.asm.Emit(vt.Instr{Op: vt.BrCC, Cond: in.cond, RA: ra, RB: rb, Target: int32(e.labels[in.target])})
+	case vt.BrNZ:
+		ra, err := resolve(in.ra, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		e.asm.Emit(vt.Instr{Op: vt.BrNZ, RA: ra, Target: int32(e.labels[in.target])})
+	case vt.TrapNZ:
+		ra, err := resolve(in.ra, ClassInt, e.s0)
+		if err != nil {
+			return err
+		}
+		e.asm.Emit(vt.Instr{Op: vt.TrapNZ, RA: ra, Imm: in.imm})
+	case vt.Trap:
+		e.asm.Emit(vt.Instr{Op: vt.Trap, Imm: in.imm})
+	case vt.CallRT:
+		e.asm.Emit(vt.Instr{Op: vt.CallRT, Imm: in.imm})
+	case vt.Ret:
+		e.epilogue()
+	default:
+		return fmt.Errorf("cannot emit vinst %s", in.op)
+	}
+	return nil
+}
+
+// parallelMoves emits the block-parameter moves for one edge, resolving
+// dependency order and breaking cycles through the cycle-scratch stack slot.
+func (e *emitter) parallelMoves(dsts, srcs []vreg) {
+	type move struct {
+		dst, src raLoc
+		cls      RegClass
+		fromCyc  bool
+	}
+	var pending []move
+	for k := range dsts {
+		d, s := e.locOf(dsts[k]), e.locOf(srcs[k])
+		if d == s {
+			continue
+		}
+		pending = append(pending, move{dst: d, src: s, cls: e.vc.classes[dsts[k]]})
+	}
+	emitMove := func(m move) {
+		sp := e.tgt.SP
+		scr, fscr := e.s0, e.fs0
+		srcSlot := int64(0)
+		srcIsSlot := m.src < 0
+		if m.fromCyc {
+			srcIsSlot = true
+			srcSlot = e.cycleSlot
+		} else if srcIsSlot {
+			srcSlot = e.slotOff(m.src)
+		}
+		if m.cls == ClassFloat {
+			switch {
+			case !srcIsSlot && m.dst >= 0:
+				e.asm.Emit(vt.Instr{Op: vt.FMovRR, RD: uint8(m.dst), RA: uint8(m.src)})
+			case !srcIsSlot:
+				e.asm.Emit(vt.Instr{Op: vt.FStore, RA: sp, RB: uint8(m.src), Imm: e.slotOff(m.dst)})
+			case m.dst >= 0:
+				e.asm.Emit(vt.Instr{Op: vt.FLoad, RD: uint8(m.dst), RA: sp, Imm: srcSlot})
+			default:
+				e.asm.Emit(vt.Instr{Op: vt.FLoad, RD: fscr, RA: sp, Imm: srcSlot})
+				e.asm.Emit(vt.Instr{Op: vt.FStore, RA: sp, RB: fscr, Imm: e.slotOff(m.dst)})
+			}
+			return
+		}
+		switch {
+		case !srcIsSlot && m.dst >= 0:
+			e.asm.Emit(vt.Instr{Op: vt.MovRR, RD: uint8(m.dst), RA: uint8(m.src)})
+		case !srcIsSlot:
+			e.asm.Emit(vt.Instr{Op: vt.Store64, RA: sp, RB: uint8(m.src), Imm: e.slotOff(m.dst)})
+		case m.dst >= 0:
+			e.asm.Emit(vt.Instr{Op: vt.Load64, RD: uint8(m.dst), RA: sp, Imm: srcSlot})
+		default:
+			e.asm.Emit(vt.Instr{Op: vt.Load64, RD: scr, RA: sp, Imm: srcSlot})
+			e.asm.Emit(vt.Instr{Op: vt.Store64, RA: sp, RB: scr, Imm: e.slotOff(m.dst)})
+		}
+	}
+	sameLoc := func(a, b move) bool { return a.dst == b.src && !b.fromCyc && a.cls == b.cls }
+	for len(pending) > 0 {
+		progress := false
+		for i := 0; i < len(pending); i++ {
+			m := pending[i]
+			blocked := false
+			for j := range pending {
+				if j != i && sameLoc(m, pending[j]) {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			emitMove(m)
+			pending = append(pending[:i], pending[i+1:]...)
+			progress = true
+			i--
+		}
+		if progress {
+			continue
+		}
+		// Cycle: the first move's destination is a source other moves
+		// still need. Park its current value in the cycle slot,
+		// redirect those readers, then perform the move.
+		m := pending[0]
+		sp := e.tgt.SP
+		if m.cls == ClassFloat {
+			if m.dst >= 0 {
+				e.asm.Emit(vt.Instr{Op: vt.FStore, RA: sp, RB: uint8(m.dst), Imm: e.cycleSlot})
+			} else {
+				e.asm.Emit(vt.Instr{Op: vt.FLoad, RD: e.fs0, RA: sp, Imm: e.slotOff(m.dst)})
+				e.asm.Emit(vt.Instr{Op: vt.FStore, RA: sp, RB: e.fs0, Imm: e.cycleSlot})
+			}
+		} else {
+			if m.dst >= 0 {
+				e.asm.Emit(vt.Instr{Op: vt.Store64, RA: sp, RB: uint8(m.dst), Imm: e.cycleSlot})
+			} else {
+				e.asm.Emit(vt.Instr{Op: vt.Load64, RD: e.s0, RA: sp, Imm: e.slotOff(m.dst)})
+				e.asm.Emit(vt.Instr{Op: vt.Store64, RA: sp, RB: e.s0, Imm: e.cycleSlot})
+			}
+		}
+		for j := 1; j < len(pending); j++ {
+			if pending[j].src == m.dst && pending[j].cls == m.cls && !pending[j].fromCyc {
+				pending[j].fromCyc = true
+			}
+		}
+		emitMove(m)
+		pending = pending[1:]
+	}
+}

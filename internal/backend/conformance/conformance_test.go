@@ -1,0 +1,314 @@
+// Package conformance_test cross-checks all execution back-ends: every
+// engine must produce identical results for a corpus of query plans. The
+// interpreter is the reference.
+package conformance_test
+
+import (
+	"reflect"
+	"testing"
+
+	"qcc/internal/backend"
+	"qcc/internal/backend/cbe"
+	"qcc/internal/backend/clift"
+	"qcc/internal/backend/direct"
+	"qcc/internal/backend/interp"
+	"qcc/internal/backend/lbe"
+	"qcc/internal/codegen"
+	"qcc/internal/plan"
+	"qcc/internal/qir"
+	"qcc/internal/rt"
+	"qcc/internal/vm"
+	"qcc/internal/vt"
+)
+
+// engines returns the engines to cross-check for an architecture.
+func engines(arch vt.Arch) map[string]backend.Engine {
+	es := map[string]backend.Engine{
+		"interp":         interp.New(),
+		"clift":          clift.New(),
+		"clift-nocustom": clift.NewWithOptions(clift.Options{NoCrc32: true, NoOverflow: true, NoMulWide: true}),
+		"llvm-cheap":     lbe.NewCheap(),
+		"llvm-opt":       lbe.NewOpt(),
+		"llvm-gisel":     lbe.NewWithConfig(lbe.Config{ISel: lbe.ISelGlobal}),
+		"llvm-gisel-opt": lbe.NewWithConfig(lbe.Config{Opt: true, ISel: lbe.ISelGlobal}),
+		"llvm-structs":   lbe.NewWithConfig(lbe.Config{StructPairs: true}),
+		"llvm-largecm":   lbe.NewWithConfig(lbe.Config{LargeCodeModel: true}),
+		"gcc":            cbe.New(),
+	}
+	if arch == vt.VX64 {
+		es["direct"] = direct.New()
+	}
+	return es
+}
+
+type world struct {
+	db  *rt.DB
+	cat *rt.Catalog
+}
+
+// buildWorld loads a small multi-table dataset exercising every column
+// type.
+func buildWorld(arch vt.Arch) *world {
+	m := vm.New(vm.Config{Arch: arch, MemSize: 64 << 20})
+	db := rt.NewDB(m)
+	cat := rt.NewCatalog(db)
+
+	const n = 200
+	items := cat.CreateTable("items", n,
+		rt.ColSpec{Name: "id", Type: qir.I64},
+		rt.ColSpec{Name: "grp", Type: qir.I32},
+		rt.ColSpec{Name: "price", Type: qir.I128},
+		rt.ColSpec{Name: "qty", Type: qir.I32},
+		rt.ColSpec{Name: "disc", Type: qir.F64},
+		rt.ColSpec{Name: "name", Type: qir.Str},
+	)
+	names := []string{"widget", "gadget", "doohickey", "thingamajig-deluxe-edition", "gizmo"}
+	rng := uint64(12345)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := int64(0); i < n; i++ {
+		cat.SetInt(items.MustCol("id"), i, i)
+		cat.SetInt(items.MustCol("grp"), i, int64(next()%7))
+		cat.SetI128(items.MustCol("price"), i, rt.I128FromInt64(int64(next()%100000)))
+		cat.SetInt(items.MustCol("qty"), i, int64(next()%50))
+		cat.SetF64(items.MustCol("disc"), i, float64(next()%100)/100)
+		cat.SetStr(items.MustCol("name"), i, names[next()%uint64(len(names))])
+	}
+
+	groups := cat.CreateTable("groups", 7,
+		rt.ColSpec{Name: "gid", Type: qir.I32},
+		rt.ColSpec{Name: "label", Type: qir.Str},
+	)
+	labels := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"}
+	for i := int64(0); i < 7; i++ {
+		cat.SetInt(groups.MustCol("gid"), i, i)
+		cat.SetStr(groups.MustCol("label"), i, labels[i])
+	}
+	return &world{db: db, cat: cat}
+}
+
+func itemsSchema() []plan.ColInfo {
+	return []plan.ColInfo{
+		{Name: "id", Type: qir.I64},
+		{Name: "grp", Type: qir.I32},
+		{Name: "price", Type: qir.I128},
+		{Name: "qty", Type: qir.I32},
+		{Name: "disc", Type: qir.F64},
+		{Name: "name", Type: qir.Str},
+	}
+}
+
+func groupsSchema() []plan.ColInfo {
+	return []plan.ColInfo{
+		{Name: "gid", Type: qir.I32},
+		{Name: "label", Type: qir.Str},
+	}
+}
+
+func col(i int, t qir.Type) *plan.Col { return &plan.Col{Idx: i, Ty: t} }
+
+func mustArith(t *testing.T, op plan.ArithOp, l, r plan.Expr) plan.Expr {
+	t.Helper()
+	e, err := plan.NewArith(op, l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mustCmp(t *testing.T, op plan.CmpOp, l, r plan.Expr) plan.Expr {
+	t.Helper()
+	e, err := plan.NewCmp(op, l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// corpus returns named plans covering operators, types, and edge shapes.
+func corpus(t *testing.T) map[string]func() plan.Node {
+	t.Helper()
+	return map[string]func() plan.Node{
+		"scan-all": func() plan.Node {
+			return &plan.Scan{Table: "items", Cols: itemsSchema()}
+		},
+		"filter-arith": func() plan.Node {
+			qtyTimes2 := mustArith(t, plan.OpMul, col(3, qir.I32), &plan.ConstInt{Ty: qir.I32, V: 2})
+			pred := mustCmp(t, plan.CmpGT, qtyTimes2, &plan.ConstInt{Ty: qir.I32, V: 60})
+			return &plan.Project{
+				Input: &plan.Select{Input: &plan.Scan{Table: "items", Cols: itemsSchema()}, Pred: pred},
+				Exprs: []plan.Expr{col(0, qir.I64), col(3, qir.I32)},
+			}
+		},
+		"decimal-math": func() plan.Node {
+			total := mustArith(t, plan.OpMul, col(2, qir.I128),
+				&plan.Cast{E: col(3, qir.I32), To: qir.I128})
+			return &plan.GroupBy{
+				Input: &plan.Project{
+					Input: &plan.Scan{Table: "items", Cols: itemsSchema()},
+					Exprs: []plan.Expr{col(1, qir.I32), total},
+				},
+				Keys: []plan.Expr{col(0, qir.I32)},
+				Aggs: []plan.AggExpr{
+					{Fn: plan.AggSum, Arg: col(1, qir.I128)},
+					{Fn: plan.AggCount},
+				},
+			}
+		},
+		"join-groupby-sort": func() plan.Node {
+			j := &plan.HashJoin{
+				Build:     &plan.Scan{Table: "groups", Cols: groupsSchema()},
+				Probe:     &plan.Scan{Table: "items", Cols: itemsSchema()},
+				BuildKeys: []plan.Expr{col(0, qir.I32)},
+				ProbeKeys: []plan.Expr{col(1, qir.I32)},
+			}
+			// join schema: gid, label, id, grp, price, qty, disc, name
+			g := &plan.GroupBy{
+				Input: j,
+				Keys:  []plan.Expr{col(1, qir.Str)},
+				Aggs: []plan.AggExpr{
+					{Fn: plan.AggCount},
+					{Fn: plan.AggSum, Arg: col(5, qir.I32)},
+					{Fn: plan.AggMax, Arg: col(2, qir.I64)},
+				},
+			}
+			return &plan.Sort{
+				Input: g,
+				Keys:  []plan.SortKey{{E: col(1, qir.I64), Desc: true}},
+			}
+		},
+		"like-select-case": func() plan.Node {
+			isWidget := &plan.Like{E: col(5, qir.Str), Pattern: "%dget%"}
+			val := &plan.Case{
+				Cond: isWidget,
+				Then: col(0, qir.I64),
+				Else: &plan.ConstInt{Ty: qir.I64, V: -1},
+			}
+			return &plan.Project{
+				Input: &plan.Scan{Table: "items", Cols: itemsSchema()},
+				Exprs: []plan.Expr{val},
+			}
+		},
+		"float-agg": func() plan.Node {
+			return &plan.GroupBy{
+				Input: &plan.Scan{Table: "items", Cols: itemsSchema()},
+				Keys:  []plan.Expr{col(1, qir.I32)},
+				Aggs: []plan.AggExpr{
+					{Fn: plan.AggSum, Arg: col(4, qir.F64)},
+					{Fn: plan.AggAvg, Arg: col(4, qir.F64)},
+					{Fn: plan.AggMin, Arg: col(4, qir.F64)},
+				},
+			}
+		},
+		"multikey-sort-limit": func() plan.Node {
+			s := &plan.Sort{
+				Input: &plan.Scan{Table: "items", Cols: itemsSchema()},
+				Keys: []plan.SortKey{
+					{E: col(5, qir.Str)},
+					{E: col(2, qir.I128), Desc: true},
+					{E: col(0, qir.I64)},
+				},
+			}
+			return &plan.Project{
+				Input: &plan.Limit{Input: s, N: 25},
+				Exprs: []plan.Expr{col(0, qir.I64), col(5, qir.Str)},
+			}
+		},
+		"self-join-count": func() plan.Node {
+			j := &plan.HashJoin{
+				Build:     &plan.Scan{Table: "items", Cols: itemsSchema()},
+				Probe:     &plan.Scan{Table: "items", Cols: itemsSchema()},
+				BuildKeys: []plan.Expr{col(1, qir.I32)},
+				ProbeKeys: []plan.Expr{col(1, qir.I32)},
+			}
+			return &plan.GroupBy{Input: j, Aggs: []plan.AggExpr{{Fn: plan.AggCount}}}
+		},
+		"between-decimal": func() plan.Node {
+			pred := &plan.Between{
+				E:  col(2, qir.I128),
+				Lo: &plan.ConstDec{V: rt.I128FromInt64(10000)},
+				Hi: &plan.ConstDec{V: rt.I128FromInt64(60000)},
+			}
+			return &plan.GroupBy{
+				Input: &plan.Select{Input: &plan.Scan{Table: "items", Cols: itemsSchema()}, Pred: pred},
+				Aggs:  []plan.AggExpr{{Fn: plan.AggCount}, {Fn: plan.AggSum, Arg: col(2, qir.I128)}},
+			}
+		},
+		"string-group-keys": func() plan.Node {
+			return &plan.GroupBy{
+				Input: &plan.Scan{Table: "items", Cols: itemsSchema()},
+				Keys:  []plan.Expr{col(5, qir.Str)},
+				Aggs:  []plan.AggExpr{{Fn: plan.AggCount}},
+			}
+		},
+		"div-mod": func() plan.Node {
+			d := mustArith(t, plan.OpDiv, col(0, qir.I64), &plan.ConstInt{Ty: qir.I64, V: 7})
+			m := mustArith(t, plan.OpMod, col(0, qir.I64), &plan.ConstInt{Ty: qir.I64, V: 7})
+			return &plan.GroupBy{
+				Input: &plan.Project{
+					Input: &plan.Scan{Table: "items", Cols: itemsSchema()},
+					Exprs: []plan.Expr{d, m},
+				},
+				Keys: []plan.Expr{col(1, qir.I64)},
+				Aggs: []plan.AggExpr{{Fn: plan.AggCount}, {Fn: plan.AggSum, Arg: col(0, qir.I64)}},
+			}
+		},
+	}
+}
+
+func runOn(t *testing.T, eng backend.Engine, w *world, name string, node plan.Node, arch vt.Arch) []string {
+	t.Helper()
+	c, err := codegen.Compile(name, node, w.cat)
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	ex, stats, err := eng.Compile(c.Module, &backend.Env{DB: w.db, Arch: arch})
+	if err != nil {
+		t.Fatalf("%s compile %s: %v", eng.Name(), name, err)
+	}
+	if stats.Total <= 0 {
+		t.Errorf("%s: no compile time recorded", eng.Name())
+	}
+	w.db.Out.Reset()
+	if err := codegen.Run(w.db, w.cat, c, ex.Call); err != nil {
+		t.Fatalf("%s run %s: %v", eng.Name(), name, err)
+	}
+	return w.db.Out.Canonical()
+}
+
+func TestEnginesAgree(t *testing.T) {
+	for _, arch := range []vt.Arch{vt.VX64, vt.VA64} {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			es := engines(arch)
+			if len(es) < 2 && arch == vt.VX64 {
+				t.Fatal("need at least two engines on vx64")
+			}
+			for qname, build := range corpus(t) {
+				qname, build := qname, build
+				t.Run(qname, func(t *testing.T) {
+					// Fresh world per query so interning/heap state
+					// cannot leak between engines via result rows.
+					ref := runOn(t, interp.New(), buildWorld(arch), qname, build(), arch)
+					if len(ref) == 0 && qname != "never-matches" {
+						t.Logf("warning: %s produced no rows", qname)
+					}
+					for ename, eng := range es {
+						if ename == "interp" {
+							continue
+						}
+						got := runOn(t, eng, buildWorld(arch), qname, build(), arch)
+						if !reflect.DeepEqual(got, ref) {
+							t.Errorf("%s disagrees with interpreter\n got (%d rows): %.8v\nwant (%d rows): %.8v",
+								ename, len(got), got, len(ref), ref)
+						}
+					}
+				})
+			}
+		})
+	}
+}

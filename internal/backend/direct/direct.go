@@ -1,0 +1,155 @@
+// Package direct implements the DirectEmit back-end from the paper: a
+// single-pass compiler translating QIR straight to vx64 machine code.
+//
+// One analysis pass computes the dominator tree, natural loops and
+// block-granularity liveness; one code generation pass then walks the blocks
+// in reverse postorder, selecting instructions and allocating registers
+// greedily on the fly. Values live across basic blocks reside in stack
+// slots; within a block they are cached in registers, with the loop-depth
+// and last-use heuristics from the paper guiding evictions. Encoding uses
+// the branch-minimized fast encoder (8-byte immediates always). Only vx64 is
+// supported — the paper notes the AArch64 port was never merged.
+package direct
+
+import (
+	"fmt"
+
+	"qcc/internal/backend"
+	"qcc/internal/qir"
+	"qcc/internal/vm"
+	"qcc/internal/vt"
+)
+
+// Engine is the DirectEmit back-end.
+type Engine struct{}
+
+// New returns the DirectEmit engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements backend.Engine.
+func (e *Engine) Name() string { return "DirectEmit" }
+
+type exec struct {
+	m       *vm.Machine
+	mod     *vm.Module
+	offsets []int32
+}
+
+func (x *exec) Call(fn int, args ...uint64) ([2]uint64, error) {
+	return x.m.Call(x.mod, x.offsets[fn], args...)
+}
+
+// Compile implements backend.Engine.
+func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *backend.Stats, error) {
+	if env.Arch != vt.VX64 {
+		return nil, nil, &backend.ErrUnsupported{Backend: "direct", Reason: "only vx64 is supported"}
+	}
+	stats := &backend.Stats{Funcs: len(mod.Funcs)}
+	timer := backend.NewTimer(stats)
+
+	asm := vt.NewFastX64Assembler()
+	offsets := make([]int32, len(mod.Funcs))
+	var unwind []vm.UnwindRange
+
+	for fi, f := range mod.Funcs {
+		// Analysis pass.
+		a := analyze(f)
+		timer.Lap("Analysis")
+
+		// Code generation pass.
+		start := int32(asm.PCOffset())
+		offsets[fi] = start
+		g := &codegen{f: f, asm: asm, an: a, env: env, mod: mod}
+		if err := g.genFunc(); err != nil {
+			return nil, nil, fmt.Errorf("direct: %s: %w", f.Name, err)
+		}
+		end := int32(asm.PCOffset())
+		unwind = append(unwind, vm.UnwindRange{
+			Start: start, End: end, Name: f.Name,
+			CFI: encodeCFI(start, end, g.frameSize),
+		})
+		timer.Lap("Codegen")
+	}
+
+	code, relocs, err := asm.Finish()
+	if err != nil {
+		return nil, nil, fmt.Errorf("direct: %w", err)
+	}
+	// Resolve function-address relocations (FuncAddr constants).
+	for _, r := range relocs {
+		r.Patch(code, int64(offsets[r.Sym]))
+	}
+	vmod, err := vm.Load(vt.VX64, code)
+	if err != nil {
+		return nil, nil, fmt.Errorf("direct: %w", err)
+	}
+	vmod.RegisterUnwind(unwind)
+	if err := env.DB.Bind(mod.RTNames); err != nil {
+		return nil, nil, err
+	}
+	timer.Lap("Emit")
+	stats.CodeBytes = len(code)
+	stats.Total = stats.PhaseDur("Analysis") + stats.PhaseDur("Codegen") + stats.PhaseDur("Emit")
+	return &exec{m: env.DB.M, mod: vmod, offsets: offsets}, stats, nil
+}
+
+// analysis bundles the single analysis pass results.
+type analysis struct {
+	dom     *qir.DomTree
+	loops   *qir.LoopInfo
+	live    *qir.Liveness
+	lastUse []qir.Value // per value: highest value id using it
+	depth   []int32     // per value: loop depth of defining block
+}
+
+func analyze(f *qir.Func) *analysis {
+	dom := f.Dominators()
+	loops := f.Loops(dom)
+	live := f.LivenessAnalysis()
+	a := &analysis{dom: dom, loops: loops, live: live}
+	a.lastUse = make([]qir.Value, len(f.Instrs))
+	a.depth = make([]int32, len(f.Instrs))
+	var ops []qir.Value
+	for b := range f.Blocks {
+		for _, v := range f.Blocks[b].List {
+			a.depth[v] = loops.Depth[b]
+			ops = f.Operands(v, ops[:0])
+			for _, u := range ops {
+				if v > a.lastUse[u] {
+					a.lastUse[u] = v
+				}
+			}
+		}
+	}
+	return a
+}
+
+// encodeCFI produces compact synchronous unwind information: a tag byte,
+// the code range, and the fixed frame size (DWARF-like, enough for the
+// runtime to unwind at call sites).
+func encodeCFI(start, end int32, frame int64) []byte {
+	buf := make([]byte, 0, 16)
+	buf = append(buf, 0x01) // version/tag
+	buf = appendULEB(buf, uint64(start))
+	buf = appendULEB(buf, uint64(end-start))
+	buf = appendULEB(buf, uint64(frame))
+	// def_cfa sp+frame at all call sites (synchronous unwinding only).
+	buf = append(buf, 0x0C, 0x0F)
+	return buf
+}
+
+func appendULEB(b []byte, v uint64) []byte {
+	for {
+		c := byte(v & 0x7F)
+		v >>= 7
+		if v != 0 {
+			b = append(b, c|0x80)
+		} else {
+			return append(b, c)
+		}
+	}
+}
+
+// Disasm renders the compiled module's machine code (one instruction per
+// line with byte offsets); used by tools and examples.
+func (x *exec) Disasm() string { return vt.DisasmAll(x.mod.Prog) }

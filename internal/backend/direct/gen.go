@@ -1,0 +1,461 @@
+package direct
+
+import (
+	"fmt"
+	"math"
+
+	"qcc/internal/backend"
+	"qcc/internal/qir"
+	"qcc/internal/vt"
+)
+
+// Register allocation model: every SSA value has a stack slot; values are
+// cached in registers within a basic block and flushed at block boundaries
+// and calls. Definitions of block-crossing values store eagerly; evictions
+// store lazily. Callee-saved registers are saved in the prologue so the
+// whole file can be allocated freely.
+
+const noReg = int16(-1)
+
+type loc struct {
+	r1, r2 int16 // GPR (or FPR for F64) cache; -1 = not cached
+}
+
+type codegen struct {
+	f   *qir.Func
+	asm vt.Assembler
+	an  *analysis
+	env *backend.Env
+	mod *qir.Module
+
+	slotOff []int64
+	stored  []bool
+	locs    []loc
+	isFloat []bool
+	isWide  []bool
+
+	gpr     [16]qir.Value // register -> owning value, -1 free
+	fpr     [16]qir.Value
+	pinned  uint32
+	fpinned uint32
+
+	labels    []vt.Label
+	rpo       []qir.BlockID
+	rpoIdx    map[qir.BlockID]int
+	cur       qir.Value
+	curBlock  qir.BlockID
+	frameSize int64
+
+	calleeSaveOff int64
+	scratchOff    int64 // phi staging area
+}
+
+func (g *codegen) genFunc() error {
+	f := g.f
+	n := len(f.Instrs)
+	g.slotOff = make([]int64, n)
+	g.stored = make([]bool, n)
+	g.locs = make([]loc, n)
+	g.isFloat = make([]bool, n)
+	g.isWide = make([]bool, n)
+	for i := range g.locs {
+		g.locs[i] = loc{noReg, noReg}
+		t := f.Instrs[i].Type
+		g.isFloat[i] = t == qir.F64
+		g.isWide[i] = t.Is128()
+	}
+	for r := range g.gpr {
+		g.gpr[r] = qir.NoValue
+	}
+	for r := range g.fpr {
+		g.fpr[r] = qir.NoValue
+	}
+
+	// Frame layout: callee-saved area, value slots, phi staging scratch.
+	off := int64(0)
+	g.calleeSaveOff = off
+	off += int64(len(g.target().CalleeSaved)) * 8
+	for v := 0; v < n; v++ {
+		g.slotOff[v] = off
+		if g.isWide[v] {
+			off += 16
+		} else {
+			off += 8
+		}
+	}
+	maxPhis := 0
+	for b := range f.Blocks {
+		c := 0
+		for _, v := range f.Blocks[b].List {
+			if f.Instrs[v].Op == qir.OpPhi {
+				c++
+			}
+		}
+		if c > maxPhis {
+			maxPhis = c
+		}
+	}
+	g.scratchOff = off
+	off += int64(maxPhis) * 16
+	g.frameSize = (off + 15) &^ 15
+
+	g.rpo = f.RPO()
+	g.rpoIdx = make(map[qir.BlockID]int, len(g.rpo))
+	for i, b := range g.rpo {
+		g.rpoIdx[b] = i
+	}
+	g.labels = make([]vt.Label, len(f.Blocks))
+	for b := range g.labels {
+		g.labels[b] = g.asm.NewLabel()
+	}
+
+	g.emitPrologue()
+
+	for i, b := range g.rpo {
+		g.curBlock = b
+		g.asm.Bind(g.labels[b])
+		g.clearCaches()
+		if b == 0 {
+			g.bindParams()
+		}
+		blk := &f.Blocks[b]
+		for _, v := range blk.List {
+			in := &f.Instrs[v]
+			g.cur = v
+			if in.Op == qir.OpPhi || in.Op == qir.OpParam {
+				g.stored[v] = true
+				continue
+			}
+			if in.Op.IsTerminator() {
+				next := qir.BlockID(-1)
+				if i+1 < len(g.rpo) {
+					next = g.rpo[i+1]
+				}
+				if err := g.genTerminator(in, next); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := g.genInstr(v, in); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *codegen) target() *vt.Target { return g.asm.Target() }
+
+func (g *codegen) emit(i vt.Instr) { g.asm.Emit(i) }
+
+func (g *codegen) emitPrologue() {
+	sp := g.target().SP
+	g.emit(vt.Instr{Op: vt.SubI, RD: sp, RA: sp, Imm: g.frameSize})
+	for i, r := range g.target().CalleeSaved {
+		g.emit(vt.Instr{Op: vt.Store64, RA: sp, RB: r, Imm: g.calleeSaveOff + int64(i)*8})
+	}
+}
+
+func (g *codegen) emitEpilogue() {
+	sp := g.target().SP
+	for i, r := range g.target().CalleeSaved {
+		g.emit(vt.Instr{Op: vt.Load64, RD: r, RA: sp, Imm: g.calleeSaveOff + int64(i)*8})
+	}
+	g.emit(vt.Instr{Op: vt.AddI, RD: sp, RA: sp, Imm: g.frameSize})
+	g.emit(vt.Instr{Op: vt.Ret})
+}
+
+// bindParams records parameter registers in the cache and eagerly stores
+// them to their slots (they are clobbered by the first call otherwise).
+func (g *codegen) bindParams() {
+	args := g.target().IntArgs
+	reg := 0
+	sp := g.target().SP
+	for i := range g.f.Params {
+		v := qir.Value(i)
+		r := args[reg]
+		g.emit(vt.Instr{Op: vt.Store64, RA: sp, RB: r, Imm: g.slotOff[v]})
+		g.locs[v].r1 = int16(r)
+		g.gpr[r] = v
+		reg++
+		if g.isWide[v] {
+			r2 := args[reg]
+			g.emit(vt.Instr{Op: vt.Store64, RA: sp, RB: r2, Imm: g.slotOff[v] + 8})
+			g.locs[v].r2 = int16(r2)
+			g.gpr[r2] = v
+			reg++
+		}
+		g.stored[v] = true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Register cache management.
+// ---------------------------------------------------------------------------
+
+func (g *codegen) pin(r int16)         { g.pinned |= 1 << uint(r) }
+func (g *codegen) unpinAll()           { g.pinned = 0; g.fpinned = 0 }
+func (g *codegen) pinF(r int16)        { g.fpinned |= 1 << uint(r) }
+func (g *codegen) isPinned(r int) bool { return g.pinned&(1<<uint(r)) != 0 }
+
+// spillValue stores v's register contents to its slot if a later use needs
+// it and it is not stored yet.
+func (g *codegen) spillValue(v qir.Value) {
+	if g.stored[v] || g.an.lastUse[v] < g.cur {
+		return
+	}
+	sp := g.target().SP
+	l := &g.locs[v]
+	if g.isFloat[v] {
+		g.emit(vt.Instr{Op: vt.FStore, RA: sp, RB: uint8(l.r1), Imm: g.slotOff[v]})
+	} else {
+		g.emit(vt.Instr{Op: vt.Store64, RA: sp, RB: uint8(l.r1), Imm: g.slotOff[v]})
+		if g.isWide[v] && l.r2 != noReg {
+			g.emit(vt.Instr{Op: vt.Store64, RA: sp, RB: uint8(l.r2), Imm: g.slotOff[v] + 8})
+		}
+	}
+	g.stored[v] = true
+}
+
+// dropValue removes v from the register cache without spilling.
+func (g *codegen) dropValue(v qir.Value) {
+	l := &g.locs[v]
+	if g.isFloat[v] {
+		if l.r1 != noReg {
+			g.fpr[l.r1] = qir.NoValue
+		}
+	} else {
+		if l.r1 != noReg {
+			g.gpr[l.r1] = qir.NoValue
+		}
+		if l.r2 != noReg {
+			g.gpr[l.r2] = qir.NoValue
+		}
+	}
+	l.r1, l.r2 = noReg, noReg
+}
+
+// flushCaches spills every cached value that may still be needed.
+func (g *codegen) flushCaches() {
+	for r := 0; r < g.target().NumGPR; r++ {
+		if v := g.gpr[r]; v != qir.NoValue && g.locs[v].r1 == int16(r) {
+			g.spillValue(v)
+		}
+	}
+	for r := 0; r < g.target().NumFPR; r++ {
+		if v := g.fpr[r]; v != qir.NoValue {
+			g.spillValue(v)
+		}
+	}
+}
+
+// clearCaches drops all register caches (no spills).
+func (g *codegen) clearCaches() {
+	for r := range g.gpr {
+		if v := g.gpr[r]; v != qir.NoValue {
+			g.locs[v].r1, g.locs[v].r2 = noReg, noReg
+			g.gpr[r] = qir.NoValue
+		}
+	}
+	for r := range g.fpr {
+		if v := g.fpr[r]; v != qir.NoValue {
+			g.locs[v].r1 = noReg
+			g.fpr[r] = qir.NoValue
+		}
+	}
+}
+
+// killCaches spills then drops everything (block boundary / call).
+func (g *codegen) killCaches() {
+	g.flushCaches()
+	g.clearCaches()
+}
+
+// allocGPR picks a free (or evicts the least valuable) general register.
+// The loop-depth and last-use heuristics from the paper guide eviction:
+// prefer victims defined outside loops with the nearest-past last use.
+func (g *codegen) allocGPR() int16 {
+	t := g.target()
+	best := int16(-1)
+	var bestScore int64 = math.MaxInt64
+	for _, r := range t.AllocatableGPRs() {
+		if g.isPinned(int(r)) {
+			continue
+		}
+		v := g.gpr[r]
+		if v == qir.NoValue {
+			return int16(r)
+		}
+		// Eviction score: keep loop values and recently-needed values.
+		score := int64(g.an.depth[v])*1_000_000 + int64(g.an.lastUse[v])
+		if score < bestScore {
+			bestScore = score
+			best = int16(r)
+		}
+	}
+	if best == -1 {
+		panic("direct: out of registers (all pinned)")
+	}
+	victim := g.gpr[best]
+	g.spillValue(victim)
+	if g.locs[victim].r1 == best {
+		g.locs[victim].r1 = noReg
+	}
+	if g.locs[victim].r2 == best {
+		g.locs[victim].r2 = noReg
+	}
+	// If the victim was wide and lost one half, drop the other too (a
+	// half-cached wide value is not useful).
+	if g.isWide[victim] {
+		g.dropValue(victim)
+	} else {
+		g.gpr[best] = qir.NoValue
+	}
+	g.gpr[best] = qir.NoValue
+	return best
+}
+
+func (g *codegen) allocFPR() int16 {
+	best := int16(-1)
+	var bestScore int64 = math.MaxInt64
+	for r := 0; r < g.target().NumFPR; r++ {
+		if g.fpinned&(1<<uint(r)) != 0 {
+			continue
+		}
+		v := g.fpr[r]
+		if v == qir.NoValue {
+			return int16(r)
+		}
+		score := int64(g.an.depth[v])*1_000_000 + int64(g.an.lastUse[v])
+		if score < bestScore {
+			bestScore = score
+			best = int16(r)
+		}
+	}
+	if best == -1 {
+		panic("direct: out of float registers")
+	}
+	victim := g.fpr[best]
+	g.spillValue(victim)
+	g.locs[victim].r1 = noReg
+	g.fpr[best] = qir.NoValue
+	return best
+}
+
+// tempGPR allocates a pinned scratch register not bound to any value.
+func (g *codegen) tempGPR() int16 {
+	r := g.allocGPR()
+	g.pin(r)
+	return r
+}
+
+// useGPR brings v's (low half) into a register and pins it.
+func (g *codegen) useGPR(v qir.Value) int16 {
+	l := &g.locs[v]
+	if l.r1 != noReg {
+		g.pin(l.r1)
+		return l.r1
+	}
+	r := g.allocGPR()
+	g.pin(r)
+	sp := g.target().SP
+	g.emit(vt.Instr{Op: vt.Load64, RD: uint8(r), RA: sp, Imm: g.slotOff[v]})
+	l.r1 = r
+	g.gpr[r] = v
+	return r
+}
+
+// usePair brings a wide value into two pinned registers.
+func (g *codegen) usePair(v qir.Value) (lo, hi int16) {
+	l := &g.locs[v]
+	sp := g.target().SP
+	if l.r1 == noReg {
+		r := g.allocGPR()
+		g.pin(r)
+		g.emit(vt.Instr{Op: vt.Load64, RD: uint8(r), RA: sp, Imm: g.slotOff[v]})
+		l.r1 = r
+		g.gpr[r] = v
+	} else {
+		g.pin(l.r1)
+	}
+	if l.r2 == noReg {
+		r := g.allocGPR()
+		g.pin(r)
+		g.emit(vt.Instr{Op: vt.Load64, RD: uint8(r), RA: sp, Imm: g.slotOff[v] + 8})
+		l.r2 = r
+		g.gpr[r] = v
+	} else {
+		g.pin(l.r2)
+	}
+	return l.r1, l.r2
+}
+
+// useFPR brings a float value into a pinned float register.
+func (g *codegen) useFPR(v qir.Value) int16 {
+	l := &g.locs[v]
+	if l.r1 != noReg {
+		g.pinF(l.r1)
+		return l.r1
+	}
+	r := g.allocFPR()
+	g.pinF(r)
+	sp := g.target().SP
+	g.emit(vt.Instr{Op: vt.FLoad, RD: uint8(r), RA: sp, Imm: g.slotOff[v]})
+	l.r1 = r
+	g.fpr[r] = v
+	return r
+}
+
+// defGPR allocates the destination register for v (pinned).
+func (g *codegen) defGPR(v qir.Value) int16 {
+	r := g.allocGPR()
+	g.pin(r)
+	g.locs[v].r1 = r
+	g.gpr[r] = v
+	return r
+}
+
+func (g *codegen) defPair(v qir.Value) (lo, hi int16) {
+	r1 := g.allocGPR()
+	g.pin(r1)
+	r2 := g.allocGPR()
+	g.pin(r2)
+	g.locs[v] = loc{r1, r2}
+	g.gpr[r1] = v
+	g.gpr[r2] = v
+	return r1, r2
+}
+
+func (g *codegen) defFPR(v qir.Value) int16 {
+	r := g.allocFPR()
+	g.pinF(r)
+	g.locs[v].r1 = r
+	g.fpr[r] = v
+	return r
+}
+
+// finishDef applies the store-at-def policy: values live out of their
+// defining block (including phi uses on outgoing edges) go to their slot.
+func (g *codegen) finishDef(v qir.Value) {
+	g.stored[v] = false
+	if g.an.live.LiveOut[g.curBlock].Get(v) {
+		sp := g.target().SP
+		l := &g.locs[v]
+		if g.isFloat[v] {
+			g.emit(vt.Instr{Op: vt.FStore, RA: sp, RB: uint8(l.r1), Imm: g.slotOff[v]})
+		} else {
+			g.emit(vt.Instr{Op: vt.Store64, RA: sp, RB: uint8(l.r1), Imm: g.slotOff[v]})
+			if g.isWide[v] {
+				g.emit(vt.Instr{Op: vt.Store64, RA: sp, RB: uint8(l.r2), Imm: g.slotOff[v] + 8})
+			}
+		}
+		g.stored[v] = true
+	}
+	g.unpinAll()
+}
+
+// rtID interns a runtime helper name the back-end needs beyond what the
+// front-end emitted.
+func (g *codegen) rtID(name string) uint32 { return g.mod.RTImport(name) }
+
+var errUnsupported = fmt.Errorf("unsupported operation")

@@ -1,0 +1,332 @@
+package lbe
+
+import (
+	"fmt"
+	"time"
+
+	"qcc/internal/backend"
+	"qcc/internal/qir"
+	"qcc/internal/vm"
+	"qcc/internal/vt"
+)
+
+// Engine is the LLVM-like back-end.
+type Engine struct {
+	cfg     Config
+	tmCache map[vt.Arch]*targetMachine
+}
+
+// NewCheap returns the cheap configuration (-O0, FastISel, fast register
+// allocator) — "LLVM cheap" in the paper's tables.
+func NewCheap() *Engine { return &Engine{cfg: Config{Opt: false}} }
+
+// NewOpt returns the optimized configuration (-O2-style passes,
+// SelectionDAG, greedy register allocator) — "LLVM optimized".
+func NewOpt() *Engine { return &Engine{cfg: Config{Opt: true}} }
+
+// NewWithConfig returns an engine with an explicit configuration (for the
+// GlobalISel comparison and the Sec. V-A2 ablations).
+func NewWithConfig(cfg Config) *Engine { return &Engine{cfg: cfg} }
+
+// Name implements backend.Engine.
+func (e *Engine) Name() string {
+	switch {
+	case e.cfg.ISel == ISelGlobal && e.cfg.Opt:
+		return "LLVM GlobalISel opt"
+	case e.cfg.ISel == ISelGlobal:
+		return "LLVM GlobalISel cheap"
+	case e.cfg.Opt:
+		return "LLVM optimized"
+	default:
+		return "LLVM cheap"
+	}
+}
+
+// targetMachine models LLVM's TargetMachine: its construction parses the
+// target description and builds per-opcode selection tables, which is why
+// the paper caches one instance per thread (Sec. V-A2, third measure).
+type targetMachine struct {
+	tgt      *vt.Target
+	patterns map[vt.Op]patternInfo
+	features []string
+}
+
+type patternInfo struct {
+	latency  int
+	size     int
+	commutes bool
+	hasImm   bool
+}
+
+func newTargetMachine(arch vt.Arch) *targetMachine {
+	tm := &targetMachine{tgt: vt.ForArch(arch), patterns: map[vt.Op]patternInfo{}}
+	// Build the per-opcode tables (the construction cost being cached).
+	for op := vt.Op(0); op < vt.NumOps; op++ {
+		pi := patternInfo{latency: 1, size: 4}
+		switch op {
+		case vt.Mul, vt.MulI, vt.MulWideU, vt.MulWideS:
+			pi.latency = 3
+		case vt.SDiv, vt.SRem, vt.UDiv, vt.URem, vt.FDiv:
+			pi.latency = 20
+		case vt.Load64, vt.Load32, vt.FLoad:
+			pi.latency = 4
+		}
+		switch op {
+		case vt.Add, vt.Mul, vt.And, vt.Or, vt.Xor, vt.FAdd, vt.FMul:
+			pi.commutes = true
+		}
+		if _, ok := map[vt.Op]bool{vt.AddI: true, vt.SubI: true, vt.MulI: true,
+			vt.AndI: true, vt.OrI: true, vt.XorI: true}[op]; ok {
+			pi.hasImm = true
+		}
+		tm.patterns[op] = pi
+	}
+	for i := 0; i < 32; i++ {
+		tm.features = append(tm.features, fmt.Sprintf("feature%d", i))
+	}
+	return tm
+}
+
+type exec struct {
+	m       *vm.Machine
+	mod     *vm.Module
+	offsets []int32
+}
+
+func (x *exec) Call(fn int, args ...uint64) ([2]uint64, error) {
+	return x.m.Call(x.mod, x.offsets[fn], args...)
+}
+
+// Compile implements backend.Engine.
+func (e *Engine) Compile(qmod *qir.Module, env *backend.Env) (backend.Exec, *backend.Stats, error) {
+	stats := &backend.Stats{Funcs: len(qmod.Funcs)}
+	timer := backend.NewTimer(stats)
+	cfg := e.cfg
+	if cfg.ISel == ISelDefault {
+		if cfg.Opt {
+			cfg.ISel = ISelDAG
+		} else {
+			cfg.ISel = ISelFast
+		}
+	}
+
+	// TargetMachine: constructed per compilation unless cached.
+	var tm *targetMachine
+	if cfg.NoTMCache {
+		tm = newTargetMachine(env.Arch)
+	} else {
+		if e.tmCache == nil {
+			e.tmCache = map[vt.Arch]*targetMachine{}
+		}
+		tm = e.tmCache[env.Arch]
+		if tm == nil {
+			tm = newTargetMachine(env.Arch)
+			e.tmCache[env.Arch] = tm
+		}
+	}
+	tgt := tm.tgt
+	timer.Lap("TargetMachine")
+
+	lmod := &Module{Name: qmod.Name, RTNames: qmod.RTNames}
+	rtid := func(name string) uint32 { return qmod.RTImport(name) }
+
+	// The object emitter is shared by the whole module.
+	oe := newObjEmitter(env.Arch)
+	rtUsed := map[uint32]bool{}
+	var fnNames []string
+
+	prep := &passManager{}
+	for _, p := range backendPrepPasses() {
+		prep.add(p)
+	}
+	opt := &passManager{}
+	if cfg.Opt {
+		for _, p := range optPasses() {
+			opt.add(p)
+		}
+	}
+
+	for _, qf := range qmod.Funcs {
+		// IR construction.
+		fn, err := buildIR(qf, lmod, env, cfg, rtid)
+		if err != nil {
+			return nil, nil, err
+		}
+		timer.Lap("IRBuild")
+
+		// IR passes (midend in optimized mode, then back-end prep).
+		if cfg.Opt {
+			opt.run(fn, stats, "IRPasses")
+		}
+		prep.run(fn, stats, "IRPasses")
+		timer.Lap("IRPasses")
+
+		// Instruction selection.
+		mf := &mfunc{name: fn.Name}
+		mf.blocks = make([]mblock, len(fn.Blocks))
+		is := &isel{cfg: cfg, fn: fn, mf: mf, tgt: tgt, stats: stats, vals: map[*Instr]mval{}}
+		switch cfg.ISel {
+		case ISelFast:
+			dag := &selectionDAG{isel: is}
+			fi := &fastISel{isel: is, dag: dag}
+			is.cur = 0
+			is.bindParams()
+			for bi, b := range fn.Blocks {
+				if err := fi.runOnBlock(b, int32(bi)); err != nil {
+					return nil, nil, err
+				}
+			}
+			stats.Count("dag_nodes", dag.nodesBuilt)
+			stats.Count("knownbits_queries", dag.kbQueries)
+		case ISelDAG:
+			dag := &selectionDAG{isel: is}
+			is.cur = 0
+			is.bindParams()
+			for bi, b := range fn.Blocks {
+				if err := dag.lowerRange(b, 0, len(b.Instrs), int32(bi)); err != nil {
+					return nil, nil, err
+				}
+			}
+			stats.Count("dag_nodes", dag.nodesBuilt)
+			stats.Count("knownbits_queries", dag.kbQueries)
+		case ISelGlobal:
+			gi := &gISel{isel: is}
+			if _, err := gi.run(fn); err != nil {
+				return nil, nil, err
+			}
+		}
+		timer.Lap("ISel")
+
+		// SSA lowering and target constraints.
+		mf.computeCFG()
+		phiElim(mf)
+		rewrites := twoAddress(mf, tgt)
+		stats.Count("twoaddr_rewrites", int64(rewrites))
+		stats.Count("passes_run", 2)
+		timer.Lap("OtherPasses")
+
+		// Register allocation.
+		var ra *raState
+		if cfg.Opt {
+			ra, err = greedyRegAlloc(mf, tgt)
+		} else {
+			ra, err = fastRegAlloc(mf, tgt)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("lbe: %s: %w", fn.Name, err)
+		}
+		stats.Count("spill_slots", int64(ra.numSlots))
+		timer.Lap("RegAlloc")
+
+		// The remaining small machine passes (stack coloring, copy
+		// propagation scans, branch folding in opt mode, ...): each
+		// iterates the machine code.
+		runMachineScanPasses(mf, cfg.Opt, stats)
+		prologEpilog(mf, ra, tgt)
+		stats.Count("passes_run", 1)
+		timer.Lap("PrologEpilog")
+
+		// Assembly printing into the in-memory object.
+		if err := asmPrint(mf, tgt, oe, len(fnNames), cfg, rtUsed); err != nil {
+			return nil, nil, err
+		}
+		fnNames = append(fnNames, fn.Name)
+		timer.Lap("AsmPrinter")
+	}
+
+	// Module epilogue: PLT stubs, object emission, JIT linking.
+	var maxRT uint32
+	for id := range rtUsed {
+		if id > maxRT {
+			maxRT = id
+		}
+	}
+	emitPLT(oe, rtUsed, maxRT)
+	text, relocs, err := oe.finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	obj := &object{text: text, cfi: oe.cfi}
+	for _, n := range fnNames {
+		off := int32(len(obj.names))
+		obj.names = append(obj.names, n...)
+		obj.symbols = append(obj.symbols, objSymbol{
+			nameOff: off, nameLen: int32(len(n)),
+			value: oe.fnStarts[n], size: oe.fnEnds[n] - oe.fnStarts[n],
+		})
+	}
+	for _, r := range relocs {
+		obj.relocs = append(obj.relocs, objReloc{off: r.Offset, kind: r.Kind, sym: r.Sym})
+	}
+	objBytes := encodeObject(obj)
+	stats.CodeBytes = len(text)
+	timer.Lap("ObjectEmission")
+
+	vmod, offsets, err := jitLink(objBytes, env.Arch, fnNames)
+	if err != nil {
+		return nil, nil, err
+	}
+	timer.Lap("Linking")
+
+	// Destructing the IR module is measurably expensive in LLVM; walk and
+	// release everything explicitly.
+	destructStart := time.Now()
+	for _, fn := range lmod.Fns {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				in.Ops = nil
+				in.Uses = nil
+				in.Inc = nil
+			}
+			b.Instrs = nil
+			b.Preds = nil
+		}
+		fn.Blocks = nil
+		fn.Params = nil
+	}
+	lmod.Fns = nil
+	stats.AddPhase("IRDestruct", time.Since(destructStart))
+
+	if err := env.DB.Bind(qmod.RTNames); err != nil {
+		return nil, nil, err
+	}
+	for _, p := range stats.Phases {
+		stats.Total += p.Dur
+	}
+	return &exec{m: env.DB.M, mod: vmod, offsets: offsets}, stats, nil
+}
+
+// runMachineScanPasses models the tail of the codegen pipeline: many small
+// passes each scanning the machine code (67 passes in the cheap pipeline,
+// 146 in the optimized one, per the paper).
+func runMachineScanPasses(mf *mfunc, optMode bool, stats *backend.Stats) {
+	names := []string{
+		"machine-sink-check", "stack-coloring", "machine-cp", "post-ra-pseudos",
+		"implicit-null-checks", "machine-licm-verify", "fentry-insert",
+		"xray-instrumentation", "patchable-function", "func-alias-analysis",
+		"livedebugvalues", "machine-sanitizer", "branch-relaxation-scan",
+		"cfi-instr-inserter", "unpack-mi-bundles", "remove-redundant-debug",
+	}
+	if optMode {
+		names = append(names,
+			"machine-cse", "machine-licm", "peephole-opts", "dead-mi-elimination",
+			"early-ifcvt-scan", "machine-combiner", "shrink-wrap-analysis",
+			"block-placement", "tail-duplication-scan", "branch-folding",
+			"machine-outliner-scan", "implicit-def-scan", "opt-phi-scan",
+			"postra-sched-scan", "macro-fusion-scan", "copy-prop-2",
+		)
+	}
+	for range names {
+		n := 0
+		for b := range mf.blocks {
+			for i := range mf.blocks[b].insts {
+				in := &mf.blocks[b].insts[i]
+				if in.op == vt.Nop {
+					n++
+				}
+			}
+		}
+		_ = n
+		stats.Count("passes_run", 1)
+	}
+}

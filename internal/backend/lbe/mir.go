@@ -1,0 +1,207 @@
+package lbe
+
+import (
+	"fmt"
+
+	"qcc/internal/vt"
+)
+
+// MIR is the machine IR: target instructions over virtual registers,
+// produced by instruction selection, rewritten by PHI elimination,
+// two-address rewriting and register allocation, and finally encoded by the
+// assembly printer.
+
+// mreg encodes a register operand: >= 0 virtual, < 0 physical (-1-p).
+type mreg = int32
+
+const mnone mreg = -0x7FFFFFFF
+
+func mpreg(p uint8) mreg    { return -1 - int32(p) }
+func isMPreg(r mreg) bool   { return r < 0 && r != mnone }
+func mpregNum(r mreg) uint8 { return uint8(-1 - r) }
+
+// regClass is the register file of a vreg.
+type regClass uint8
+
+const (
+	rcInt regClass = iota
+	rcFloat
+)
+
+// minst is one machine instruction. For op == vt.Nop with phi != nil, the
+// instruction is a PHI pseudo.
+type minst struct {
+	op     vt.Op
+	cond   vt.Cond
+	rd     mreg
+	ra     mreg
+	rb     mreg
+	rc     mreg
+	imm    int64
+	target int32 // MIR block id for branches
+	sym    int32 // relocation symbol for address materialization (-1 none)
+	isCall bool
+
+	// phi, when non-nil, holds (incoming vreg, pred block) pairs.
+	phi *phiInfo
+}
+
+type phiInfo struct {
+	srcs   []mreg
+	blocks []int32
+}
+
+func newMinst(op vt.Op) minst {
+	return minst{op: op, rd: mnone, ra: mnone, rb: mnone, rc: mnone, sym: -1, target: -1}
+}
+
+type mblock struct {
+	insts []minst
+	succs []int32
+	preds []int32
+	// freq is the static execution-frequency estimate used by the greedy
+	// allocator's spill weights.
+	freq      float64
+	loopDepth int32
+}
+
+type mfunc struct {
+	name    string
+	blocks  []mblock
+	nvregs  mreg
+	classes []regClass
+}
+
+func (mf *mfunc) newVReg(cls regClass) mreg {
+	v := mf.nvregs
+	mf.nvregs++
+	mf.classes = append(mf.classes, cls)
+	return v
+}
+
+func (mf *mfunc) classOf(r mreg) regClass {
+	if r >= 0 {
+		return mf.classes[r]
+	}
+	return rcInt
+}
+
+// computeCFG fills preds from succs.
+func (mf *mfunc) computeCFG() {
+	for b := range mf.blocks {
+		mf.blocks[b].preds = mf.blocks[b].preds[:0]
+	}
+	for b := range mf.blocks {
+		for _, s := range mf.blocks[b].succs {
+			mf.blocks[s].preds = append(mf.blocks[s].preds, int32(b))
+		}
+	}
+}
+
+// visitMOperands calls fn over the register operands of one instruction
+// (uses first, then defs). PHIs report their destination only; incoming
+// values are handled by the passes that understand them.
+func visitMOperands(in *minst, fn func(r *mreg, isDef bool, cls regClass)) {
+	use := func(r *mreg, cls regClass) {
+		if *r != mnone {
+			fn(r, false, cls)
+		}
+	}
+	def := func(r *mreg, cls regClass) {
+		if *r != mnone {
+			fn(r, true, cls)
+		}
+	}
+	if in.phi != nil {
+		def(&in.rd, rcInt) // class refined by caller via classOf
+		return
+	}
+	switch in.op {
+	case vt.MovRR, vt.Neg, vt.Not, vt.Lea:
+		use(&in.ra, rcInt)
+		def(&in.rd, rcInt)
+	case vt.MovRI:
+		def(&in.rd, rcInt)
+	case vt.FMovRI:
+		def(&in.rd, rcFloat)
+	case vt.FMovRR:
+		use(&in.ra, rcFloat)
+		def(&in.rd, rcFloat)
+	case vt.Add, vt.Sub, vt.Mul, vt.And, vt.Or, vt.Xor, vt.Shl, vt.Shr, vt.Sar,
+		vt.Rotr, vt.SDiv, vt.SRem, vt.UDiv, vt.URem, vt.Crc32:
+		use(&in.ra, rcInt)
+		use(&in.rb, rcInt)
+		def(&in.rd, rcInt)
+	case vt.AddI, vt.SubI, vt.MulI, vt.AndI, vt.OrI, vt.XorI, vt.ShlI, vt.ShrI,
+		vt.SarI, vt.RotrI:
+		use(&in.ra, rcInt)
+		def(&in.rd, rcInt)
+	case vt.MulWideU, vt.MulWideS:
+		use(&in.ra, rcInt)
+		use(&in.rb, rcInt)
+		def(&in.rd, rcInt)
+		def(&in.rc, rcInt)
+	case vt.SetCC:
+		use(&in.ra, rcInt)
+		use(&in.rb, rcInt)
+		def(&in.rd, rcInt)
+	case vt.Load8, vt.Load8S, vt.Load16, vt.Load16S, vt.Load32, vt.Load32S, vt.Load64:
+		use(&in.ra, rcInt)
+		def(&in.rd, rcInt)
+	case vt.Store8, vt.Store16, vt.Store32, vt.Store64:
+		use(&in.ra, rcInt)
+		use(&in.rb, rcInt)
+	case vt.FLoad:
+		use(&in.ra, rcInt)
+		def(&in.rd, rcFloat)
+	case vt.FStore:
+		use(&in.ra, rcInt)
+		use(&in.rb, rcFloat)
+	case vt.FAdd, vt.FSub, vt.FMul, vt.FDiv:
+		use(&in.ra, rcFloat)
+		use(&in.rb, rcFloat)
+		def(&in.rd, rcFloat)
+	case vt.FCmp:
+		use(&in.ra, rcFloat)
+		use(&in.rb, rcFloat)
+		def(&in.rd, rcInt)
+	case vt.CvtSI2F:
+		use(&in.ra, rcInt)
+		def(&in.rd, rcFloat)
+	case vt.CvtF2SI:
+		use(&in.ra, rcFloat)
+		def(&in.rd, rcInt)
+	case vt.MovRF:
+		use(&in.ra, rcFloat)
+		def(&in.rd, rcInt)
+	case vt.MovFR:
+		use(&in.ra, rcInt)
+		def(&in.rd, rcFloat)
+	case vt.BrCC:
+		use(&in.ra, rcInt)
+		use(&in.rb, rcInt)
+	case vt.BrNZ, vt.TrapNZ, vt.CallInd:
+		use(&in.ra, rcInt)
+	}
+}
+
+func (in *minst) String() string {
+	r := func(x mreg) string {
+		switch {
+		case x == mnone:
+			return "_"
+		case isMPreg(x):
+			return fmt.Sprintf("$r%d", mpregNum(x))
+		default:
+			return fmt.Sprintf("%%%d", x)
+		}
+	}
+	if in.phi != nil {
+		s := fmt.Sprintf("%s = PHI", r(in.rd))
+		for i := range in.phi.srcs {
+			s += fmt.Sprintf(" [%s, b%d]", r(in.phi.srcs[i]), in.phi.blocks[i])
+		}
+		return s
+	}
+	return fmt.Sprintf("%s %s, %s, %s, %s imm=%d t=%d", in.op, r(in.rd), r(in.ra), r(in.rb), r(in.rc), in.imm, in.target)
+}

@@ -1,0 +1,330 @@
+// Package codegen translates relational query plans into QIR modules using
+// data-centric code generation: the plan is decomposed into linear pipelines
+// at pipeline breakers (hash-join builds, group-bys, sorts), and each
+// pipeline becomes one main function that loops over its source morsel plus
+// small setup and cleanup functions — the code structure the paper describes
+// for Umbra.
+package codegen
+
+import (
+	"fmt"
+
+	"qcc/internal/plan"
+	"qcc/internal/qir"
+	"qcc/internal/rt"
+)
+
+// SourceKind tells the driver where a pipeline's input rows come from.
+type SourceKind uint8
+
+// Pipeline source kinds.
+const (
+	SrcTable SourceKind = iota
+	SrcGroups
+	SrcVector
+)
+
+// Pipeline is driver metadata for one generated pipeline.
+type Pipeline struct {
+	// SetupFn, MainFn, CleanupFn are function indices in the module;
+	// setup/cleanup take (state ptr), main takes (state ptr, lo, hi).
+	SetupFn, MainFn, CleanupFn int
+	Source                     SourceKind
+	// Table is the source table name for SrcTable pipelines.
+	Table string
+	// SourceOff is the state offset holding the source handle for
+	// SrcGroups/SrcVector pipelines.
+	SourceOff int64
+}
+
+// Compiled is the result of query compilation: a QIR module plus the
+// metadata the execution driver needs.
+type Compiled struct {
+	Module    *qir.Module
+	Pipelines []Pipeline
+	StateSize int64
+	// NumFuncs is the total generated function count (a headline metric
+	// in the paper's benchmark setup).
+	NumFuncs int
+}
+
+// Compiler holds per-query code generation state.
+type Compiler struct {
+	mod   *qir.Module
+	cat   *rt.Catalog
+	name  string
+	out   *Compiled
+	state int64 // next free state offset
+
+	// Current pipeline under construction.
+	main    *qir.Builder
+	setup   *qir.Builder
+	cleanup *qir.Builder
+	pipe    *Pipeline
+	npipes  int
+}
+
+// Compile lowers a validated plan into a QIR module.
+func Compile(name string, root plan.Node, cat *rt.Catalog) (*Compiled, error) {
+	if err := plan.Validate(root); err != nil {
+		return nil, err
+	}
+	c := &Compiler{
+		mod:  qir.NewModule(name),
+		cat:  cat,
+		name: name,
+	}
+	c.out = &Compiled{Module: c.mod}
+	if err := c.produce(root, c.outputSink(root.Schema())); err != nil {
+		return nil, err
+	}
+	c.out.StateSize = c.state
+	if c.out.StateSize == 0 {
+		c.out.StateSize = 8
+	}
+	c.out.NumFuncs = len(c.mod.Funcs)
+	if err := c.mod.VerifyModule(); err != nil {
+		return nil, fmt.Errorf("codegen: generated invalid IR: %w", err)
+	}
+	return c.out, nil
+}
+
+// allocState reserves size bytes (8-aligned) in the query state struct.
+func (c *Compiler) allocState(size int64) int64 {
+	off := c.state
+	c.state += (size + 7) &^ 7
+	return off
+}
+
+// rowCtx is the per-row context handed to consume callbacks: a column
+// accessor positioned at the current tuple and the block to branch to when
+// the tuple is done or rejected.
+type rowCtx struct {
+	b     *qir.Builder
+	col   func(i int) qir.Value
+	latch qir.BlockID
+}
+
+// consumeFn emits sink code for one tuple.
+type consumeFn func(rc *rowCtx) error
+
+// cachedCols wraps a column evaluator with per-row memoization.
+func cachedCols(n int, eval func(i int) qir.Value) func(i int) qir.Value {
+	cache := make([]qir.Value, n)
+	for i := range cache {
+		cache[i] = qir.NoValue
+	}
+	return func(i int) qir.Value {
+		if cache[i] == qir.NoValue {
+			cache[i] = eval(i)
+		}
+		return cache[i]
+	}
+}
+
+// beginPipeline opens the three functions of a new pipeline.
+func (c *Compiler) beginPipeline(kind SourceKind) {
+	id := c.npipes
+	c.npipes++
+	c.out.Pipelines = append(c.out.Pipelines, Pipeline{Source: kind})
+	c.pipe = &c.out.Pipelines[len(c.out.Pipelines)-1]
+	c.pipe.SetupFn = len(c.mod.Funcs)
+	c.setup = qir.NewFunc(c.mod, fmt.Sprintf("%s_p%d_setup", c.name, id), qir.Void, qir.Ptr)
+	c.pipe.MainFn = len(c.mod.Funcs)
+	c.main = qir.NewFunc(c.mod, fmt.Sprintf("%s_p%d_main", c.name, id), qir.Void, qir.Ptr, qir.I64, qir.I64)
+	c.pipe.CleanupFn = len(c.mod.Funcs)
+	c.cleanup = qir.NewFunc(c.mod, fmt.Sprintf("%s_p%d_cleanup", c.name, id), qir.Void, qir.Ptr)
+}
+
+// endPipeline finishes the current pipeline's setup/cleanup functions.
+func (c *Compiler) endPipeline() {
+	c.setup.Ret(qir.NoValue)
+	c.cleanup.Ret(qir.NoValue)
+}
+
+// emitMorselLoop generates for (i = lo; i < hi; i++) { body } in the main
+// function; body code runs with the loop induction value and must branch to
+// latch on all paths (a trailing branch is added if the builder's current
+// block is unterminated).
+func (c *Compiler) emitMorselLoop(body func(i qir.Value, latch qir.BlockID) error) error {
+	b := c.main
+	lo, hi := b.Param(1), b.Param(2)
+	head := b.NewBlock()
+	bodyBlk := b.NewBlock()
+	latch := b.NewBlock()
+	exit := b.NewBlock()
+	pre := b.Block()
+	b.Br(head)
+
+	b.SetBlock(head)
+	i := b.Phi(qir.I64, pre, lo)
+	cond := b.ICmp(qir.CmpSLT, i, hi)
+	b.CondBr(cond, bodyBlk, exit)
+
+	b.SetBlock(bodyBlk)
+	if err := body(i, latch); err != nil {
+		return err
+	}
+	if !b.Terminated() {
+		b.Br(latch)
+	}
+
+	b.SetBlock(latch)
+	one := b.ConstInt(qir.I64, 1)
+	i2 := b.Bin(qir.OpAdd, i, one)
+	b.AddPhiArg(i, latch, i2)
+	b.Br(head)
+
+	b.SetBlock(exit)
+	b.Ret(qir.NoValue)
+	return nil
+}
+
+// loadStateHandle emits a load of the u64 handle stored at state offset off.
+func loadStateHandle(b *qir.Builder, off int64) qir.Value {
+	addr := b.GEP(b.Param(0), off, qir.NoValue, 0)
+	return b.Load(qir.I64, addr)
+}
+
+// storeStateHandle emits a store of a u64 handle to state offset off.
+func storeStateHandle(b *qir.Builder, off int64, v qir.Value) {
+	addr := b.GEP(b.Param(0), off, qir.NoValue, 0)
+	b.Store(addr, v)
+}
+
+// produce generates the pipelines evaluating subtree n; consume emits the
+// sink for each produced tuple.
+func (c *Compiler) produce(n plan.Node, consume consumeFn) error {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return c.produceScan(x, consume)
+	case *plan.Select:
+		return c.produce(x.Input, func(rc *rowCtx) error {
+			pred, err := c.evalExpr(rc, x.Pred)
+			if err != nil {
+				return err
+			}
+			b := rc.b
+			pass := b.NewBlock()
+			b.CondBr(pred, pass, rc.latch)
+			b.SetBlock(pass)
+			return consume(rc)
+		})
+	case *plan.Project:
+		return c.produce(x.Input, func(rc *rowCtx) error {
+			inner := *rc
+			var evalErr error
+			cols := cachedCols(len(x.Exprs), func(i int) qir.Value {
+				v, err := c.evalExpr(&inner, x.Exprs[i])
+				if err != nil {
+					evalErr = err
+					return 0
+				}
+				return v
+			})
+			outer := &rowCtx{b: rc.b, col: cols, latch: rc.latch}
+			if err := consume(outer); err != nil {
+				return err
+			}
+			return evalErr
+		})
+	case *plan.HashJoin:
+		return c.produceHashJoin(x, consume)
+	case *plan.GroupBy:
+		return c.produceGroupBy(x, consume)
+	case *plan.Sort:
+		return c.produceSort(x, consume)
+	case *plan.Limit:
+		off := c.allocState(8)
+		return c.produce(x.Input, func(rc *rowCtx) error {
+			b := rc.b
+			addr := b.GEP(b.Param(0), off, qir.NoValue, 0)
+			cnt := b.Load(qir.I64, addr)
+			lim := b.ConstInt(qir.I64, x.N)
+			ok := b.ICmp(qir.CmpSLT, cnt, lim)
+			pass := b.NewBlock()
+			b.CondBr(ok, pass, rc.latch)
+			b.SetBlock(pass)
+			one := b.ConstInt(qir.I64, 1)
+			b.Store(addr, b.Bin(qir.OpAdd, cnt, one))
+			return consume(rc)
+		})
+	default:
+		return fmt.Errorf("codegen: unsupported plan node %T", n)
+	}
+}
+
+// produceScan opens a table pipeline: the main function loops over rows of
+// the base table in [lo, hi) and loads referenced columns lazily, with
+// column base addresses baked in as constants (JIT-style).
+func (c *Compiler) produceScan(s *plan.Scan, consume consumeFn) error {
+	tbl, err := c.cat.Table(s.Table)
+	if err != nil {
+		return err
+	}
+	if len(tbl.Cols) != len(s.Cols) {
+		return fmt.Errorf("codegen: scan of %s expects %d columns, table has %d",
+			s.Table, len(s.Cols), len(tbl.Cols))
+	}
+	c.beginPipeline(SrcTable)
+	c.pipe.Table = s.Table
+	b := c.main
+	err = c.emitMorselLoop(func(i qir.Value, latch qir.BlockID) error {
+		cols := cachedCols(len(tbl.Cols), func(ci int) qir.Value {
+			col := &tbl.Cols[ci]
+			base := b.ConstInt(qir.Ptr, int64(col.Base))
+			addr := b.GEP(base, 0, i, col.Type.Size())
+			return c.loadTyped(b, col.Type, addr)
+		})
+		rc := &rowCtx{b: b, col: cols, latch: latch}
+		if s.Filter != nil {
+			pred, err := c.evalExpr(rc, s.Filter)
+			if err != nil {
+				return err
+			}
+			pass := b.NewBlock()
+			b.CondBr(pred, pass, latch)
+			b.SetBlock(pass)
+		}
+		return consume(rc)
+	})
+	if err != nil {
+		return err
+	}
+	c.endPipeline()
+	return nil
+}
+
+// loadTyped emits a load of a column value; I128/Str load as their 16-byte
+// value (represented as a single QIR value of that type via OpLoad).
+func (c *Compiler) loadTyped(b *qir.Builder, t qir.Type, addr qir.Value) qir.Value {
+	return b.Load(t, addr)
+}
+
+// outputSink emits the result materialization calls.
+func (c *Compiler) outputSink(schema []plan.ColInfo) consumeFn {
+	return func(rc *rowCtx) error {
+		b := rc.b
+		b.Call(qir.Void, rt.FnOutBegin)
+		for i, col := range schema {
+			v := rc.col(i)
+			switch col.Type {
+			case qir.I1, qir.I8, qir.I16, qir.I32:
+				v = b.Convert(qir.OpSExt, qir.I64, v)
+				b.Call(qir.Void, rt.FnOutI64, v)
+			case qir.I64:
+				b.Call(qir.Void, rt.FnOutI64, v)
+			case qir.I128:
+				b.Call(qir.Void, rt.FnOutI128, v)
+			case qir.F64:
+				b.Call(qir.Void, rt.FnOutF64, b.Convert(qir.OpFBits, qir.I64, v))
+			case qir.Str:
+				b.Call(qir.Void, rt.FnOutStr, v)
+			default:
+				return fmt.Errorf("codegen: cannot output %s column", col.Type)
+			}
+		}
+		b.Call(qir.Void, rt.FnOutRow)
+		return nil
+	}
+}

@@ -1,0 +1,281 @@
+// Package plan defines relational query plans: scalar expressions, operator
+// trees, and the decomposition of an operator tree into linear pipelines for
+// data-centric code generation, as described in the paper's background
+// section.
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"qcc/internal/qir"
+	"qcc/internal/rt"
+)
+
+// Expr is a scalar expression evaluated per tuple. Expressions are typed at
+// construction time.
+type Expr interface {
+	Type() qir.Type
+	String() string
+}
+
+// Col references the i-th column of the operator's input schema.
+type Col struct {
+	Idx int
+	Ty  qir.Type
+	// Name is informational (set by the binder).
+	Name string
+}
+
+// Type implements Expr.
+func (c *Col) Type() qir.Type { return c.Ty }
+
+func (c *Col) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("#%d", c.Idx)
+}
+
+// ConstInt is an integer literal of a specific width.
+type ConstInt struct {
+	Ty qir.Type
+	V  int64
+}
+
+// Type implements Expr.
+func (c *ConstInt) Type() qir.Type { return c.Ty }
+func (c *ConstInt) String() string { return fmt.Sprintf("%d", c.V) }
+
+// ConstDec is a 128-bit decimal literal.
+type ConstDec struct{ V rt.I128 }
+
+// Type implements Expr.
+func (c *ConstDec) Type() qir.Type { return qir.I128 }
+func (c *ConstDec) String() string { return c.V.DecString() }
+
+// ConstFloat is a float literal.
+type ConstFloat struct{ V float64 }
+
+// Type implements Expr.
+func (c *ConstFloat) Type() qir.Type { return qir.F64 }
+func (c *ConstFloat) String() string { return fmt.Sprintf("%g", c.V) }
+
+// ConstStr is a string literal.
+type ConstStr struct{ V string }
+
+// Type implements Expr.
+func (c *ConstStr) Type() qir.Type { return qir.Str }
+func (c *ConstStr) String() string { return fmt.Sprintf("%q", c.V) }
+
+// ArithOp is a binary arithmetic operator.
+type ArithOp uint8
+
+// Arithmetic operators. On user data they check for overflow (SQL
+// semantics); Div on decimals uses the 128-bit division helper.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+var arithNames = [...]string{"+", "-", "*", "/", "%"}
+
+// Arith is a binary arithmetic expression; both operands must have the
+// expression's type.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Type implements Expr.
+func (a *Arith) Type() qir.Type { return a.L.Type() }
+func (a *Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, arithNames[a.Op], a.R)
+}
+
+// NewArith builds an arithmetic node, checking operand types.
+func NewArith(op ArithOp, l, r Expr) (*Arith, error) {
+	lt, rty := l.Type(), r.Type()
+	if lt != rty {
+		return nil, fmt.Errorf("plan: arithmetic on %s and %s", lt, rty)
+	}
+	if !lt.IsInt() && lt != qir.F64 {
+		return nil, fmt.Errorf("plan: arithmetic on %s", lt)
+	}
+	return &Arith{Op: op, L: l, R: r}, nil
+}
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators; ordered comparisons on integers are signed.
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+var cmpOpNames = [...]string{"=", "<>", "<", "<=", ">", ">="}
+
+// QIR maps the operator to a signed qir predicate.
+func (c CmpOp) QIR() qir.Cmp {
+	switch c {
+	case CmpEQ:
+		return qir.CmpEQ
+	case CmpNE:
+		return qir.CmpNE
+	case CmpLT:
+		return qir.CmpSLT
+	case CmpLE:
+		return qir.CmpSLE
+	case CmpGT:
+		return qir.CmpSGT
+	case CmpGE:
+		return qir.CmpSGE
+	}
+	panic("plan: bad cmp op")
+}
+
+// Cmp compares two values of the same type, yielding a boolean.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Type implements Expr.
+func (c *Cmp) Type() qir.Type { return qir.I1 }
+func (c *Cmp) String() string {
+	return fmt.Sprintf("(%s %s %s)", c.L, cmpOpNames[c.Op], c.R)
+}
+
+// NewCmp builds a comparison, checking operand types.
+func NewCmp(op CmpOp, l, r Expr) (*Cmp, error) {
+	if l.Type() != r.Type() {
+		return nil, fmt.Errorf("plan: comparison of %s and %s", l.Type(), r.Type())
+	}
+	return &Cmp{Op: op, L: l, R: r}, nil
+}
+
+// LogicOp is a boolean connective.
+type LogicOp uint8
+
+// Boolean connectives.
+const (
+	OpAnd LogicOp = iota
+	OpOr
+)
+
+// Logic combines boolean expressions.
+type Logic struct {
+	Op   LogicOp
+	L, R Expr
+}
+
+// Type implements Expr.
+func (l *Logic) Type() qir.Type { return qir.I1 }
+func (l *Logic) String() string {
+	op := "and"
+	if l.Op == OpOr {
+		op = "or"
+	}
+	return fmt.Sprintf("(%s %s %s)", l.L, op, l.R)
+}
+
+// Not negates a boolean.
+type Not struct{ E Expr }
+
+// Type implements Expr.
+func (n *Not) Type() qir.Type { return qir.I1 }
+func (n *Not) String() string { return fmt.Sprintf("(not %s)", n.E) }
+
+// Like matches a string expression against a constant SQL LIKE pattern.
+type Like struct {
+	E       Expr
+	Pattern string
+}
+
+// Type implements Expr.
+func (l *Like) Type() qir.Type { return qir.I1 }
+func (l *Like) String() string { return fmt.Sprintf("(%s like %q)", l.E, l.Pattern) }
+
+// Between is lo <= E <= hi, a very common TPC predicate shape.
+type Between struct {
+	E, Lo, Hi Expr
+}
+
+// Type implements Expr.
+func (b *Between) Type() qir.Type { return qir.I1 }
+func (b *Between) String() string {
+	return fmt.Sprintf("(%s between %s and %s)", b.E, b.Lo, b.Hi)
+}
+
+// Case is a simple conditional: if Cond then Then else Else.
+type Case struct {
+	Cond, Then, Else Expr
+}
+
+// Type implements Expr.
+func (c *Case) Type() qir.Type { return c.Then.Type() }
+func (c *Case) String() string {
+	return fmt.Sprintf("(case when %s then %s else %s)", c.Cond, c.Then, c.Else)
+}
+
+// Cast converts between integer widths (and to/from decimals).
+type Cast struct {
+	E  Expr
+	To qir.Type
+}
+
+// Type implements Expr.
+func (c *Cast) Type() qir.Type { return c.To }
+func (c *Cast) String() string { return fmt.Sprintf("cast(%s as %s)", c.E, c.To) }
+
+// Walk calls fn for e and every sub-expression.
+func Walk(e Expr, fn func(Expr)) {
+	fn(e)
+	switch x := e.(type) {
+	case *Arith:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *Cmp:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *Logic:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *Not:
+		Walk(x.E, fn)
+	case *Like:
+		Walk(x.E, fn)
+	case *Between:
+		Walk(x.E, fn)
+		Walk(x.Lo, fn)
+		Walk(x.Hi, fn)
+	case *Case:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		Walk(x.Else, fn)
+	case *Cast:
+		Walk(x.E, fn)
+	}
+}
+
+// Dec builds a decimal constant from an integer value scaled by 10^scale,
+// e.g. Dec(150, 2) is 1.50 at scale 2.
+func Dec(unscaled int64, _ int) *ConstDec {
+	return &ConstDec{V: rt.I128FromInt64(unscaled)}
+}
+
+// F is a shorthand float constant.
+func F(v float64) *ConstFloat {
+	if math.IsNaN(v) {
+		panic("plan: NaN constant")
+	}
+	return &ConstFloat{V: v}
+}

@@ -1,0 +1,131 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"qcc/internal/qir"
+	"qcc/internal/rt"
+)
+
+func schema() []ColInfo {
+	return []ColInfo{
+		{Name: "a", Type: qir.I64},
+		{Name: "b", Type: qir.I32},
+		{Name: "s", Type: qir.Str},
+		{Name: "d", Type: qir.I128},
+	}
+}
+
+func scan() *Scan { return &Scan{Table: "t", Cols: schema()} }
+
+func TestValidateOK(t *testing.T) {
+	pred, err := NewCmp(CmpGT, &Col{Idx: 1, Ty: qir.I32}, &ConstInt{Ty: qir.I32, V: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &Sort{
+		Input: &GroupBy{
+			Input: &Select{Input: scan(), Pred: pred},
+			Keys:  []Expr{&Col{Idx: 2, Ty: qir.Str}},
+			Aggs:  []AggExpr{{Fn: AggCount}, {Fn: AggSum, Arg: &Col{Idx: 3, Ty: qir.I128}}},
+		},
+		Keys: []SortKey{{E: &Col{Idx: 1, Ty: qir.I64}, Desc: true}},
+	}
+	if err := Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Dump(n), "groupby") {
+		t.Error("dump missing operator")
+	}
+}
+
+func TestValidateCatchesBadColumn(t *testing.T) {
+	cases := []Node{
+		&Select{Input: scan(), Pred: &Cmp{Op: CmpEQ, L: &Col{Idx: 9, Ty: qir.I64}, R: &ConstInt{Ty: qir.I64}}},
+		&Select{Input: scan(), Pred: &Cmp{Op: CmpEQ, L: &Col{Idx: 0, Ty: qir.I32}, R: &ConstInt{Ty: qir.I32}}},
+		&Select{Input: scan(), Pred: &ConstInt{Ty: qir.I64, V: 1}}, // non-boolean predicate
+		&HashJoin{Build: scan(), Probe: scan(),
+			BuildKeys: []Expr{&Col{Idx: 0, Ty: qir.I64}},
+			ProbeKeys: []Expr{&Col{Idx: 1, Ty: qir.I32}}}, // key type mismatch
+		&HashJoin{Build: scan(), Probe: scan()}, // no keys
+		&Limit{Input: scan(), N: -1},
+		&Scan{Table: "empty"},
+	}
+	for i, n := range cases {
+		if err := Validate(n); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestNewArithTypeChecks(t *testing.T) {
+	if _, err := NewArith(OpAdd, &Col{Idx: 0, Ty: qir.I64}, &Col{Idx: 1, Ty: qir.I32}); err == nil {
+		t.Error("mixed-width arithmetic accepted")
+	}
+	if _, err := NewArith(OpAdd, &Col{Idx: 2, Ty: qir.Str}, &Col{Idx: 2, Ty: qir.Str}); err == nil {
+		t.Error("string arithmetic accepted")
+	}
+	if _, err := NewCmp(CmpLT, &Col{Idx: 0, Ty: qir.I64}, &Col{Idx: 2, Ty: qir.Str}); err == nil {
+		t.Error("cross-type comparison accepted")
+	}
+}
+
+func TestAggTypeWidening(t *testing.T) {
+	sum32 := AggExpr{Fn: AggSum, Arg: &Col{Idx: 1, Ty: qir.I32}}
+	if sum32.Type() != qir.I64 {
+		t.Errorf("sum(i32) type = %s, want i64", sum32.Type())
+	}
+	sumDec := AggExpr{Fn: AggSum, Arg: &Col{Idx: 3, Ty: qir.I128}}
+	if sumDec.Type() != qir.I128 {
+		t.Errorf("sum(i128) type = %s", sumDec.Type())
+	}
+	cnt := AggExpr{Fn: AggCount}
+	if cnt.Type() != qir.I64 {
+		t.Errorf("count type = %s", cnt.Type())
+	}
+	mn := AggExpr{Fn: AggMin, Arg: &Col{Idx: 1, Ty: qir.I32}}
+	if mn.Type() != qir.I32 {
+		t.Errorf("min(i32) type = %s", mn.Type())
+	}
+}
+
+func TestSchemas(t *testing.T) {
+	j := &HashJoin{
+		Build:     scan(),
+		Probe:     scan(),
+		BuildKeys: []Expr{&Col{Idx: 0, Ty: qir.I64}},
+		ProbeKeys: []Expr{&Col{Idx: 0, Ty: qir.I64}},
+	}
+	if len(j.Schema()) != 8 {
+		t.Errorf("join schema = %d cols", len(j.Schema()))
+	}
+	g := &GroupBy{Input: scan(), Keys: []Expr{&Col{Idx: 2, Ty: qir.Str}},
+		Aggs: []AggExpr{{Fn: AggCount, Name: "n"}}}
+	sch := g.Schema()
+	if len(sch) != 2 || sch[1].Name != "n" || sch[0].Type != qir.Str {
+		t.Errorf("groupby schema = %+v", sch)
+	}
+	p := &Project{Input: scan(), Exprs: []Expr{&Col{Idx: 0, Ty: qir.I64}}, Names: []string{"x"}}
+	if p.Schema()[0].Name != "x" {
+		t.Error("project name lost")
+	}
+}
+
+func TestWalkAndStrings(t *testing.T) {
+	e := &Logic{Op: OpAnd,
+		L: &Between{E: &Col{Idx: 0, Ty: qir.I64}, Lo: &ConstInt{Ty: qir.I64}, Hi: &ConstInt{Ty: qir.I64, V: 9}},
+		R: &Not{E: &Like{E: &Col{Idx: 2, Ty: qir.Str}, Pattern: "x%"}},
+	}
+	count := 0
+	Walk(e, func(Expr) { count++ })
+	if count < 7 {
+		t.Errorf("walk visited %d nodes", count)
+	}
+	if e.String() == "" || e.Type() != qir.I1 {
+		t.Error("expr stringer/type broken")
+	}
+	_ = Dec(150, 2)
+	_ = F(1.5)
+	_ = rt.I128{}
+}

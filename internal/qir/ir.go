@@ -1,0 +1,441 @@
+// Package qir implements the SSA intermediate representation that the query
+// compiler generates and all execution back-ends consume — the analog of
+// Umbra IR in the paper.
+//
+// The representation is optimized for fast generation and linear traversal:
+// instructions are fixed-size values stored in one flat slice per function,
+// values are identified by instruction index, and variable-length operand
+// lists (calls, phis) live in a shared side array. Types cover the needs of
+// query compilation: scalar integers up to 128 bits (SQL decimals), 64-bit
+// floats, pointers, and 16-byte by-value strings.
+package qir
+
+import "fmt"
+
+// Type is a value type.
+type Type uint8
+
+// Value types. Str is the 16-byte string/data structure passed by value
+// (length + prefix + pointer with small-buffer optimization); I128 backs SQL
+// decimals.
+const (
+	Void Type = iota
+	I1
+	I8
+	I16
+	I32
+	I64
+	I128
+	F64
+	Ptr
+	Str
+	NumTypes
+)
+
+var typeNames = [NumTypes]string{"void", "i1", "i8", "i16", "i32", "i64", "i128", "f64", "ptr", "str"}
+
+func (t Type) String() string {
+	if t < NumTypes {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Size returns the in-memory size of the type in bytes.
+func (t Type) Size() int64 {
+	switch t {
+	case Void:
+		return 0
+	case I1, I8:
+		return 1
+	case I16:
+		return 2
+	case I32:
+		return 4
+	case I64, F64, Ptr:
+		return 8
+	case I128, Str:
+		return 16
+	}
+	panic("qir: bad type")
+}
+
+// IsInt reports whether the type is a scalar integer (including I1).
+func (t Type) IsInt() bool { return t >= I1 && t <= I128 }
+
+// Is128 reports whether values of the type occupy two 64-bit registers.
+func (t Type) Is128() bool { return t == I128 || t == Str }
+
+// Cmp is an integer or float comparison predicate. The numeric values match
+// vt.Cond so back-ends can convert by casting.
+type Cmp uint8
+
+// Comparison predicates.
+const (
+	CmpEQ Cmp = iota
+	CmpNE
+	CmpSLT
+	CmpSLE
+	CmpSGT
+	CmpSGE
+	CmpULT
+	CmpULE
+	CmpUGT
+	CmpUGE
+	NumCmps
+)
+
+var cmpNames = [NumCmps]string{"eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge"}
+
+func (c Cmp) String() string {
+	if c < NumCmps {
+		return cmpNames[c]
+	}
+	return fmt.Sprintf("cmp(%d)", uint8(c))
+}
+
+// Op is a QIR operation.
+type Op uint8
+
+// Operations. Operand conventions are documented per group; see Instr.
+const (
+	OpInvalid Op = iota
+
+	// OpParam declares function parameter Aux at the top of the entry
+	// block; its value id is the parameter's SSA value.
+	OpParam
+
+	// Constants. OpConst: Imm is the value (sign-extended for the type).
+	// OpConst128: Imm indexes the function's I128 pool (lo/hi pair).
+	// OpConstStr: Imm indexes the module string pool. OpConstF: Imm is
+	// the float64 bit pattern. OpNull: the null pointer. OpFuncAddr:
+	// Aux is the index of a function in the same module; the value is
+	// its code address after compilation (used for callbacks).
+	OpConst
+	OpConst128
+	OpConstStr
+	OpConstF
+	OpNull
+	OpFuncAddr
+
+	// Integer arithmetic: A op B, result Type. Division traps on zero.
+	OpAdd
+	OpSub
+	OpMul
+	OpSDiv
+	OpSRem
+	OpUDiv
+	OpURem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpSar
+	OpRotr
+	OpNeg
+	OpNot
+
+	// Overflow-checked signed arithmetic on user data (SQL semantics):
+	// the operation traps instead of wrapping.
+	OpSAddTrap
+	OpSSubTrap
+	OpSMulTrap
+
+	// OpICmp: A Cmp B with the predicate in Aux; result I1.
+	OpICmp
+
+	// Width conversions between integer types; target width is the
+	// instruction Type.
+	OpZExt
+	OpSExt
+	OpTrunc
+
+	// Floating point.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFCmp   // predicate in Aux, result I1
+	OpSIToFP // A: int -> F64
+	OpFPToSI // A: F64 -> int (instruction Type)
+	OpFBits  // bitcast F64 -> I64
+	OpBitsF  // bitcast I64 -> F64
+
+	// Special operations from Umbra IR.
+	OpCrc32    // crc32(A seed i64, B data i64) -> i64
+	OpLMulFold // (A*B as u128).lo ^ .hi -> i64 (hash fallback)
+
+	// OpGEP: address A + Imm + B*Aux (B may be NoValue; Aux is the
+	// scale). Result Ptr.
+	OpGEP
+
+	// Memory. OpLoad: *A with result Type. OpStore: *A = B (B's type
+	// decides the width). OpAtomicAdd: atomic *A += B, returns old value.
+	OpLoad
+	OpStore
+	OpAtomicAdd
+
+	// OpSelect: A ? B : C.
+	OpSelect
+
+	// OpCall calls runtime function Aux with arguments
+	// Extra[A : A+B]. Result is the instruction Type (Void for none).
+	OpCall
+
+	// OpPhi merges values at a block head: Extra[A : A+2*B] holds
+	// (pred-block, value) pairs.
+	OpPhi
+
+	// Terminators. OpBr: unconditional to block Aux. OpCondBr: if A then
+	// block Aux else block B2 (stored in B as a block id). OpRet:
+	// return A (NoValue for void). OpUnreachable traps.
+	OpBr
+	OpCondBr
+	OpRet
+	OpUnreachable
+
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	OpParam: "param", OpConst: "const", OpConst128: "const128",
+	OpConstStr: "conststr", OpConstF: "constf", OpNull: "null",
+	OpFuncAddr: "funcaddr",
+	OpAdd:      "add", OpSub: "sub", OpMul: "mul", OpSDiv: "sdiv", OpSRem: "srem",
+	OpUDiv: "udiv", OpURem: "urem", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr", OpSar: "sar", OpRotr: "rotr",
+	OpNeg: "neg", OpNot: "not",
+	OpSAddTrap: "saddtrap", OpSSubTrap: "ssubtrap", OpSMulTrap: "smultrap",
+	OpICmp: "icmp", OpZExt: "zext", OpSExt: "sext", OpTrunc: "trunc",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFCmp: "fcmp", OpSIToFP: "sitofp", OpFPToSI: "fptosi",
+	OpFBits: "fbits", OpBitsF: "bitsf",
+	OpCrc32: "crc32", OpLMulFold: "lmulfold",
+	OpGEP: "getelementptr", OpLoad: "load", OpStore: "store",
+	OpAtomicAdd: "atomicadd", OpSelect: "select", OpCall: "call",
+	OpPhi: "phi", OpBr: "br", OpCondBr: "condbr", OpRet: "return",
+	OpUnreachable: "unreachable",
+}
+
+func (o Op) String() string {
+	if o < NumOps && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsTerminator reports whether the operation ends a basic block.
+func (o Op) IsTerminator() bool {
+	switch o {
+	case OpBr, OpCondBr, OpRet, OpUnreachable:
+		return true
+	}
+	return false
+}
+
+// IsConst reports whether the operation produces a constant.
+func (o Op) IsConst() bool {
+	switch o {
+	case OpConst, OpConst128, OpConstStr, OpConstF, OpNull, OpFuncAddr:
+		return true
+	}
+	return false
+}
+
+// HasSideEffects reports whether the operation must not be eliminated or
+// reordered across other side-effecting operations.
+func (o Op) HasSideEffects() bool {
+	switch o {
+	case OpStore, OpAtomicAdd, OpCall, OpBr, OpCondBr, OpRet, OpUnreachable,
+		OpSAddTrap, OpSSubTrap, OpSMulTrap, OpSDiv, OpSRem, OpUDiv, OpURem:
+		return true
+	}
+	return false
+}
+
+// Value identifies an SSA value: the index of the defining instruction in
+// Func.Instrs. NoValue marks absent operands.
+type Value = int32
+
+// NoValue is the absent-operand sentinel.
+const NoValue Value = -1
+
+// Block identifies a basic block by index into Func.Blocks.
+type BlockID = int32
+
+// Instr is one fixed-size IR instruction.
+type Instr struct {
+	Op   Op
+	Type Type
+	// A, B, C are value operands; for OpCondBr B holds the false-successor
+	// block id, for OpPhi and OpCall A/B index the Extra pool.
+	A, B, C Value
+	// Imm holds immediates, GEP offsets and pool indices.
+	Imm int64
+	// Aux holds comparison predicates, callee ids, GEP scales, and
+	// branch-target block ids.
+	Aux uint32
+}
+
+// Cmp returns the comparison predicate of an OpICmp/OpFCmp instruction.
+func (i *Instr) Cmp() Cmp { return Cmp(i.Aux) }
+
+// BasicBlock is a list of instruction ids. The last instruction is the
+// terminator; OpPhi instructions must be a prefix of the list.
+type BasicBlock struct {
+	List  []Value
+	Preds []BlockID
+}
+
+// Terminator returns the block's final instruction id.
+func (b *BasicBlock) Terminator() Value {
+	if len(b.List) == 0 {
+		return NoValue
+	}
+	return b.List[len(b.List)-1]
+}
+
+// Func is one IR function.
+type Func struct {
+	Name   string
+	Params []Type
+	Ret    Type
+
+	Instrs []Instr
+	Blocks []BasicBlock
+	// Extra holds variable-length operand lists (call args, phi pairs).
+	Extra []int32
+	// I128 holds lo/hi pairs for OpConst128.
+	I128 []uint64
+
+	mod *Module
+}
+
+// Module groups the functions compiled together (one query pipeline in the
+// database setting), plus shared constant pools.
+type Module struct {
+	Name  string
+	Funcs []*Func
+	// Strings is the string constant pool referenced by OpConstStr.
+	Strings []string
+	// RTNames maps runtime-callee ids used in OpCall to names, for
+	// printing and for binding at execution time.
+	RTNames []string
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name}
+}
+
+// RTImport interns a runtime function name and returns its callee id.
+func (m *Module) RTImport(name string) uint32 {
+	for i, n := range m.RTNames {
+		if n == name {
+			return uint32(i)
+		}
+	}
+	m.RTNames = append(m.RTNames, name)
+	return uint32(len(m.RTNames) - 1)
+}
+
+// InternString interns a string constant and returns its pool index.
+func (m *Module) InternString(s string) int64 {
+	for i, v := range m.Strings {
+		if v == s {
+			return int64(i)
+		}
+	}
+	m.Strings = append(m.Strings, s)
+	return int64(len(m.Strings) - 1)
+}
+
+// Module returns the module a function belongs to.
+func (f *Func) Module() *Module { return f.mod }
+
+// NumInstrs returns the instruction count (including params and phis).
+func (f *Func) NumInstrs() int { return len(f.Instrs) }
+
+// ValueType returns the type of an SSA value.
+func (f *Func) ValueType(v Value) Type {
+	if v == NoValue {
+		return Void
+	}
+	return f.Instrs[v].Type
+}
+
+// Const128 returns the lo/hi halves of an OpConst128 instruction.
+func (f *Func) Const128(v Value) (lo, hi uint64) {
+	idx := f.Instrs[v].Imm
+	return f.I128[2*idx], f.I128[2*idx+1]
+}
+
+// CallArgs returns the argument values of an OpCall instruction.
+func (f *Func) CallArgs(v Value) []Value {
+	in := &f.Instrs[v]
+	return f.Extra[in.A : in.A+in.B]
+}
+
+// PhiPairs returns the (pred, value) pairs of an OpPhi instruction as a flat
+// slice of 2*n entries.
+func (f *Func) PhiPairs(v Value) []int32 {
+	in := &f.Instrs[v]
+	return f.Extra[in.A : in.A+2*in.B]
+}
+
+// Succs appends the successor block ids of block b to dst and returns it.
+func (f *Func) Succs(b BlockID, dst []BlockID) []BlockID {
+	t := f.Blocks[b].Terminator()
+	if t == NoValue {
+		return dst
+	}
+	in := &f.Instrs[t]
+	switch in.Op {
+	case OpBr:
+		return append(dst, BlockID(in.Aux))
+	case OpCondBr:
+		return append(dst, BlockID(in.Aux), in.B)
+	}
+	return dst
+}
+
+// Operands appends the value operands of instruction v to dst and returns
+// it. Block references and pool indices are not included.
+func (f *Func) Operands(v Value, dst []Value) []Value {
+	in := &f.Instrs[v]
+	switch in.Op {
+	case OpParam, OpConst, OpConst128, OpConstStr, OpConstF, OpNull, OpFuncAddr,
+		OpBr, OpUnreachable:
+		return dst
+	case OpPhi:
+		pairs := f.PhiPairs(v)
+		for i := 1; i < len(pairs); i += 2 {
+			dst = append(dst, pairs[i])
+		}
+		return dst
+	case OpCall:
+		return append(dst, f.CallArgs(v)...)
+	case OpCondBr:
+		return append(dst, in.A)
+	case OpRet:
+		if in.A != NoValue {
+			dst = append(dst, in.A)
+		}
+		return dst
+	case OpGEP:
+		dst = append(dst, in.A)
+		if in.B != NoValue {
+			dst = append(dst, in.B)
+		}
+		return dst
+	case OpSelect:
+		return append(dst, in.A, in.B, in.C)
+	case OpNeg, OpNot, OpZExt, OpSExt, OpTrunc, OpSIToFP, OpFPToSI,
+		OpFBits, OpBitsF, OpLoad:
+		return append(dst, in.A)
+	default:
+		// Binary operations.
+		return append(dst, in.A, in.B)
+	}
+}

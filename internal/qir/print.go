@@ -1,0 +1,125 @@
+package qir
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// String renders the function in an Umbra-IR-like textual form, for
+// debugging and golden tests.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "define %s @%s(", f.Ret, f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %%%d", p, i)
+	}
+	sb.WriteString(") {\n")
+	for b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:", b)
+		if len(f.Blocks[b].Preds) > 0 {
+			sb.WriteString(" ;preds=")
+			for i, p := range f.Blocks[b].Preds {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "b%d", p)
+			}
+		}
+		sb.WriteByte('\n')
+		for _, v := range f.Blocks[b].List {
+			sb.WriteString("  ")
+			sb.WriteString(f.instrString(v))
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func (f *Func) instrString(v Value) string {
+	in := &f.Instrs[v]
+	val := func(x Value) string {
+		if x == NoValue {
+			return "_"
+		}
+		return fmt.Sprintf("%%%d", x)
+	}
+	res := ""
+	if in.Type != Void {
+		res = fmt.Sprintf("%%%d = ", v)
+	}
+	switch in.Op {
+	case OpParam:
+		return fmt.Sprintf("%s%s param %d", res, in.Type, in.Aux)
+	case OpConst:
+		return fmt.Sprintf("%sconst %s %d", res, in.Type, in.Imm)
+	case OpConst128:
+		lo, hi := f.Const128(v)
+		return fmt.Sprintf("%sconst128 %#x:%#x", res, hi, lo)
+	case OpConstStr:
+		return fmt.Sprintf("%sconststr %q", res, f.mod.Strings[in.Imm])
+	case OpConstF:
+		return fmt.Sprintf("%sconstf %g", res, math.Float64frombits(uint64(in.Imm)))
+	case OpNull:
+		return res + "null"
+	case OpFuncAddr:
+		return fmt.Sprintf("%sfuncaddr @%s", res, f.mod.Funcs[in.Aux].Name)
+	case OpICmp, OpFCmp:
+		return fmt.Sprintf("%s%s %s %s %s, %s", res, in.Op, in.Cmp(), f.ValueType(in.A), val(in.A), val(in.B))
+	case OpGEP:
+		if in.B == NoValue {
+			return fmt.Sprintf("%sgetelementptr %s, %d", res, val(in.A), in.Imm)
+		}
+		return fmt.Sprintf("%sgetelementptr %s, %d + %s*%d", res, val(in.A), in.Imm, val(in.B), in.Aux)
+	case OpLoad:
+		return fmt.Sprintf("%sload %s %s", res, in.Type, val(in.A))
+	case OpStore:
+		return fmt.Sprintf("store %s %s, %s", f.ValueType(in.B), val(in.A), val(in.B))
+	case OpCall:
+		args := f.CallArgs(v)
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = val(a)
+		}
+		return fmt.Sprintf("%scall %s @%s(%s)", res, in.Type, f.mod.RTNames[in.Aux], strings.Join(parts, ", "))
+	case OpPhi:
+		pairs := f.PhiPairs(v)
+		var parts []string
+		for i := 0; i < len(pairs); i += 2 {
+			parts = append(parts, fmt.Sprintf("[b%d: %s]", pairs[i], val(pairs[i+1])))
+		}
+		return fmt.Sprintf("%sphi %s %s", res, in.Type, strings.Join(parts, " "))
+	case OpBr:
+		return fmt.Sprintf("br b%d", in.Aux)
+	case OpCondBr:
+		return fmt.Sprintf("condbr %s b%d b%d", val(in.A), in.Aux, in.B)
+	case OpRet:
+		if in.A == NoValue {
+			return "return"
+		}
+		return fmt.Sprintf("return %s", val(in.A))
+	case OpUnreachable:
+		return "unreachable"
+	case OpSelect:
+		return fmt.Sprintf("%sselect %s, %s, %s", res, val(in.A), val(in.B), val(in.C))
+	case OpZExt, OpSExt, OpTrunc, OpSIToFP, OpFPToSI, OpFBits, OpBitsF, OpNeg, OpNot:
+		return fmt.Sprintf("%s%s %s %s", res, in.Op, in.Type, val(in.A))
+	default:
+		return fmt.Sprintf("%s%s %s %s, %s", res, in.Op, in.Type, val(in.A), val(in.B))
+	}
+}
+
+// String renders the whole module.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

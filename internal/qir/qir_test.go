@@ -1,0 +1,328 @@
+package qir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildLoopFunc builds: sum = 0; for i in 0..n { sum += i }; return sum.
+func buildLoopFunc(t *testing.T) *Func {
+	t.Helper()
+	m := NewModule("test")
+	b := NewFunc(m, "sum", I64, I64)
+	n := b.Param(0)
+	head := b.NewBlock()
+	body := b.NewBlock()
+	exit := b.NewBlock()
+	zero := b.ConstInt(I64, 0)
+	one := b.ConstInt(I64, 1)
+	b.Br(head)
+
+	b.SetBlock(head)
+	i := b.Phi(I64, 0, zero)
+	sum := b.Phi(I64, 0, zero)
+	cond := b.ICmp(CmpSLT, i, n)
+	b.CondBr(cond, body, exit)
+
+	b.SetBlock(body)
+	sum2 := b.Bin(OpAdd, sum, i)
+	i2 := b.Bin(OpAdd, i, one)
+	b.AddPhiArg(i, body, i2)
+	b.AddPhiArg(sum, body, sum2)
+	b.Br(head)
+
+	b.SetBlock(exit)
+	b.Ret(sum)
+
+	if err := b.Func().Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return b.Func()
+}
+
+func TestBuilderAndVerify(t *testing.T) {
+	f := buildLoopFunc(t)
+	if f.NumInstrs() == 0 {
+		t.Fatal("no instructions")
+	}
+	s := f.String()
+	for _, want := range []string{"define i64 @sum", "phi", "condbr", "return"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printer output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestVerifyCatchesUseBeforeDef(t *testing.T) {
+	m := NewModule("bad")
+	b := NewFunc(m, "f", I64, I64)
+	// Manually append an instruction that uses a not-yet-defined value.
+	f := b.Func()
+	f.Instrs = append(f.Instrs, Instr{Op: OpAdd, Type: I64, A: 5, B: 5, C: NoValue})
+	f.Blocks[0].List = append(f.Blocks[0].List, 1)
+	f.Instrs = append(f.Instrs, Instr{Op: OpRet, Type: Void, A: 1, B: NoValue, C: NoValue})
+	f.Blocks[0].List = append(f.Blocks[0].List, 2)
+	if err := f.Verify(); err == nil {
+		t.Error("expected use-before-def error")
+	}
+}
+
+func TestVerifyCatchesTypeMismatch(t *testing.T) {
+	m := NewModule("bad")
+	b := NewFunc(m, "f", I64, I32, I64)
+	f := b.Func()
+	f.Instrs = append(f.Instrs, Instr{Op: OpAdd, Type: I64, A: 0, B: 1, C: NoValue})
+	f.Blocks[0].List = append(f.Blocks[0].List, 2)
+	f.Instrs = append(f.Instrs, Instr{Op: OpRet, Type: Void, A: 2, B: NoValue, C: NoValue})
+	f.Blocks[0].List = append(f.Blocks[0].List, 3)
+	if err := f.Verify(); err == nil {
+		t.Error("expected type mismatch error")
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m := NewModule("bad")
+	b := NewFunc(m, "f", Void)
+	f := b.Func()
+	f.Instrs = append(f.Instrs, Instr{Op: OpConst, Type: I64, A: NoValue, B: NoValue, C: NoValue})
+	f.Blocks[0].List = append(f.Blocks[0].List, 0)
+	if err := f.Verify(); err == nil {
+		t.Error("expected missing terminator error")
+	}
+}
+
+func TestVerifyCatchesPhiPredMismatch(t *testing.T) {
+	m := NewModule("bad")
+	b := NewFunc(m, "f", I64, I64)
+	next := b.NewBlock()
+	c := b.ConstInt(I64, 1)
+	b.Br(next)
+	b.SetBlock(next)
+	// Phi with two pairs but only one predecessor.
+	b.Phi(I64, 0, c, 0, c)
+	b.Ret(c)
+	if err := b.Func().Verify(); err == nil {
+		t.Error("expected phi pred mismatch error")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	f := buildLoopFunc(t)
+	dom := f.Dominators()
+	// entry (0) dominates everything; head (1) dominates body (2) and exit (3).
+	for b := BlockID(0); b < BlockID(len(f.Blocks)); b++ {
+		if !dom.Dominates(0, b) {
+			t.Errorf("entry should dominate b%d", b)
+		}
+	}
+	if !dom.Dominates(1, 2) || !dom.Dominates(1, 3) {
+		t.Error("loop head should dominate body and exit")
+	}
+	if dom.Dominates(2, 3) {
+		t.Error("body should not dominate exit")
+	}
+	if dom.Dominates(2, 1) {
+		t.Error("body should not dominate head")
+	}
+}
+
+func TestLoops(t *testing.T) {
+	f := buildLoopFunc(t)
+	dom := f.Dominators()
+	li := f.Loops(dom)
+	if len(li.Headers) != 1 || li.Headers[0] != 1 {
+		t.Fatalf("headers = %v, want [1]", li.Headers)
+	}
+	if li.Depth[1] != 1 || li.Depth[2] != 1 {
+		t.Errorf("head/body depth = %d/%d, want 1/1", li.Depth[1], li.Depth[2])
+	}
+	if li.Depth[0] != 0 || li.Depth[3] != 0 {
+		t.Errorf("entry/exit depth = %d/%d, want 0/0", li.Depth[0], li.Depth[3])
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	m := NewModule("test")
+	b := NewFunc(m, "nest", Void, I64)
+	outer := b.NewBlock()
+	inner := b.NewBlock()
+	innerBody := b.NewBlock()
+	outerLatch := b.NewBlock()
+	exit := b.NewBlock()
+	zero := b.ConstInt(I64, 0)
+	b.Br(outer)
+	b.SetBlock(outer)
+	c1 := b.ICmp(CmpSLT, zero, b.Param(0))
+	b.CondBr(c1, inner, exit)
+	b.SetBlock(inner)
+	c2 := b.ICmp(CmpSLT, zero, b.Param(0))
+	b.CondBr(c2, innerBody, outerLatch)
+	b.SetBlock(innerBody)
+	b.Br(inner)
+	b.SetBlock(outerLatch)
+	b.Br(outer)
+	b.SetBlock(exit)
+	b.Ret(NoValue)
+	if err := b.Func().Verify(); err != nil {
+		t.Fatal(err)
+	}
+	f := b.Func()
+	li := f.Loops(f.Dominators())
+	if len(li.Headers) != 2 {
+		t.Fatalf("headers = %v, want 2 loops", li.Headers)
+	}
+	if li.Depth[innerBody] != 2 {
+		t.Errorf("inner body depth = %d, want 2", li.Depth[innerBody])
+	}
+	if li.Depth[outerLatch] != 1 {
+		t.Errorf("outer latch depth = %d, want 1", li.Depth[outerLatch])
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	f := buildLoopFunc(t)
+	lv := f.LivenessAnalysis()
+	// Param n (value 0) must be live into the loop head (block 1).
+	if !lv.LiveIn[1].Get(0) {
+		t.Error("param not live into loop head")
+	}
+	// The phis (values 4 and 5 region) should be live out of the body.
+	// Find the phi ids.
+	var phis []Value
+	for _, v := range f.Blocks[1].List {
+		if f.Instrs[v].Op == OpPhi {
+			phis = append(phis, v)
+		}
+	}
+	if len(phis) != 2 {
+		t.Fatalf("found %d phis", len(phis))
+	}
+	// sum phi must be live into exit block (3), where it is returned.
+	if !lv.LiveIn[3].Get(phis[1]) {
+		t.Error("sum phi not live into exit block")
+	}
+}
+
+func TestBitSet(t *testing.T) {
+	s := NewBitSet(200)
+	s.Set(0)
+	s.Set(63)
+	s.Set(64)
+	s.Set(199)
+	if !s.Get(0) || !s.Get(63) || !s.Get(64) || !s.Get(199) {
+		t.Error("set/get broken")
+	}
+	if s.Get(1) || s.Get(100) {
+		t.Error("spurious bits")
+	}
+	if s.Count() != 4 {
+		t.Errorf("count = %d", s.Count())
+	}
+	s.Clear(63)
+	if s.Get(63) || s.Count() != 3 {
+		t.Error("clear broken")
+	}
+	o := NewBitSet(200)
+	o.Set(10)
+	if !s.OrWith(o) {
+		t.Error("OrWith should report change")
+	}
+	if s.OrWith(o) {
+		t.Error("OrWith should be idempotent")
+	}
+}
+
+func TestModuleInterning(t *testing.T) {
+	m := NewModule("t")
+	a := m.RTImport("alloc")
+	b := m.RTImport("print")
+	a2 := m.RTImport("alloc")
+	if a != a2 || a == b {
+		t.Errorf("RTImport interning broken: %d %d %d", a, b, a2)
+	}
+	s1 := m.InternString("hello")
+	s2 := m.InternString("world")
+	s3 := m.InternString("hello")
+	if s1 != s3 || s1 == s2 {
+		t.Error("string interning broken")
+	}
+}
+
+func TestConst128(t *testing.T) {
+	m := NewModule("t")
+	b := NewFunc(m, "f", I128)
+	v := b.Const128(0xAAAA, 0xBBBB)
+	b.Ret(v)
+	if err := b.Func().Verify(); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := b.Func().Const128(v)
+	if lo != 0xAAAA || hi != 0xBBBB {
+		t.Errorf("const128 = %x:%x", hi, lo)
+	}
+}
+
+func TestCallArgsAndPrint(t *testing.T) {
+	m := NewModule("t")
+	b := NewFunc(m, "f", I64, Ptr, I64)
+	r := b.Call(I64, "ht_insert", b.Param(0), b.Param(1))
+	b.Ret(r)
+	f := b.Func()
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	args := f.CallArgs(r)
+	if len(args) != 2 || args[0] != 0 || args[1] != 1 {
+		t.Errorf("args = %v", args)
+	}
+	if !strings.Contains(f.String(), "@ht_insert") {
+		t.Error("call not printed with callee name")
+	}
+}
+
+func TestTypeProperties(t *testing.T) {
+	sizes := map[Type]int64{I1: 1, I8: 1, I16: 2, I32: 4, I64: 8, I128: 16, F64: 8, Ptr: 8, Str: 16, Void: 0}
+	for ty, want := range sizes {
+		if ty.Size() != want {
+			t.Errorf("%s.Size() = %d, want %d", ty, ty.Size(), want)
+		}
+	}
+	if !I128.Is128() || !Str.Is128() || I64.Is128() {
+		t.Error("Is128 broken")
+	}
+	if !I1.IsInt() || !I128.IsInt() || F64.IsInt() || Ptr.IsInt() {
+		t.Error("IsInt broken")
+	}
+}
+
+func TestRPOUnreachableBlocks(t *testing.T) {
+	m := NewModule("t")
+	b := NewFunc(m, "f", Void)
+	dead := b.NewBlock()
+	b.Ret(NoValue)
+	b.SetBlock(dead)
+	b.Ret(NoValue)
+	f := b.Func()
+	rpo := f.RPO()
+	if len(rpo) != 1 || rpo[0] != 0 {
+		t.Errorf("rpo = %v, want [0]", rpo)
+	}
+	dom := f.Dominators()
+	if dom.Num[dead] != -1 {
+		t.Error("unreachable block should have Num -1")
+	}
+}
+
+func TestSelectAndGEP(t *testing.T) {
+	m := NewModule("t")
+	b := NewFunc(m, "f", I64, Ptr, I64)
+	cond := b.ICmp(CmpSGT, b.Param(1), b.ConstInt(I64, 0))
+	addr := b.GEP(b.Param(0), 16, b.Param(1), 8)
+	v := b.Load(I64, addr)
+	zero := b.ConstInt(I64, 0)
+	r := b.Select(cond, v, zero)
+	b.Ret(r)
+	if err := b.Func().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

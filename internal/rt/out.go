@@ -1,0 +1,125 @@
+package rt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// OutKind tags the type of an output value.
+type OutKind uint8
+
+// Output value kinds.
+const (
+	OutI64 OutKind = iota
+	OutI128Kind
+	OutF64Kind
+	OutStrKind
+)
+
+// OutVal is one output column value.
+type OutVal struct {
+	Kind OutKind
+	I    int64
+	V128 I128
+	F    float64
+	S    string
+}
+
+// String renders the value canonically (used to compare result sets across
+// back-ends).
+func (v OutVal) String() string {
+	switch v.Kind {
+	case OutI64:
+		return fmt.Sprintf("%d", v.I)
+	case OutI128Kind:
+		return v.V128.DecString()
+	case OutF64Kind:
+		return fmt.Sprintf("%.4f", v.F)
+	case OutStrKind:
+		return v.S
+	}
+	return "?"
+}
+
+// DecString renders a signed 128-bit value in decimal.
+func (a I128) DecString() string {
+	if a.Lo == 0 && a.Hi == 0 {
+		return "0"
+	}
+	neg := a.IsNeg()
+	u := a
+	if neg {
+		u = u.Neg()
+	}
+	var digits []byte
+	ten := I128{Lo: 10}
+	for u.Lo != 0 || u.Hi != 0 {
+		q := u.Div(ten)
+		r := u.Sub(q.Mul(ten))
+		digits = append(digits, byte('0'+r.Lo))
+		u = q
+	}
+	for i, j := 0, len(digits)-1; i < j; i, j = i+1, j-1 {
+		digits[i], digits[j] = digits[j], digits[i]
+	}
+	if neg {
+		return "-" + string(digits)
+	}
+	return string(digits)
+}
+
+// OutBuffer collects query result rows.
+type OutBuffer struct {
+	Rows [][]OutVal
+	cur  []OutVal
+}
+
+// Reset discards all rows.
+func (o *OutBuffer) Reset() {
+	o.Rows = nil
+	o.cur = nil
+}
+
+// BeginRow starts a new row.
+func (o *OutBuffer) BeginRow() { o.cur = o.cur[:0] }
+
+// AddI64 appends an integer column to the current row.
+func (o *OutBuffer) AddI64(v int64) { o.cur = append(o.cur, OutVal{Kind: OutI64, I: v}) }
+
+// AddI128 appends a decimal column to the current row.
+func (o *OutBuffer) AddI128(v I128) { o.cur = append(o.cur, OutVal{Kind: OutI128Kind, V128: v}) }
+
+// AddF64 appends a float column to the current row.
+func (o *OutBuffer) AddF64(v float64) { o.cur = append(o.cur, OutVal{Kind: OutF64Kind, F: v}) }
+
+// AddStr appends a string column to the current row.
+func (o *OutBuffer) AddStr(s string) { o.cur = append(o.cur, OutVal{Kind: OutStrKind, S: s}) }
+
+// EndRow commits the current row.
+func (o *OutBuffer) EndRow() {
+	row := make([]OutVal, len(o.cur))
+	copy(row, o.cur)
+	o.Rows = append(o.Rows, row)
+}
+
+// NumRows returns the committed row count.
+func (o *OutBuffer) NumRows() int { return len(o.Rows) }
+
+// Canonical renders all rows as sorted text lines, for cross-back-end result
+// comparison independent of row order.
+func (o *OutBuffer) Canonical() []string {
+	lines := make([]string, len(o.Rows))
+	for i, row := range o.Rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		lines[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func fbits(u uint64) float64 { return math.Float64frombits(u) }

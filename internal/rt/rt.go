@@ -1,0 +1,534 @@
+// Package rt implements the database runtime that generated query code
+// calls into: memory allocation, join and aggregation hash tables, row
+// vectors, sorting (with comparator callbacks into generated code), string
+// operations on the 16-byte by-value string representation, 128-bit decimal
+// helpers, and the query output buffer.
+//
+// Runtime state lives in a DB bound to one vm.Machine. Bulk data (table
+// columns, hash-table entries, string bodies) is stored in machine memory so
+// that generated code reads and writes it directly; only bookkeeping (bucket
+// directories, handles) is kept on the Go side, mirroring how Umbra's
+// runtime keeps C++ objects next to raw buffers.
+package rt
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"qcc/internal/vm"
+	"qcc/internal/vt"
+)
+
+// DB is the runtime environment for one machine.
+type DB struct {
+	M *vm.Machine
+	// Out receives query results.
+	Out *OutBuffer
+
+	handles     []any // hash tables and vectors, indexed by handle id
+	strings     map[string][2]uint64
+	baseStrings map[string][2]uint64
+	mark        uint64
+	target      *vt.Target
+}
+
+// NewDB creates a runtime environment on machine m.
+func NewDB(m *vm.Machine) *DB {
+	return &DB{
+		M:       m,
+		Out:     &OutBuffer{},
+		strings: make(map[string][2]uint64),
+		target:  m.Target(),
+	}
+}
+
+// arg returns the i-th integer argument register value.
+func (db *DB) arg(i int) uint64 { return db.M.R[db.target.IntArgs[i]] }
+
+// ret sets the return registers.
+func (db *DB) ret(v uint64) { db.M.R[db.target.IntRet[0]] = v }
+
+func (db *DB) ret2(lo, hi uint64) {
+	db.M.R[db.target.IntRet[0]] = lo
+	db.M.R[db.target.IntRet[1]] = hi
+}
+
+func (db *DB) handle(id uint64) any {
+	if id == 0 || int(id) > len(db.handles) {
+		return nil
+	}
+	return db.handles[id-1]
+}
+
+func (db *DB) newHandle(v any) uint64 {
+	db.handles = append(db.handles, v)
+	return uint64(len(db.handles))
+}
+
+// ResetQueryState drops hash tables, vectors and output rows accumulated by
+// a query execution, keeping loaded table data intact.
+func (db *DB) ResetQueryState() {
+	db.handles = db.handles[:0]
+	db.Out.Reset()
+}
+
+// Checkpoint records the post-load state (heap position and interned
+// strings) so the benchmark harness can roll back per-query allocations.
+func (db *DB) Checkpoint() {
+	db.mark = db.M.HeapMark()
+	db.baseStrings = make(map[string][2]uint64, len(db.strings))
+	for k, v := range db.strings {
+		db.baseStrings[k] = v
+	}
+}
+
+// ResetToCheckpoint releases everything allocated since Checkpoint: query
+// heap allocations, hash-table/vector handles, output rows, and string
+// constants interned by compiled queries (whose baked addresses die with
+// their code).
+func (db *DB) ResetToCheckpoint() {
+	if db.baseStrings == nil {
+		db.ResetQueryState()
+		return
+	}
+	db.handles = db.handles[:0]
+	db.Out.Reset()
+	db.strings = make(map[string][2]uint64, len(db.baseStrings))
+	for k, v := range db.baseStrings {
+		db.strings[k] = v
+	}
+	db.M.ResetHeapTo(db.mark)
+}
+
+// InternString materializes a string constant into machine memory (if
+// needed) and returns its 16-byte by-value representation as register
+// halves. Back-ends call this at compile time to bake string constants into
+// code, like a JIT baking addresses of process constants.
+func (db *DB) InternString(s string) (lo, hi uint64) {
+	if v, ok := db.strings[s]; ok {
+		return v[0], v[1]
+	}
+	lo, hi = db.makeString(s)
+	db.strings[s] = [2]uint64{lo, hi}
+	return lo, hi
+}
+
+// makeString builds the 16-byte string struct: bytes 0-3 length; if length
+// <= 12 the remainder holds the bytes inline, otherwise bytes 4-7 hold the
+// prefix and bytes 8-15 a pointer to the body in machine memory.
+func (db *DB) makeString(s string) (lo, hi uint64) {
+	n := len(s)
+	var b [16]byte
+	put32(b[:], uint32(n))
+	if n <= 12 {
+		copy(b[4:], s)
+	} else {
+		copy(b[4:8], s[:4])
+		addr := db.M.Alloc(uint64(n))
+		copy(db.M.Mem[addr:addr+uint64(n)], s)
+		put64(b[8:], addr)
+	}
+	return le64(b[:8]), le64(b[8:])
+}
+
+// LoadString decodes a 16-byte string value from its register halves.
+func (db *DB) LoadString(lo, hi uint64) (string, error) {
+	var b [16]byte
+	put64(b[:8], lo)
+	put64(b[8:], hi)
+	n := le32(b[:4])
+	if n <= 12 {
+		return string(b[4 : 4+n]), nil
+	}
+	addr := le64(b[8:])
+	body, err := db.M.Bytes(addr, uint64(n))
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+// strBytes returns the bytes of a string value without copying when it
+// lives in machine memory.
+func (db *DB) strBytes(lo, hi uint64) ([]byte, error) {
+	n := uint64(uint32(lo))
+	if n <= 12 {
+		var b [16]byte
+		put64(b[:8], lo)
+		put64(b[8:], hi)
+		out := make([]byte, n)
+		copy(out, b[4:4+n])
+		return out, nil
+	}
+	return db.M.Bytes(hi, n)
+}
+
+// --------------------------------------------------------------------------
+// Hash tables.
+//
+// Entry layout in machine memory: [next:8][hash:8][payload:width]. Runtime
+// calls return the payload address; generated code walks chains by loading
+// next at payload-16 and the hash at payload-8, and compares keys inline.
+// --------------------------------------------------------------------------
+
+const entryHeader = 16
+
+type hashTable struct {
+	width   uint64   // payload width
+	entries []uint64 // payload addresses, in insertion order
+	buckets []uint64 // payload addresses, chained via next fields
+	mask    uint64
+	agg     bool
+}
+
+func (db *DB) htCreate(width uint64, agg bool) uint64 {
+	ht := &hashTable{width: width, agg: agg}
+	if agg {
+		ht.buckets = make([]uint64, 64)
+		ht.mask = 63
+	}
+	return db.newHandle(ht)
+}
+
+func (db *DB) htInsert(ht *hashTable, hash uint64) uint64 {
+	addr := db.M.Alloc(entryHeader + ht.width)
+	payload := addr + entryHeader
+	put64(db.M.Mem[addr:], 0)      // next
+	put64(db.M.Mem[addr+8:], hash) // hash
+	for i := uint64(0); i < ht.width; i += 8 {
+		put64(db.M.Mem[payload+i:], 0)
+	}
+	ht.entries = append(ht.entries, payload)
+	if ht.agg {
+		if uint64(len(ht.entries)) > ht.mask+1 {
+			// Growing relinks every entry, including the new one; do
+			// not link it a second time (that would make it its own
+			// chain successor).
+			db.htGrow(ht)
+		} else {
+			b := hash & ht.mask
+			put64(db.M.Mem[addr:], ht.buckets[b]) // chain old head
+			ht.buckets[b] = payload
+		}
+	}
+	return payload
+}
+
+func (db *DB) htGrow(ht *hashTable) {
+	n := uint64(len(ht.buckets)) * 2
+	ht.buckets = make([]uint64, n)
+	ht.mask = n - 1
+	for _, p := range ht.entries {
+		h := le64(db.M.Mem[p-8:])
+		b := h & ht.mask
+		put64(db.M.Mem[p-entryHeader:], ht.buckets[b])
+		ht.buckets[b] = p
+	}
+}
+
+func (db *DB) htFinalize(ht *hashTable) {
+	n := uint64(1)
+	for n < uint64(len(ht.entries))*2 {
+		n *= 2
+	}
+	if n < 16 {
+		n = 16
+	}
+	ht.buckets = make([]uint64, n)
+	ht.mask = n - 1
+	for _, p := range ht.entries {
+		h := le64(db.M.Mem[p-8:])
+		b := h & ht.mask
+		put64(db.M.Mem[p-entryHeader:], ht.buckets[b])
+		ht.buckets[b] = p
+	}
+}
+
+func (db *DB) htLookup(ht *hashTable, hash uint64) uint64 {
+	if ht.buckets == nil {
+		return 0
+	}
+	return ht.buckets[hash&ht.mask]
+}
+
+// --------------------------------------------------------------------------
+// Row vectors: contiguous fixed-width slots in machine memory.
+// --------------------------------------------------------------------------
+
+type vector struct {
+	width uint64
+	base  uint64
+	count uint64
+	cap   uint64
+}
+
+func (db *DB) vecAppend(v *vector) uint64 {
+	if v.count == v.cap {
+		newCap := v.cap * 2
+		if newCap == 0 {
+			newCap = 64
+		}
+		newBase := db.M.Alloc(newCap * v.width)
+		copy(db.M.Mem[newBase:newBase+v.count*v.width], db.M.Mem[v.base:v.base+v.count*v.width])
+		v.base, v.cap = newBase, newCap
+	}
+	slot := v.base + v.count*v.width
+	v.count++
+	return slot
+}
+
+// --------------------------------------------------------------------------
+// 128-bit helpers.
+// --------------------------------------------------------------------------
+
+// I128 is a signed 128-bit integer as lo/hi halves (two's complement).
+type I128 struct {
+	Lo, Hi uint64
+}
+
+// I128FromInt64 sign-extends v.
+func I128FromInt64(v int64) I128 {
+	return I128{Lo: uint64(v), Hi: uint64(v >> 63)}
+}
+
+// Neg returns -a.
+func (a I128) Neg() I128 {
+	lo := -a.Lo
+	hi := ^a.Hi
+	if a.Lo == 0 {
+		hi++
+	}
+	return I128{lo, hi}
+}
+
+// IsNeg reports whether a < 0.
+func (a I128) IsNeg() bool { return int64(a.Hi) < 0 }
+
+// Add returns a+b.
+func (a I128) Add(b I128) I128 {
+	lo, c := bits.Add64(a.Lo, b.Lo, 0)
+	hi, _ := bits.Add64(a.Hi, b.Hi, c)
+	return I128{lo, hi}
+}
+
+// Sub returns a-b.
+func (a I128) Sub(b I128) I128 {
+	lo, brw := bits.Sub64(a.Lo, b.Lo, 0)
+	hi, _ := bits.Sub64(a.Hi, b.Hi, brw)
+	return I128{lo, hi}
+}
+
+// Mul returns a*b truncated to 128 bits.
+func (a I128) Mul(b I128) I128 {
+	hi, lo := bits.Mul64(a.Lo, b.Lo)
+	hi += a.Hi*b.Lo + a.Lo*b.Hi
+	return I128{lo, hi}
+}
+
+// MulCheck returns a*b and whether the signed product overflowed.
+func (a I128) MulCheck(b I128) (I128, bool) {
+	neg := false
+	ua, ub := a, b
+	if ua.IsNeg() {
+		ua = ua.Neg()
+		neg = !neg
+	}
+	if ub.IsNeg() {
+		ub = ub.Neg()
+		neg = !neg
+	}
+	// Unsigned 128x128 with overflow detection.
+	if ua.Hi != 0 && ub.Hi != 0 {
+		return I128{}, true
+	}
+	carryHi, midLo := bits.Mul64(ua.Hi, ub.Lo)
+	carryHi2, midLo2 := bits.Mul64(ua.Lo, ub.Hi)
+	if carryHi != 0 || carryHi2 != 0 {
+		return I128{}, true
+	}
+	hi, lo := bits.Mul64(ua.Lo, ub.Lo)
+	hi2, c := bits.Add64(hi, midLo, 0)
+	if c != 0 {
+		return I128{}, true
+	}
+	hi3, c := bits.Add64(hi2, midLo2, 0)
+	if c != 0 {
+		return I128{}, true
+	}
+	r := I128{lo, hi3}
+	if neg {
+		r = r.Neg()
+		if !r.IsNeg() && !(r.Lo == 0 && r.Hi == 0) {
+			return I128{}, true
+		}
+	} else if r.IsNeg() {
+		return I128{}, true
+	}
+	return r, false
+}
+
+// Div returns the signed quotient a/b, truncating toward zero.
+// Division by zero must be checked by the caller.
+func (a I128) Div(b I128) I128 {
+	neg := false
+	ua, ub := a, b
+	if ua.IsNeg() {
+		ua = ua.Neg()
+		neg = !neg
+	}
+	if ub.IsNeg() {
+		ub = ub.Neg()
+		neg = !neg
+	}
+	q := udiv128(ua, ub)
+	if neg {
+		q = q.Neg()
+	}
+	return q
+}
+
+// Cmp returns -1, 0 or 1 comparing signed a and b.
+func (a I128) Cmp(b I128) int {
+	if int64(a.Hi) != int64(b.Hi) {
+		if int64(a.Hi) < int64(b.Hi) {
+			return -1
+		}
+		return 1
+	}
+	if a.Lo != b.Lo {
+		if a.Lo < b.Lo {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+func udiv128(a, b I128) I128 {
+	if b.Hi == 0 {
+		if b.Lo == 0 {
+			panic("rt: division by zero")
+		}
+		if a.Hi < b.Lo {
+			q, _ := bits.Div64(a.Hi, a.Lo, b.Lo)
+			return I128{Lo: q}
+		}
+		qhi := a.Hi / b.Lo
+		rem := a.Hi % b.Lo
+		qlo, _ := bits.Div64(rem, a.Lo, b.Lo)
+		return I128{Lo: qlo, Hi: qhi}
+	}
+	// b.Hi != 0: quotient fits in 64 bits; shift-subtract.
+	var q I128
+	rem := a
+	for i := 127; i >= 0; i-- {
+		// shifted = b << i; only feasible while i small because b.Hi!=0.
+		if i > 63 {
+			continue
+		}
+		var sh I128
+		if i == 0 {
+			sh = b
+		} else {
+			sh = I128{Lo: b.Lo << uint(i), Hi: b.Hi<<uint(i) | b.Lo>>uint(64-i)}
+			if b.Hi>>(64-uint(i)) != 0 {
+				continue // would overflow 128 bits
+			}
+		}
+		if ucmp128(rem, sh) >= 0 {
+			rem = rem.Sub(sh)
+			if i >= 64 {
+				q.Hi |= 1 << uint(i-64)
+			} else {
+				q.Lo |= 1 << uint(i)
+			}
+		}
+	}
+	return q
+}
+
+func ucmp128(a, b I128) int {
+	if a.Hi != b.Hi {
+		if a.Hi < b.Hi {
+			return -1
+		}
+		return 1
+	}
+	if a.Lo != b.Lo {
+		if a.Lo < b.Lo {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// --------------------------------------------------------------------------
+// Little-endian helpers on byte slices.
+// --------------------------------------------------------------------------
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func le64(b []byte) uint64 {
+	return uint64(le32(b)) | uint64(le32(b[4:]))<<32
+}
+
+func put32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func put64(b []byte, v uint64) {
+	put32(b, uint32(v))
+	put32(b[4:], uint32(v>>32))
+}
+
+// sortVec sorts the entries of v. If useCB is set, cmpAddr is the code
+// address of a generated comparator taking two payload addresses and
+// returning a negative/zero/positive i64; otherwise entries are compared by
+// the i64 at keyOff (descending when desc).
+func (db *DB) sortVec(v *vector, cmpAddr uint64, useCB bool, keyOff uint64, desc bool) error {
+	n := int(v.count)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var cbErr error
+	less := func(i, j int) bool {
+		a := v.base + uint64(idx[i])*v.width
+		b := v.base + uint64(idx[j])*v.width
+		if useCB {
+			res, err := db.M.CallAt(cmpAddr, a, b)
+			if err != nil && cbErr == nil {
+				cbErr = err
+			}
+			return int64(res[0]) < 0
+		}
+		av := int64(le64(db.M.Mem[a+keyOff:]))
+		bv := int64(le64(db.M.Mem[b+keyOff:]))
+		if desc {
+			return av > bv
+		}
+		return av < bv
+	}
+	sort.SliceStable(idx, less)
+	if cbErr != nil {
+		return cbErr
+	}
+	// Apply the permutation via a scratch copy.
+	tmp := make([]byte, v.count*v.width)
+	copy(tmp, db.M.Mem[v.base:v.base+v.count*v.width])
+	for i, src := range idx {
+		copy(db.M.Mem[v.base+uint64(i)*v.width:], tmp[uint64(src)*v.width:uint64(src+1)*v.width])
+	}
+	return nil
+}
+
+func (db *DB) badHandle(what string, id uint64) error {
+	return fmt.Errorf("rt: %s: bad handle %d", what, id)
+}

@@ -1,0 +1,88 @@
+package tpcds
+
+import (
+	"testing"
+
+	"qcc/internal/backend"
+	"qcc/internal/backend/interp"
+	"qcc/internal/codegen"
+	"qcc/internal/rt"
+	"qcc/internal/vm"
+	"qcc/internal/vt"
+)
+
+func TestSuiteCompilesAndRuns(t *testing.T) {
+	m := vm.New(vm.Config{Arch: vt.VX64, MemSize: 256 << 20})
+	db := rt.NewDB(m)
+	cat := rt.NewCatalog(db)
+	if err := Load(cat, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	qs := Queries()
+	if len(qs) != 103 {
+		t.Fatalf("suite has %d queries", len(qs))
+	}
+	eng := interp.New()
+	totalFuncs := 0
+	nonEmpty := 0
+	for _, q := range qs {
+		c, err := codegen.Compile(q.Name, q.Build(), cat)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", q.Name, err)
+		}
+		totalFuncs += c.NumFuncs
+		ex, _, err := eng.Compile(c.Module, &backend.Env{DB: db, Arch: vt.VX64})
+		if err != nil {
+			t.Fatalf("%s: backend: %v", q.Name, err)
+		}
+		db.Out.Reset()
+		if err := codegen.Run(db, cat, c, ex.Call); err != nil {
+			t.Fatalf("%s: run: %v", q.Name, err)
+		}
+		if db.Out.NumRows() > 0 {
+			nonEmpty++
+		}
+	}
+	t.Logf("compiled %d functions across 103 queries; %d queries returned rows", totalFuncs, nonEmpty)
+	if totalFuncs < 103*6 {
+		t.Errorf("suspiciously few functions: %d", totalFuncs)
+	}
+	if nonEmpty < 80 {
+		t.Errorf("only %d queries returned rows; workload too degenerate", nonEmpty)
+	}
+}
+
+func TestDataGeneratorDeterministic(t *testing.T) {
+	build := func() string {
+		m := vm.New(vm.Config{Arch: vt.VX64, MemSize: 64 << 20})
+		db := rt.NewDB(m)
+		cat := rt.NewCatalog(db)
+		if err := Load(cat, 0.01); err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := cat.Table("store_sales")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ""
+		for i := int64(0); i < 5; i++ {
+			v := cat.GetI128(tbl.MustCol("ss_ext_sales_price"), i)
+			s += v.DecString() + ","
+		}
+		return s
+	}
+	if build() != build() {
+		t.Error("data generation not deterministic")
+	}
+}
+
+func TestRowsScale(t *testing.T) {
+	small := Rows(0.1)
+	big := Rows(1.0)
+	if big["store_sales"] <= small["store_sales"] {
+		t.Error("scale factor does not scale the fact table")
+	}
+	if small["date_dim"] != big["date_dim"] {
+		t.Error("date dimension should be SF-independent")
+	}
+}

@@ -1,0 +1,82 @@
+package tpch
+
+import (
+	"reflect"
+	"testing"
+
+	"qcc/internal/backend"
+	"qcc/internal/backend/direct"
+	"qcc/internal/backend/interp"
+	"qcc/internal/codegen"
+	"qcc/internal/rt"
+	"qcc/internal/vm"
+	"qcc/internal/vt"
+)
+
+func newWorld(t *testing.T, sf float64) (*rt.DB, *rt.Catalog) {
+	t.Helper()
+	m := vm.New(vm.Config{Arch: vt.VX64, MemSize: 256 << 20})
+	db := rt.NewDB(m)
+	cat := rt.NewCatalog(db)
+	if err := Load(cat, sf); err != nil {
+		t.Fatal(err)
+	}
+	return db, cat
+}
+
+func TestAll22QueriesRun(t *testing.T) {
+	db, cat := newWorld(t, 0.05)
+	eng := interp.New()
+	nonEmpty := 0
+	for _, q := range Queries() {
+		c, err := codegen.Compile(q.Name, q.Build(), cat)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", q.Name, err)
+		}
+		ex, _, err := eng.Compile(c.Module, &backend.Env{DB: db, Arch: vt.VX64})
+		if err != nil {
+			t.Fatalf("%s: backend: %v", q.Name, err)
+		}
+		db.Out.Reset()
+		if err := codegen.Run(db, cat, c, ex.Call); err != nil {
+			t.Fatalf("%s: run: %v", q.Name, err)
+		}
+		if db.Out.NumRows() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 18 {
+		t.Errorf("only %d/22 queries returned rows", nonEmpty)
+	}
+}
+
+// TestInterpAndDirectAgreeOnSuite cross-checks the whole suite between two
+// engines (the remaining engines are covered by the conformance corpus).
+func TestInterpAndDirectAgreeOnSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite cross-check is slow")
+	}
+	run := func(eng backend.Engine, q Query) []string {
+		db, cat := newWorld(t, 0.03)
+		c, err := codegen.Compile(q.Name, q.Build(), cat)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		ex, _, err := eng.Compile(c.Module, &backend.Env{DB: db, Arch: vt.VX64})
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		db.Out.Reset()
+		if err := codegen.Run(db, cat, c, ex.Call); err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		return db.Out.Canonical()
+	}
+	for _, q := range Queries() {
+		a := run(interp.New(), q)
+		b := run(direct.New(), q)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: interp and direct disagree (%d vs %d rows)", q.Name, len(a), len(b))
+		}
+	}
+}

@@ -1,0 +1,654 @@
+// Package vm executes machine code produced for the virtual targets defined
+// in package vt.
+//
+// A Machine owns a flat byte-addressable memory, a register file, a runtime
+// function table, and the unwind-information registry. Compiled code is
+// loaded as a Module: the byte stream is decoded once (the analog of mapping
+// executable memory) and then executed by a dispatch loop. The machine counts
+// executed instructions, so code quality differences between back-ends are
+// observable both as wall-clock time and as architecture-neutral instruction
+// counts.
+package vm
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/bits"
+
+	"qcc/internal/vt"
+)
+
+// Trap reports abnormal termination of generated code, the analog of a C++
+// exception thrown from an Umbra runtime function or trap instruction.
+type Trap struct {
+	Code vt.TrapCode
+	// PC is the byte offset of the trapping instruction in module code.
+	PC int32
+	// Frames holds the unwound call-site byte offsets, innermost first,
+	// resolved against registered unwind information where available.
+	Frames []string
+	// Msg is an optional runtime-provided message.
+	Msg string
+}
+
+func (t *Trap) Error() string {
+	if t.Msg != "" {
+		return fmt.Sprintf("trap %s at +%d: %s", t.Code, t.PC, t.Msg)
+	}
+	return fmt.Sprintf("trap %s at +%d", t.Code, t.PC)
+}
+
+// RTFunc is a runtime function callable from generated code. Arguments are
+// read from the machine's integer registers according to the calling
+// convention; results are written to the return registers.
+type RTFunc func(m *Machine) error
+
+// UnwindRange is registered unwind information for one compiled function,
+// the analog of DWARF CFI registered with the C++ runtime.
+type UnwindRange struct {
+	Start, End int32
+	Name       string
+	// CFI is the encoded call-frame information; the machine only needs
+	// it for symbolizing traps, but back-ends must produce it.
+	CFI []byte
+}
+
+// Module is loaded, decoded machine code.
+type Module struct {
+	Arch vt.Arch
+	Prog *vt.Program
+	// branchIdx[i] is the instruction index of instruction i's branch
+	// target; call targets are translated the same way at load time.
+	branchIdx []int32
+	unwind    []UnwindRange
+}
+
+// Funcs returns the registered unwind ranges (one per function).
+func (mod *Module) Funcs() []UnwindRange { return mod.unwind }
+
+// Load decodes machine code into an executable module.
+func Load(arch vt.Arch, code []byte) (*Module, error) {
+	prog, err := vt.Decode(arch, code)
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Arch: arch, Prog: prog}
+	mod.branchIdx = make([]int32, len(prog.Instrs))
+	for k := range prog.Instrs {
+		in := &prog.Instrs[k]
+		switch in.Op {
+		case vt.Br, vt.BrCC, vt.BrNZ:
+			idx := mod.indexOf(in.Target)
+			if idx < 0 {
+				return nil, fmt.Errorf("vm: branch at %d to unaligned offset %d", prog.Offsets[k], in.Target)
+			}
+			mod.branchIdx[k] = idx
+		case vt.Call:
+			idx := mod.indexOf(int32(in.Imm))
+			if idx < 0 {
+				return nil, fmt.Errorf("vm: call at %d to unaligned offset %d", prog.Offsets[k], in.Imm)
+			}
+			mod.branchIdx[k] = idx
+		}
+	}
+	return mod, nil
+}
+
+func (mod *Module) indexOf(off int32) int32 {
+	if off < 0 || int(off) >= len(mod.Prog.Index) {
+		return -1
+	}
+	return mod.Prog.Index[off]
+}
+
+// RegisterUnwind attaches unwind information for the functions of a module.
+func (mod *Module) RegisterUnwind(ranges []UnwindRange) {
+	mod.unwind = append(mod.unwind, ranges...)
+}
+
+func (mod *Module) symbolize(off int32) string {
+	for i := range mod.unwind {
+		r := &mod.unwind[i]
+		if off >= r.Start && off < r.End {
+			return fmt.Sprintf("%s+%d", r.Name, off-r.Start)
+		}
+	}
+	return fmt.Sprintf("+%d", off)
+}
+
+// nullGuard: addresses below this value trap as null dereferences.
+const nullGuard = 4096
+
+// Machine is a virtual CPU plus memory. It is not safe for concurrent use;
+// parallel compilation experiments use one Machine per worker.
+type Machine struct {
+	// R is the integer register file (shared across frames; callee-save
+	// discipline is the generated code's responsibility).
+	R [32]uint64
+	// F is the floating-point register file.
+	F [16]float64
+	// Mem is the flat memory. Address 0..nullGuard-1 is unmapped.
+	Mem []byte
+	// Executed counts executed instructions since creation.
+	Executed int64
+	// RT is the runtime function table.
+	RT []RTFunc
+
+	target   *vt.Target
+	heapTop  uint64
+	stackTop uint64
+	mod      *Module
+	depth    int
+	callPCs  []int32 // return-address stack (instruction indices)
+	callback func(addr uint64, args ...uint64) ([2]uint64, error)
+}
+
+// Config controls Machine creation.
+type Config struct {
+	Arch      vt.Arch
+	MemSize   int // total memory, default 64 MiB
+	StackSize int // stack region at the top of memory, default 1 MiB
+}
+
+// New creates a machine for the given architecture.
+func New(cfg Config) *Machine {
+	if cfg.MemSize == 0 {
+		cfg.MemSize = 64 << 20
+	}
+	if cfg.StackSize == 0 {
+		cfg.StackSize = 1 << 20
+	}
+	m := &Machine{
+		Mem:      make([]byte, cfg.MemSize),
+		target:   vt.ForArch(cfg.Arch),
+		heapTop:  nullGuard,
+		stackTop: uint64(cfg.MemSize),
+	}
+	return m
+}
+
+// Target returns the architecture descriptor the machine executes.
+func (m *Machine) Target() *vt.Target { return m.target }
+
+// Alloc reserves size bytes of machine memory (8-byte aligned) and returns
+// the address. The heap grows toward the stack region at the top of memory;
+// exhausting it panics, as the memory size is a benchmark configuration
+// rather than a recoverable condition.
+func (m *Machine) Alloc(size uint64) uint64 {
+	size = (size + 7) &^ 7
+	addr := m.heapTop
+	m.heapTop += size
+	if m.heapTop > m.stackTop-uint64(1<<20) {
+		panic(fmt.Sprintf("vm: out of memory (heap %d, mem %d); increase Config.MemSize", m.heapTop, len(m.Mem)))
+	}
+	return addr
+}
+
+// HeapUsed returns the number of allocated heap bytes.
+func (m *Machine) HeapUsed() uint64 { return m.heapTop - nullGuard }
+
+// ResetHeap releases all heap allocations (the per-query arena reset).
+func (m *Machine) ResetHeap() { m.heapTop = nullGuard }
+
+// HeapMark returns the current heap position for later ResetHeapTo.
+func (m *Machine) HeapMark() uint64 { return m.heapTop }
+
+// ResetHeapTo releases allocations made after mark (benchmark harness reset
+// between queries, keeping loaded table data).
+func (m *Machine) ResetHeapTo(mark uint64) {
+	if mark >= nullGuard && mark <= m.heapTop {
+		m.heapTop = mark
+	}
+}
+
+// Bytes returns memory [addr, addr+n) or an error trap.
+func (m *Machine) Bytes(addr, n uint64) ([]byte, error) {
+	if addr < nullGuard {
+		return nil, &Trap{Code: vt.TrapNull}
+	}
+	if addr+n > uint64(len(m.Mem)) || addr+n < addr {
+		return nil, &Trap{Code: vt.TrapOOB, Msg: fmt.Sprintf("addr %#x len %d", addr, n)}
+	}
+	return m.Mem[addr : addr+n : addr+n], nil
+}
+
+// Module returns the module currently executing (valid inside RT functions).
+func (m *Machine) Module() *Module { return m.mod }
+
+// Call executes the function at byte offset entry in mod. Integer arguments
+// are placed in the argument registers; the two return registers are
+// returned. A *Trap error reports generated-code failure.
+func (m *Machine) Call(mod *Module, entry int32, args ...uint64) ([2]uint64, error) {
+	idx := mod.indexOf(entry)
+	if idx < 0 {
+		return [2]uint64{}, fmt.Errorf("vm: call to unaligned entry %d", entry)
+	}
+	for i, a := range args {
+		if i >= len(m.target.IntArgs) {
+			return [2]uint64{}, fmt.Errorf("vm: too many arguments (%d)", len(args))
+		}
+		m.R[m.target.IntArgs[i]] = a
+	}
+	if m.depth == 0 {
+		m.R[m.target.SP] = m.stackTop
+	}
+	prevMod := m.mod
+	m.mod = mod
+	m.depth++
+	err := m.run(mod, idx)
+	m.depth--
+	m.mod = prevMod
+	if t, ok := err.(*Trap); ok && len(t.Frames) == 0 {
+		t.Frames = append(t.Frames, mod.symbolize(t.PC))
+	}
+	return [2]uint64{m.R[m.target.IntRet[0]], m.R[m.target.IntRet[1]]}, err
+}
+
+// SetCallback installs a CallAt re-entry hook for execution engines that do
+// not run machine code (the bytecode interpreter); addr is then
+// engine-defined (a function index).
+func (m *Machine) SetCallback(fn func(addr uint64, args ...uint64) ([2]uint64, error)) {
+	m.callback = fn
+}
+
+// CallAt re-enters generated code from a runtime function (e.g. a sort
+// comparator callback). addr is a code byte offset in the current module,
+// or an engine-defined address when an interpreter callback is installed.
+func (m *Machine) CallAt(addr uint64, args ...uint64) ([2]uint64, error) {
+	if m.mod == nil {
+		if m.callback != nil {
+			return m.callback(addr, args...)
+		}
+		return [2]uint64{}, fmt.Errorf("vm: CallAt outside execution")
+	}
+	// Preserve the caller-visible registers that the callback may clobber:
+	// the callback follows the calling convention, so callee-saved
+	// registers are safe, but argument registers are not. The runtime
+	// caller saves what it needs; here we only set up arguments.
+	saveSP := m.R[m.target.SP]
+	res, err := m.Call(m.mod, int32(addr), args...)
+	m.R[m.target.SP] = saveSP
+	return res, err
+}
+
+func (m *Machine) run(mod *Module, pc int32) error {
+	instrs := mod.Prog.Instrs
+	offs := mod.Prog.Offsets
+	bidx := mod.branchIdx
+	R := &m.R
+	F := &m.F
+	callBase := len(m.callPCs)
+	count := int64(0)
+	defer func() { m.Executed += count }()
+
+	trap := func(code vt.TrapCode, msg string) error {
+		t := &Trap{Code: code, PC: offs[pc], Msg: msg}
+		t.Frames = append(t.Frames, mod.symbolize(offs[pc]))
+		for i := len(m.callPCs) - 1; i >= callBase; i-- {
+			t.Frames = append(t.Frames, mod.symbolize(offs[m.callPCs[i]]))
+		}
+		m.callPCs = m.callPCs[:callBase]
+		return t
+	}
+
+	mem := m.Mem
+	loadAddr := func(a uint64, n uint64) (uint64, bool) {
+		return a, a >= nullGuard && a+n <= uint64(len(mem))
+	}
+
+	for {
+		in := &instrs[pc]
+		count++
+		switch in.Op {
+		case vt.Nop:
+		case vt.MovRR:
+			R[in.RD] = R[in.RA]
+		case vt.MovRI:
+			R[in.RD] = uint64(in.Imm)
+		case vt.MovZ:
+			R[in.RD] = uint64(uint16(in.Imm)) << (16 * uint(in.Cond))
+		case vt.MovK:
+			sh := 16 * uint(in.Cond)
+			R[in.RD] = R[in.RD]&^(uint64(0xFFFF)<<sh) | uint64(uint16(in.Imm))<<sh
+		case vt.Load8:
+			a, ok := loadAddr(R[in.RA]+uint64(in.Imm), 1)
+			if !ok {
+				return trap(vt.TrapOOB, "load8")
+			}
+			R[in.RD] = uint64(mem[a])
+		case vt.Load8S:
+			a, ok := loadAddr(R[in.RA]+uint64(in.Imm), 1)
+			if !ok {
+				return trap(vt.TrapOOB, "load8s")
+			}
+			R[in.RD] = uint64(int64(int8(mem[a])))
+		case vt.Load16:
+			a, ok := loadAddr(R[in.RA]+uint64(in.Imm), 2)
+			if !ok {
+				return trap(vt.TrapOOB, "load16")
+			}
+			R[in.RD] = uint64(mem[a]) | uint64(mem[a+1])<<8
+		case vt.Load16S:
+			a, ok := loadAddr(R[in.RA]+uint64(in.Imm), 2)
+			if !ok {
+				return trap(vt.TrapOOB, "load16s")
+			}
+			R[in.RD] = uint64(int64(int16(uint16(mem[a]) | uint16(mem[a+1])<<8)))
+		case vt.Load32:
+			a, ok := loadAddr(R[in.RA]+uint64(in.Imm), 4)
+			if !ok {
+				return trap(vt.TrapOOB, "load32")
+			}
+			R[in.RD] = uint64(le32(mem[a:]))
+		case vt.Load32S:
+			a, ok := loadAddr(R[in.RA]+uint64(in.Imm), 4)
+			if !ok {
+				return trap(vt.TrapOOB, "load32s")
+			}
+			R[in.RD] = uint64(int64(int32(le32(mem[a:]))))
+		case vt.Load64:
+			a, ok := loadAddr(R[in.RA]+uint64(in.Imm), 8)
+			if !ok {
+				return trap(vt.TrapOOB, "load64")
+			}
+			R[in.RD] = le64(mem[a:])
+		case vt.Store8:
+			a, ok := loadAddr(R[in.RA]+uint64(in.Imm), 1)
+			if !ok {
+				return trap(vt.TrapOOB, "store8")
+			}
+			mem[a] = byte(R[in.RB])
+		case vt.Store16:
+			a, ok := loadAddr(R[in.RA]+uint64(in.Imm), 2)
+			if !ok {
+				return trap(vt.TrapOOB, "store16")
+			}
+			v := R[in.RB]
+			mem[a] = byte(v)
+			mem[a+1] = byte(v >> 8)
+		case vt.Store32:
+			a, ok := loadAddr(R[in.RA]+uint64(in.Imm), 4)
+			if !ok {
+				return trap(vt.TrapOOB, "store32")
+			}
+			put32(mem[a:], uint32(R[in.RB]))
+		case vt.Store64:
+			a, ok := loadAddr(R[in.RA]+uint64(in.Imm), 8)
+			if !ok {
+				return trap(vt.TrapOOB, "store64")
+			}
+			put64(mem[a:], R[in.RB])
+		case vt.Lea:
+			R[in.RD] = R[in.RA] + uint64(in.Imm)
+		case vt.Add:
+			R[in.RD] = R[in.RA] + R[in.RB]
+		case vt.Sub:
+			R[in.RD] = R[in.RA] - R[in.RB]
+		case vt.Mul:
+			R[in.RD] = R[in.RA] * R[in.RB]
+		case vt.And:
+			R[in.RD] = R[in.RA] & R[in.RB]
+		case vt.Or:
+			R[in.RD] = R[in.RA] | R[in.RB]
+		case vt.Xor:
+			R[in.RD] = R[in.RA] ^ R[in.RB]
+		case vt.Shl:
+			R[in.RD] = R[in.RA] << (R[in.RB] & 63)
+		case vt.Shr:
+			R[in.RD] = R[in.RA] >> (R[in.RB] & 63)
+		case vt.Sar:
+			R[in.RD] = uint64(int64(R[in.RA]) >> (R[in.RB] & 63))
+		case vt.Rotr:
+			R[in.RD] = bits.RotateLeft64(R[in.RA], -int(R[in.RB]&63))
+		case vt.SDiv:
+			d := int64(R[in.RB])
+			if d == 0 {
+				return trap(vt.TrapDivZero, "")
+			}
+			n := int64(R[in.RA])
+			if n == -1<<63 && d == -1 {
+				R[in.RD] = uint64(n)
+			} else {
+				R[in.RD] = uint64(n / d)
+			}
+		case vt.SRem:
+			d := int64(R[in.RB])
+			if d == 0 {
+				return trap(vt.TrapDivZero, "")
+			}
+			n := int64(R[in.RA])
+			if n == -1<<63 && d == -1 {
+				R[in.RD] = 0
+			} else {
+				R[in.RD] = uint64(n % d)
+			}
+		case vt.UDiv:
+			if R[in.RB] == 0 {
+				return trap(vt.TrapDivZero, "")
+			}
+			R[in.RD] = R[in.RA] / R[in.RB]
+		case vt.URem:
+			if R[in.RB] == 0 {
+				return trap(vt.TrapDivZero, "")
+			}
+			R[in.RD] = R[in.RA] % R[in.RB]
+		case vt.AddI:
+			R[in.RD] = R[in.RA] + uint64(in.Imm)
+		case vt.SubI:
+			R[in.RD] = R[in.RA] - uint64(in.Imm)
+		case vt.MulI:
+			R[in.RD] = R[in.RA] * uint64(in.Imm)
+		case vt.AndI:
+			R[in.RD] = R[in.RA] & uint64(in.Imm)
+		case vt.OrI:
+			R[in.RD] = R[in.RA] | uint64(in.Imm)
+		case vt.XorI:
+			R[in.RD] = R[in.RA] ^ uint64(in.Imm)
+		case vt.ShlI:
+			R[in.RD] = R[in.RA] << (uint64(in.Imm) & 63)
+		case vt.ShrI:
+			R[in.RD] = R[in.RA] >> (uint64(in.Imm) & 63)
+		case vt.SarI:
+			R[in.RD] = uint64(int64(R[in.RA]) >> (uint64(in.Imm) & 63))
+		case vt.RotrI:
+			R[in.RD] = bits.RotateLeft64(R[in.RA], -int(uint64(in.Imm)&63))
+		case vt.Neg:
+			R[in.RD] = -R[in.RA]
+		case vt.Not:
+			R[in.RD] = ^R[in.RA]
+		case vt.MulWideU:
+			hi, lo := bits.Mul64(R[in.RA], R[in.RB])
+			R[in.RD] = lo
+			R[in.RC] = hi
+		case vt.MulWideS:
+			a, b := int64(R[in.RA]), int64(R[in.RB])
+			hi, lo := bits.Mul64(uint64(a), uint64(b))
+			if a < 0 {
+				hi -= uint64(b)
+			}
+			if b < 0 {
+				hi -= uint64(a)
+			}
+			R[in.RD] = lo
+			R[in.RC] = hi
+		case vt.SetCC:
+			if evalCond(in.Cond, R[in.RA], R[in.RB]) {
+				R[in.RD] = 1
+			} else {
+				R[in.RD] = 0
+			}
+		case vt.Br:
+			pc = bidx[pc]
+			continue
+		case vt.BrCC:
+			if evalCond(in.Cond, R[in.RA], R[in.RB]) {
+				pc = bidx[pc]
+				continue
+			}
+		case vt.BrNZ:
+			if R[in.RA] != 0 {
+				pc = bidx[pc]
+				continue
+			}
+		case vt.Call:
+			m.callPCs = append(m.callPCs, pc)
+			pc = bidx[pc]
+			continue
+		case vt.CallInd:
+			idx := mod.indexOf(int32(R[in.RA]))
+			if idx < 0 {
+				return trap(vt.TrapOOB, "indirect call target")
+			}
+			m.callPCs = append(m.callPCs, pc)
+			pc = idx
+			continue
+		case vt.CallRT:
+			id := int(in.Imm)
+			if id >= len(m.RT) || m.RT[id] == nil {
+				return trap(vt.TrapUnreachable, fmt.Sprintf("runtime function %d", id))
+			}
+			if err := m.RT[id](m); err != nil {
+				if t, ok := err.(*Trap); ok {
+					t.PC = offs[pc]
+					t.Frames = append(t.Frames, mod.symbolize(offs[pc]))
+					m.callPCs = m.callPCs[:callBase]
+					return t
+				}
+				m.callPCs = m.callPCs[:callBase]
+				return err
+			}
+			mem = m.Mem // runtime call may have grown memory
+		case vt.Ret:
+			if len(m.callPCs) == callBase {
+				return nil
+			}
+			pc = m.callPCs[len(m.callPCs)-1]
+			m.callPCs = m.callPCs[:len(m.callPCs)-1]
+		case vt.Trap:
+			return trap(vt.TrapCode(in.Imm), "")
+		case vt.TrapNZ:
+			if R[in.RA] != 0 {
+				return trap(vt.TrapCode(in.Imm), "")
+			}
+		case vt.Crc32:
+			R[in.RD] = crc32c8(R[in.RA], R[in.RB])
+		case vt.FMovRR:
+			F[in.RD] = F[in.RA]
+		case vt.FMovRI:
+			F[in.RD] = fromBits(uint64(in.Imm))
+		case vt.FLoad:
+			a, ok := loadAddr(R[in.RA]+uint64(in.Imm), 8)
+			if !ok {
+				return trap(vt.TrapOOB, "fload")
+			}
+			F[in.RD] = fromBits(le64(mem[a:]))
+		case vt.FStore:
+			a, ok := loadAddr(R[in.RA]+uint64(in.Imm), 8)
+			if !ok {
+				return trap(vt.TrapOOB, "fstore")
+			}
+			put64(mem[a:], toBits(F[in.RB]))
+		case vt.FAdd:
+			F[in.RD] = F[in.RA] + F[in.RB]
+		case vt.FSub:
+			F[in.RD] = F[in.RA] - F[in.RB]
+		case vt.FMul:
+			F[in.RD] = F[in.RA] * F[in.RB]
+		case vt.FDiv:
+			F[in.RD] = F[in.RA] / F[in.RB]
+		case vt.FCmp:
+			if evalFCond(in.Cond, F[in.RA], F[in.RB]) {
+				R[in.RD] = 1
+			} else {
+				R[in.RD] = 0
+			}
+		case vt.CvtSI2F:
+			F[in.RD] = float64(int64(R[in.RA]))
+		case vt.CvtF2SI:
+			R[in.RD] = uint64(int64(F[in.RA]))
+		case vt.MovRF:
+			R[in.RD] = toBits(F[in.RA])
+		case vt.MovFR:
+			F[in.RD] = fromBits(R[in.RA])
+		default:
+			return trap(vt.TrapUnreachable, fmt.Sprintf("bad op %d", in.Op))
+		}
+		pc++
+	}
+}
+
+func evalCond(c vt.Cond, a, b uint64) bool {
+	switch c {
+	case vt.CondEQ:
+		return a == b
+	case vt.CondNE:
+		return a != b
+	case vt.CondSLT:
+		return int64(a) < int64(b)
+	case vt.CondSLE:
+		return int64(a) <= int64(b)
+	case vt.CondSGT:
+		return int64(a) > int64(b)
+	case vt.CondSGE:
+		return int64(a) >= int64(b)
+	case vt.CondULT:
+		return a < b
+	case vt.CondULE:
+		return a <= b
+	case vt.CondUGT:
+		return a > b
+	case vt.CondUGE:
+		return a >= b
+	}
+	return false
+}
+
+func evalFCond(c vt.Cond, a, b float64) bool {
+	switch c {
+	case vt.CondEQ:
+		return a == b
+	case vt.CondNE:
+		return a != b
+	case vt.CondSLT, vt.CondULT:
+		return a < b
+	case vt.CondSLE, vt.CondULE:
+		return a <= b
+	case vt.CondSGT, vt.CondUGT:
+		return a > b
+	case vt.CondSGE, vt.CondUGE:
+		return a >= b
+	}
+	return false
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func crc32c8(seed, v uint64) uint64 {
+	var b [8]byte
+	put64(b[:], v)
+	return uint64(crc32.Update(uint32(seed), crcTable, b[:]))
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func le64(b []byte) uint64 {
+	return uint64(le32(b)) | uint64(le32(b[4:]))<<32
+}
+
+func put32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func put64(b []byte, v uint64) {
+	put32(b, uint32(v))
+	put32(b[4:], uint32(v>>32))
+}
+
+func fromBits(u uint64) float64 { return math.Float64frombits(u) }
+func toBits(f float64) uint64   { return math.Float64bits(f) }

@@ -1,0 +1,378 @@
+package vt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Program is decoded machine code ready for execution or disassembly.
+type Program struct {
+	Arch   Arch
+	Code   []byte
+	Instrs []Instr
+	// Index maps a byte offset in Code to the index in Instrs of the
+	// instruction starting there, or -1.
+	Index []int32
+	// Offsets holds the starting byte offset of each instruction.
+	Offsets []int32
+}
+
+// Decode parses machine code for the given architecture. Branch and call
+// targets in the returned instructions are absolute byte offsets into code.
+func Decode(arch Arch, code []byte) (*Program, error) {
+	p := &Program{Arch: arch, Code: code}
+	p.Index = make([]int32, len(code)+1)
+	for i := range p.Index {
+		p.Index[i] = -1
+	}
+	var err error
+	switch arch {
+	case VX64:
+		err = p.decodeX64()
+	case VA64:
+		err = p.decodeA64()
+	default:
+		return nil, fmt.Errorf("vt: unknown arch %d", arch)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Program) add(off int, i Instr) {
+	p.Index[off] = int32(len(p.Instrs))
+	p.Offsets = append(p.Offsets, int32(off))
+	p.Instrs = append(p.Instrs, i)
+}
+
+func (p *Program) decodeX64() error {
+	code := p.Code
+	pc := 0
+	for pc < len(code) {
+		start := pc
+		op := Op(code[pc])
+		pc++
+		i := Instr{Op: op}
+		need := func(n int) bool { return pc+n <= len(code) }
+		regs := func() (uint8, uint8) {
+			b := code[pc]
+			pc++
+			return b >> 4, b & 0xF
+		}
+		imm := func() (int64, bool) {
+			if !need(1) {
+				return 0, false
+			}
+			sz := code[pc]
+			pc++
+			switch sz {
+			case 0:
+				if !need(1) {
+					return 0, false
+				}
+				v := int64(int8(code[pc]))
+				pc++
+				return v, true
+			case 1:
+				if !need(2) {
+					return 0, false
+				}
+				v := int64(int16(binary.LittleEndian.Uint16(code[pc:])))
+				pc += 2
+				return v, true
+			case 2:
+				if !need(4) {
+					return 0, false
+				}
+				v := int64(int32(binary.LittleEndian.Uint32(code[pc:])))
+				pc += 4
+				return v, true
+			case 3:
+				if !need(8) {
+					return 0, false
+				}
+				v := int64(binary.LittleEndian.Uint64(code[pc:]))
+				pc += 8
+				return v, true
+			}
+			return 0, false
+		}
+		rel32 := func() (int32, bool) {
+			if !need(4) {
+				return 0, false
+			}
+			v := int32(binary.LittleEndian.Uint32(code[pc:]))
+			pc += 4
+			return int32(pc) + v, true
+		}
+		bad := func() error { return fmt.Errorf("vx64: truncated %s at %d", op, start) }
+
+		switch op {
+		case Nop, Ret:
+			// nothing
+		case MovRR, FMovRR, MovRF, MovFR, CvtSI2F, CvtF2SI:
+			if !need(1) {
+				return bad()
+			}
+			i.RD, i.RA = regs()
+		case Add, Sub, Mul, And, Or, Xor, Shl, Shr, Sar, Rotr, SDiv, SRem, UDiv, URem,
+			Crc32, FAdd, FSub, FMul, FDiv:
+			if !need(1) {
+				return bad()
+			}
+			i.RD, i.RB = regs()
+			i.RA = i.RD
+		case Neg, Not:
+			if !need(1) {
+				return bad()
+			}
+			i.RD, _ = regs()
+			i.RA = i.RD
+		case SetCC, FCmp:
+			if !need(2) {
+				return bad()
+			}
+			i.RD, i.RA = regs()
+			c, rb := regs()
+			i.Cond, i.RB = Cond(c), rb
+		case MulWideU, MulWideS:
+			if !need(2) {
+				return bad()
+			}
+			i.RD, i.RC = regs()
+			i.RA, i.RB = regs()
+		case MovRI, FMovRI:
+			if !need(1) {
+				return bad()
+			}
+			i.RD, _ = regs()
+			v, ok := imm()
+			if !ok {
+				return bad()
+			}
+			i.Imm = v
+		case AddI, SubI, MulI, AndI, OrI, XorI, ShlI, ShrI, SarI, RotrI, Lea,
+			Load8, Load8S, Load16, Load16S, Load32, Load32S, Load64, FLoad:
+			if !need(1) {
+				return bad()
+			}
+			i.RD, i.RA = regs()
+			v, ok := imm()
+			if !ok {
+				return bad()
+			}
+			i.Imm = v
+		case Store8, Store16, Store32, Store64, FStore:
+			if !need(1) {
+				return bad()
+			}
+			i.RA, i.RB = regs()
+			v, ok := imm()
+			if !ok {
+				return bad()
+			}
+			i.Imm = v
+		case Br:
+			t, ok := rel32()
+			if !ok {
+				return bad()
+			}
+			i.Target = t
+		case BrCC:
+			if !need(2) {
+				return bad()
+			}
+			i.RA, i.RB = regs()
+			i.Cond = Cond(code[pc])
+			pc++
+			t, ok := rel32()
+			if !ok {
+				return bad()
+			}
+			i.Target = t
+		case BrNZ:
+			if !need(1) {
+				return bad()
+			}
+			i.RA, _ = regs()
+			t, ok := rel32()
+			if !ok {
+				return bad()
+			}
+			i.Target = t
+		case Call:
+			if !need(4) {
+				return bad()
+			}
+			i.Imm = int64(binary.LittleEndian.Uint32(code[pc:]))
+			pc += 4
+		case CallInd:
+			if !need(1) {
+				return bad()
+			}
+			i.RA, _ = regs()
+		case CallRT:
+			if !need(2) {
+				return bad()
+			}
+			i.Imm = int64(binary.LittleEndian.Uint16(code[pc:]))
+			pc += 2
+		case Trap:
+			if !need(1) {
+				return bad()
+			}
+			i.Imm = int64(code[pc])
+			pc++
+		case TrapNZ:
+			if !need(2) {
+				return bad()
+			}
+			i.RA, _ = regs()
+			i.Imm = int64(code[pc])
+			pc++
+		default:
+			return fmt.Errorf("vx64: bad opcode %d at %d", op, start)
+		}
+		p.add(start, i)
+	}
+	return nil
+}
+
+func (p *Program) decodeA64() error {
+	code := p.Code
+	if len(code)%4 != 0 {
+		return fmt.Errorf("va64: code length %d not word-aligned", len(code))
+	}
+	for pc := 0; pc < len(code); pc += 4 {
+		w := binary.LittleEndian.Uint32(code[pc:])
+		op := Op(w & 0xFF)
+		rd := uint8(w >> 8 & 0x3F)
+		ra := uint8(w >> 14 & 0x3F)
+		rb := uint8(w >> 20 & 0x3F)
+		x := uint8(w >> 26 & 0x3F)
+		i := Instr{Op: op}
+		switch op {
+		case Nop, Ret:
+			// nothing
+		case MovRR, FMovRR, MovRF, MovFR, CvtSI2F, CvtF2SI, Neg, Not:
+			i.RD, i.RA = rd, ra
+		case Add, Sub, Mul, And, Or, Xor, Shl, Shr, Sar, Rotr, SDiv, SRem, UDiv, URem,
+			Crc32, FAdd, FSub, FMul, FDiv:
+			i.RD, i.RA, i.RB = rd, ra, rb
+		case SetCC, FCmp:
+			i.RD, i.RA, i.RB, i.Cond = rd, ra, rb, Cond(x)
+		case MulWideU, MulWideS:
+			i.RD, i.RA, i.RB, i.RC = rd, ra, rb, x
+		case MovZ, MovK:
+			i.RD = rd
+			i.Cond = Cond(w >> 14 & 3)
+			i.Imm = int64(w >> 16 & 0xFFFF)
+		case AddI, SubI, MulI, AndI, OrI, XorI, ShlI, ShrI, SarI, RotrI, Lea,
+			Load8, Load8S, Load16, Load16S, Load32, Load32S, Load64, FLoad:
+			i.RD, i.RA = rd, ra
+			i.Imm = int64(int32(w) >> 20)
+		case Store8, Store16, Store32, Store64, FStore:
+			i.RB, i.RA = rd, ra
+			i.Imm = int64(int32(w) >> 20)
+		case Br:
+			rel := int32(w) >> 8
+			i.Target = int32(pc) + rel*4
+		case BrNZ:
+			i.RA = rd
+			rel := int32(w) >> 14
+			i.Target = int32(pc) + rel*4
+		case Call:
+			i.Imm = int64(w>>8) * 4
+		case CallInd:
+			i.RA = ra
+		case CallRT:
+			i.Imm = int64(w >> 16 & 0xFFFF)
+		case Trap:
+			i.Imm = int64(rd)
+		case TrapNZ:
+			i.Imm, i.RA = int64(rd), ra
+		default:
+			return fmt.Errorf("va64: bad opcode %d at %d", op, pc)
+		}
+		p.add(pc, i)
+	}
+	return nil
+}
+
+// Disasm renders one instruction as assembly-like text.
+func Disasm(i Instr) string {
+	r := func(n uint8) string { return fmt.Sprintf("r%d", n) }
+	f := func(n uint8) string { return fmt.Sprintf("f%d", n) }
+	switch i.Op {
+	case Nop, Ret:
+		return i.Op.String()
+	case MovRR:
+		return fmt.Sprintf("mov %s, %s", r(i.RD), r(i.RA))
+	case MovRI:
+		return fmt.Sprintf("movi %s, %d", r(i.RD), i.Imm)
+	case MovZ, MovK:
+		return fmt.Sprintf("%s %s, %d, lsl %d", i.Op, r(i.RD), i.Imm, uint8(i.Cond)*16)
+	case FMovRR:
+		return fmt.Sprintf("fmov %s, %s", f(i.RD), f(i.RA))
+	case FMovRI:
+		return fmt.Sprintf("fmovi %s, %#x", f(i.RD), uint64(i.Imm))
+	case MovRF:
+		return fmt.Sprintf("movrf %s, %s", r(i.RD), f(i.RA))
+	case MovFR:
+		return fmt.Sprintf("movfr %s, %s", f(i.RD), r(i.RA))
+	case CvtSI2F:
+		return fmt.Sprintf("si2f %s, %s", f(i.RD), r(i.RA))
+	case CvtF2SI:
+		return fmt.Sprintf("f2si %s, %s", r(i.RD), f(i.RA))
+	case Add, Sub, Mul, And, Or, Xor, Shl, Shr, Sar, Rotr, SDiv, SRem, UDiv, URem, Crc32:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, r(i.RD), r(i.RA), r(i.RB))
+	case FAdd, FSub, FMul, FDiv:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, f(i.RD), f(i.RA), f(i.RB))
+	case Neg, Not:
+		return fmt.Sprintf("%s %s", i.Op, r(i.RD))
+	case AddI, SubI, MulI, AndI, OrI, XorI, ShlI, ShrI, SarI, RotrI, Lea:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, r(i.RD), r(i.RA), i.Imm)
+	case Load8, Load8S, Load16, Load16S, Load32, Load32S, Load64:
+		return fmt.Sprintf("%s %s, [%s%+d]", i.Op, r(i.RD), r(i.RA), i.Imm)
+	case FLoad:
+		return fmt.Sprintf("fld %s, [%s%+d]", f(i.RD), r(i.RA), i.Imm)
+	case Store8, Store16, Store32, Store64:
+		return fmt.Sprintf("%s [%s%+d], %s", i.Op, r(i.RA), i.Imm, r(i.RB))
+	case FStore:
+		return fmt.Sprintf("fst [%s%+d], %s", r(i.RA), i.Imm, f(i.RB))
+	case SetCC:
+		return fmt.Sprintf("set.%s %s, %s, %s", i.Cond, r(i.RD), r(i.RA), r(i.RB))
+	case FCmp:
+		return fmt.Sprintf("fcmp.%s %s, %s, %s", i.Cond, r(i.RD), f(i.RA), f(i.RB))
+	case MulWideU, MulWideS:
+		return fmt.Sprintf("%s %s:%s, %s, %s", i.Op, r(i.RC), r(i.RD), r(i.RA), r(i.RB))
+	case Br:
+		return fmt.Sprintf("br %d", i.Target)
+	case BrCC:
+		return fmt.Sprintf("br.%s %s, %s, %d", i.Cond, r(i.RA), r(i.RB), i.Target)
+	case BrNZ:
+		return fmt.Sprintf("brnz %s, %d", r(i.RA), i.Target)
+	case Call:
+		return fmt.Sprintf("call %d", i.Imm)
+	case CallInd:
+		return fmt.Sprintf("calli %s", r(i.RA))
+	case CallRT:
+		return fmt.Sprintf("callrt %d", i.Imm)
+	case Trap:
+		return fmt.Sprintf("trap %s", TrapCode(i.Imm))
+	case TrapNZ:
+		return fmt.Sprintf("trapnz %s, %s", r(i.RA), TrapCode(i.Imm))
+	}
+	return fmt.Sprintf("?%d", i.Op)
+}
+
+// DisasmAll renders a whole program, one instruction per line with offsets.
+func DisasmAll(p *Program) string {
+	var sb strings.Builder
+	for k, i := range p.Instrs {
+		fmt.Fprintf(&sb, "%6d: %s\n", p.Offsets[k], Disasm(i))
+	}
+	return sb.String()
+}

@@ -1,0 +1,305 @@
+// Package qc is the public interface to the query-compilation framework
+// study: an embeddable analytical query engine whose queries are compiled
+// to a virtual machine target by any of the back-ends analyzed in the paper
+// — a bytecode interpreter, the single-pass DirectEmit compiler, a
+// Cranelift-like framework, an LLVM-like framework (cheap and optimized
+// modes, three instruction selectors), a GCC-style C pipeline, and the
+// adaptive two-tier strategy.
+//
+//	db, _ := qc.Open()
+//	db.LoadTPCH(0.05)
+//	res, _ := db.Exec("SELECT l_returnflag, SUM(l_extendedprice) FROM lineitem GROUP BY l_returnflag")
+//	for _, row := range res.Rows { fmt.Println(row) }
+package qc
+
+import (
+	"fmt"
+	"time"
+
+	"qcc/internal/backend"
+	"qcc/internal/backend/adaptive"
+	"qcc/internal/backend/cbe"
+	"qcc/internal/backend/clift"
+	"qcc/internal/backend/direct"
+	"qcc/internal/backend/interp"
+	"qcc/internal/backend/lbe"
+	"qcc/internal/codegen"
+	"qcc/internal/plan"
+	"qcc/internal/qir"
+	"qcc/internal/rt"
+	"qcc/internal/sql"
+	"qcc/internal/tpcds"
+	"qcc/internal/tpch"
+	"qcc/internal/vm"
+	"qcc/internal/vt"
+)
+
+// Arch selects the virtual target architecture.
+type Arch = vt.Arch
+
+// Architectures.
+const (
+	VX64 = vt.VX64
+	VA64 = vt.VA64
+)
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	arch   Arch
+	memMB  int
+	engine string
+}
+
+// WithArch selects the target architecture (default VX64).
+func WithArch(a Arch) Option { return func(c *config) { c.arch = a } }
+
+// WithMemoryMB sets the virtual machine memory size (default 512 MiB).
+func WithMemoryMB(mb int) Option { return func(c *config) { c.memMB = mb } }
+
+// WithEngine selects the default execution back-end by name; see Engines.
+func WithEngine(name string) Option { return func(c *config) { c.engine = name } }
+
+// DB is an in-memory analytical database instance.
+type DB struct {
+	db      *rt.DB
+	cat     *rt.Catalog
+	arch    Arch
+	engines map[string]backend.Engine
+	def     string
+}
+
+// Engines lists the available back-end names.
+func Engines() []string {
+	return []string{"interpreter", "directemit", "cranelift", "llvm-cheap", "llvm-opt", "gcc", "adaptive"}
+}
+
+// Open creates a database.
+func Open(opts ...Option) (*DB, error) {
+	cfg := config{arch: VX64, memMB: 512, engine: "adaptive"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m := vm.New(vm.Config{Arch: cfg.arch, MemSize: cfg.memMB << 20})
+	db := rt.NewDB(m)
+	d := &DB{
+		db:   db,
+		cat:  rt.NewCatalog(db),
+		arch: cfg.arch,
+		engines: map[string]backend.Engine{
+			"interpreter": interp.New(),
+			"directemit":  direct.New(),
+			"cranelift":   clift.New(),
+			"llvm-cheap":  lbe.NewCheap(),
+			"llvm-opt":    lbe.NewOpt(),
+			"gcc":         cbe.New(),
+			"adaptive":    adaptive.New(),
+		},
+		def: cfg.engine,
+	}
+	if cfg.arch != VX64 && (cfg.engine == "directemit" || cfg.engine == "adaptive") {
+		d.def = "cranelift" // DirectEmit tiers are vx64-only
+	}
+	if _, ok := d.engines[d.def]; !ok {
+		return nil, fmt.Errorf("qc: unknown engine %q", cfg.engine)
+	}
+	return d, nil
+}
+
+// LoadTPCH populates the TPC-H analog schema at the given scale factor.
+func (d *DB) LoadTPCH(sf float64) error { return tpch.Load(d.cat, sf) }
+
+// LoadTPCDS populates the TPC-DS analog schema at the given scale factor.
+func (d *DB) LoadTPCDS(sf float64) error { return tpcds.Load(d.cat, sf) }
+
+// ColumnType is a column type for CreateTable.
+type ColumnType = qir.Type
+
+// Column types.
+const (
+	Int32   = qir.I32
+	Int64   = qir.I64
+	Decimal = qir.I128
+	Float   = qir.F64
+	Text    = qir.Str
+)
+
+// Column declares one column for CreateTable.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// Table provides typed row insertion for a created table.
+type Table struct {
+	db  *DB
+	tbl *rt.Table
+	row int64
+}
+
+// CreateTable allocates a table with a fixed row capacity.
+func (d *DB) CreateTable(name string, rows int64, cols ...Column) (*Table, error) {
+	specs := make([]rt.ColSpec, len(cols))
+	for i, c := range cols {
+		specs[i] = rt.ColSpec{Name: c.Name, Type: c.Type}
+	}
+	t := d.cat.CreateTable(name, rows, specs...)
+	return &Table{db: d, tbl: t}, nil
+}
+
+// Append adds one row; values must match the column declaration order and
+// types (int64, float64, string, or qc.Dec for decimals).
+func (t *Table) Append(values ...any) error {
+	if t.row >= t.tbl.Rows {
+		return fmt.Errorf("qc: table %s is full (%d rows)", t.tbl.Name, t.tbl.Rows)
+	}
+	if len(values) != len(t.tbl.Cols) {
+		return fmt.Errorf("qc: %d values for %d columns", len(values), len(t.tbl.Cols))
+	}
+	for i, v := range values {
+		col := &t.tbl.Cols[i]
+		switch col.Type {
+		case qir.I8, qir.I16, qir.I32, qir.I64:
+			iv, ok := toInt64(v)
+			if !ok {
+				return fmt.Errorf("qc: column %s expects an integer", col.Name)
+			}
+			t.db.cat.SetInt(col, t.row, iv)
+		case qir.I128:
+			switch x := v.(type) {
+			case Dec:
+				t.db.cat.SetI128(col, t.row, rt.I128(x))
+			default:
+				iv, ok := toInt64(v)
+				if !ok {
+					return fmt.Errorf("qc: column %s expects a decimal", col.Name)
+				}
+				t.db.cat.SetI128(col, t.row, rt.I128FromInt64(iv))
+			}
+		case qir.F64:
+			fv, ok := v.(float64)
+			if !ok {
+				return fmt.Errorf("qc: column %s expects a float64", col.Name)
+			}
+			t.db.cat.SetF64(col, t.row, fv)
+		case qir.Str:
+			sv, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("qc: column %s expects a string", col.Name)
+			}
+			t.db.cat.SetStr(col, t.row, sv)
+		default:
+			return fmt.Errorf("qc: unsupported column type %s", col.Type)
+		}
+	}
+	t.row++
+	return nil
+}
+
+func toInt64(v any) (int64, bool) {
+	switch x := v.(type) {
+	case int:
+		return int64(x), true
+	case int32:
+		return int64(x), true
+	case int64:
+		return x, true
+	}
+	return 0, false
+}
+
+// Dec is a fixed-point decimal value (scale managed by the caller).
+type Dec rt.I128
+
+// DecFromInt builds a decimal from an integer.
+func DecFromInt(v int64) Dec { return Dec(rt.I128FromInt64(v)) }
+
+// Stats summarizes one query's compilation and execution.
+type Stats struct {
+	Engine      string
+	CompileTime time.Duration
+	ExecTime    time.Duration
+	Functions   int
+	CodeBytes   int
+	// Phases is the compile-time breakdown (phase name to duration).
+	Phases map[string]time.Duration
+}
+
+// Result is a completed query.
+type Result struct {
+	// Columns are output column names (best-effort).
+	Columns []string
+	// Rows are stringified result rows in output order.
+	Rows [][]string
+	// Stats describes the compilation and execution.
+	Stats Stats
+}
+
+// Exec parses, compiles (with the default engine) and runs a SQL query.
+func (d *DB) Exec(query string) (*Result, error) {
+	return d.ExecWith(d.def, query)
+}
+
+// ExecWith runs a query with a specific back-end.
+func (d *DB) ExecWith(engine, query string) (*Result, error) {
+	eng, ok := d.engines[engine]
+	if !ok {
+		return nil, fmt.Errorf("qc: unknown engine %q (have %v)", engine, Engines())
+	}
+	node, err := sql.Parse(query, d.cat)
+	if err != nil {
+		return nil, err
+	}
+	return d.run(eng, "q", node)
+}
+
+// ExecPlan compiles and runs a hand-built plan (advanced use; see package
+// plan via the workload generators).
+func (d *DB) ExecPlan(engine string, name string, node plan.Node) (*Result, error) {
+	eng, ok := d.engines[engine]
+	if !ok {
+		return nil, fmt.Errorf("qc: unknown engine %q", engine)
+	}
+	return d.run(eng, name, node)
+}
+
+func (d *DB) run(eng backend.Engine, name string, node plan.Node) (*Result, error) {
+	c, err := codegen.Compile(name, node, d.cat)
+	if err != nil {
+		return nil, err
+	}
+	ex, stats, err := eng.Compile(c.Module, &backend.Env{DB: d.db, Arch: d.arch})
+	if err != nil {
+		return nil, err
+	}
+	d.db.ResetQueryState()
+	start := time.Now()
+	if err := codegen.Run(d.db, d.cat, c, ex.Call); err != nil {
+		return nil, err
+	}
+	execTime := time.Since(start)
+
+	res := &Result{Stats: Stats{
+		Engine:      eng.Name(),
+		CompileTime: stats.Total,
+		ExecTime:    execTime,
+		Functions:   stats.Funcs,
+		CodeBytes:   stats.CodeBytes,
+		Phases:      map[string]time.Duration{},
+	}}
+	for _, p := range stats.Phases {
+		res.Stats.Phases[p.Name] = p.Dur
+	}
+	for _, ci := range node.Schema() {
+		res.Columns = append(res.Columns, ci.Name)
+	}
+	for _, row := range d.db.Out.Rows {
+		out := make([]string, len(row))
+		for i, v := range row {
+			out[i] = v.String()
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
