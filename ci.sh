@@ -1,0 +1,27 @@
+#!/bin/sh
+# ci.sh — the checks a change must pass before merging:
+#   1. go vet
+#   2. full build
+#   3. tests under the race detector (exercises the concurrent obs counters)
+#   4. a smoke run of the benchmark harness emitting the stable JSON report
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== qbench smoke (-sf 0.01 -json) =="
+tmp="$(mktemp -t qbench-report.XXXXXX.json)"
+trap 'rm -f "$tmp"' EXIT
+go run ./cmd/qbench -sf 0.01 -json "$tmp"
+grep -q '"schema": "qcc.obs.report/v1"' "$tmp"
+echo "report OK: $tmp"
+
+echo "== ci.sh: all checks passed =="

@@ -2,10 +2,14 @@
 //
 // Usage:
 //
-//	qbench [-arch vx64|va64] [-sf 0.05] [-runs 1] [-mem 1024] <experiment>...
+//	qbench [-arch vx64|va64] [-sf 0.05] [-runs 1] [-mem 1024] [-json file] <experiment>...
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7
 // ablate-llvm fallbacks all
+//
+// -json writes a machine-readable report (schema qcc.obs.report/v1) of the
+// TPC-H suite over all engines to the given file ("-" for stdout). With
+// -json and no experiment arguments, only the JSON report is produced.
 package main
 
 import (
@@ -24,6 +28,7 @@ func main() {
 	mem := flag.Int("mem", 1024, "VM memory in MiB")
 	sfSmall := flag.Float64("sf-small", 0.02, "small scale factor for fig7")
 	sfLarge := flag.Float64("sf-large", 0.2, "large scale factor for fig7")
+	jsonOut := flag.String("json", "", "write a qcc.obs.report/v1 JSON report of the TPC-H suite to this file (\"-\" for stdout)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -40,8 +45,35 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *jsonOut != "" {
+		// Open the destination before the (long) benchmark run so a bad
+		// path fails immediately.
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "json: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		rep, err := bench.JSONReport(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.Write(out); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	args := flag.Args()
 	if len(args) == 0 {
+		if *jsonOut != "" {
+			return // JSON-only invocation
+		}
 		args = []string{"all"}
 	}
 	type experiment struct {

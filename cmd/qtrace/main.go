@@ -1,0 +1,155 @@
+// Command qtrace captures a compile-time trace of one (or every) query on
+// one (or every) back-end and exports it as a Chrome trace-event JSON file
+// (loadable in Perfetto or chrome://tracing), Prometheus text exposition,
+// or the stable qcc.obs.report/v1 JSON schema.
+//
+// Usage:
+//
+//	qtrace [-arch vx64|va64] [-workload tpch|tpcds] [-query q1] [-engine all]
+//	       [-sf 0.01] [-mem 512] [-runs 1] [-allocs] [-format chrome|prom|json]
+//	       [-o trace.json]
+//
+// Example (one TPC-H query, all engines, nested per-pass spans):
+//
+//	qtrace -workload tpch -query q1 -sf 0.01 -o q1.trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"qcc/internal/backend"
+	"qcc/internal/bench"
+	"qcc/internal/obs"
+	"qcc/internal/vt"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "qtrace: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	archFlag := flag.String("arch", "vx64", "target architecture (vx64 or va64)")
+	workload := flag.String("workload", "tpch", "workload (tpch or tpcds)")
+	query := flag.String("query", "", "trace only this query (default: all queries of the workload)")
+	engine := flag.String("engine", "all", "engine name or substring (e.g. \"cranelift\", \"llvm cheap\"), or \"all\"")
+	sf := flag.Float64("sf", 0.01, "scale factor")
+	mem := flag.Int("mem", 512, "VM memory in MiB")
+	runs := flag.Int("runs", 1, "execution repetitions (best-of)")
+	allocs := flag.Bool("allocs", false, "capture per-span heap allocation deltas (slows compilation; off by default)")
+	format := flag.String("format", "chrome", "output format: chrome, prom, or json")
+	out := flag.String("o", "-", "output file (\"-\" for stdout)")
+	flag.Parse()
+
+	switch *format {
+	case "chrome", "prom", "json":
+	default:
+		fail("unknown format %q (want chrome, prom, or json)", *format)
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.SF = *sf
+	cfg.MemMB = *mem
+	cfg.Runs = *runs
+	switch *archFlag {
+	case "vx64":
+		cfg.Arch = vt.VX64
+	case "va64":
+		cfg.Arch = vt.VA64
+	default:
+		fail("unknown arch %q", *archFlag)
+	}
+
+	var queries []bench.Query
+	switch *workload {
+	case "tpch":
+		queries = bench.HQueries()
+	case "tpcds":
+		queries = bench.DSQueries()
+	default:
+		fail("unknown workload %q", *workload)
+	}
+	if *query != "" {
+		var sel []bench.Query
+		for _, q := range queries {
+			if strings.EqualFold(q.Name, *query) {
+				sel = append(sel, q)
+			}
+		}
+		if len(sel) == 0 {
+			var names []string
+			for _, q := range queries {
+				names = append(names, q.Name)
+			}
+			fail("query %q not in %s (have: %s)", *query, *workload, strings.Join(names, " "))
+		}
+		queries = sel
+	}
+
+	var engines []backend.Engine
+	for _, e := range bench.Engines(cfg.Arch) {
+		if *engine == "all" || strings.Contains(strings.ToLower(e.Name()), strings.ToLower(*engine)) {
+			engines = append(engines, e)
+		}
+	}
+	if len(engines) == 0 {
+		fail("no engine matches %q", *engine)
+	}
+
+	// Open the destination before the capture so a bad path fails fast.
+	var dst io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		dst = f
+	}
+
+	// Trace: one tracer (hence one Chrome-trace process) per engine, each
+	// running the selected queries on a fresh world.
+	var traces []*obs.Trace
+	report := &obs.Report{
+		Schema: obs.Schema, Arch: cfg.Arch.String(),
+		Workload: *workload, SF: cfg.SF, Engines: []obs.EngineReport{},
+	}
+	for _, eng := range engines {
+		w, err := bench.NewWorldLoaded(cfg, *workload)
+		if err != nil {
+			fail("load %s: %v", *workload, err)
+		}
+		tr := obs.New(obs.Options{Allocs: *allocs})
+		run, err := bench.RunSuiteTraced(w, eng, cfg.Arch, queries, cfg.Runs, tr)
+		if err != nil {
+			fail("%v", err)
+		}
+		traces = append(traces, tr.Snapshot(eng.Name()))
+		report.Engines = append(report.Engines, bench.EngineReportOf(run))
+	}
+	report.Global = obs.GlobalCounters()
+
+	switch *format {
+	case "chrome":
+		if err := obs.WriteChrome(dst, traces...); err != nil {
+			fail("%v", err)
+		}
+	case "prom":
+		for _, tr := range traces {
+			labels := map[string]string{"arch": cfg.Arch.String(), "workload": *workload}
+			if err := tr.WritePrometheus(dst, labels); err != nil {
+				fail("%v", err)
+			}
+		}
+	case "json":
+		if err := report.Write(dst); err != nil {
+			fail("%v", err)
+		}
+	default:
+		fail("unknown format %q (want chrome, prom, or json)", *format)
+	}
+}

@@ -11,9 +11,14 @@ import (
 	"qcc/internal/backend"
 	"qcc/internal/backend/direct"
 	"qcc/internal/backend/lbe"
+	"qcc/internal/obs"
 	"qcc/internal/qir"
 	"qcc/internal/vt"
 )
+
+// statPromotions counts tier switches process-wide; per-run counts land in
+// Stats under "tier_promotions".
+var statPromotions = obs.NewCounter("adaptive.tier_promotions")
 
 // Engine is the adaptive two-tier back-end (vx64 only, like DirectEmit).
 type Engine struct {
@@ -37,8 +42,10 @@ type exec struct {
 	fast backend.Exec
 	opt  backend.Exec
 
-	calls     []int
-	threshold int
+	// calls holds per-function call counts as an observability vector; the
+	// promotion heuristic reads the same metric a profiler would export.
+	calls     *obs.Vector
+	threshold int64
 	sizeOK    []bool
 	// Promotions counts tier switches (observable in tests/examples).
 	Promotions int
@@ -56,9 +63,9 @@ func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *back
 	}
 	x := &exec{
 		mod: mod, env: env, fast: fast,
-		calls:     make([]int, len(mod.Funcs)),
+		calls:     obs.NewVector("adaptive.fn_calls", len(mod.Funcs)),
 		sizeOK:    make([]bool, len(mod.Funcs)),
-		threshold: e.CallThreshold,
+		threshold: int64(e.CallThreshold),
 		stats:     stats,
 	}
 	for i, f := range mod.Funcs {
@@ -72,8 +79,7 @@ func (x *exec) Call(fn int, args ...uint64) ([2]uint64, error) {
 	if x.opt != nil {
 		return x.opt.Call(fn, args...)
 	}
-	x.calls[fn]++
-	if x.calls[fn] > x.threshold && x.sizeOK[fn] {
+	if x.calls.Inc(fn) > x.threshold && x.sizeOK[fn] {
 		// Promote: compile the module with the optimizing tier. (The
 		// paper does this on a background thread; we compile inline,
 		// which only shifts when the cost is paid.)
@@ -81,6 +87,8 @@ func (x *exec) Call(fn int, args ...uint64) ([2]uint64, error) {
 		if err == nil {
 			x.opt = opt
 			x.Promotions++
+			statPromotions.Inc()
+			x.stats.Count("tier_promotions", 1)
 			x.stats.Merge(ostats)
 			return x.opt.Call(fn, args...)
 		}

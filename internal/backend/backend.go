@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"qcc/internal/obs"
 	"qcc/internal/qir"
 	"qcc/internal/rt"
 	"qcc/internal/vt"
@@ -20,6 +21,10 @@ import (
 type Env struct {
 	DB   *rt.DB
 	Arch vt.Arch
+	// Trace, when non-nil, receives nested compile-time spans and counters
+	// from the back-end. Nil (the default) disables tracing with zero
+	// overhead beyond the per-phase clock reads Stats always needs.
+	Trace *obs.Tracer
 }
 
 // Exec is a compiled query module ready to run.
@@ -43,6 +48,11 @@ type Stats struct {
 	// Counters holds back-end specific event counts (e.g. FastISel
 	// fallbacks by cause).
 	Counters map[string]int64
+	// AllocBytes/AllocObjs are the Go heap allocation deltas over the
+	// whole compilation (captured only when a tracer is attached; 0
+	// otherwise).
+	AllocBytes int64
+	AllocObjs  int64
 }
 
 // Phase is one named compile phase.
@@ -78,6 +88,8 @@ func (s *Stats) Merge(other *Stats) {
 	s.Total += other.Total
 	s.CodeBytes += other.CodeBytes
 	s.Funcs += other.Funcs
+	s.AllocBytes += other.AllocBytes
+	s.AllocObjs += other.AllocObjs
 	for k, v := range other.Counters {
 		s.Count(k, v)
 	}
@@ -112,7 +124,120 @@ type Engine interface {
 	Compile(mod *qir.Module, env *Env) (Exec, *Stats, error)
 }
 
-// Timer measures phases for Stats with minimal overhead.
+// Phaser measures compile phases as explicit begin/end spans. It replaces
+// the flat Timer.Lap pattern, which charged everything since the previous
+// lap to a single phase and therefore mis-attributed time whenever phases
+// nested (ISel calling into the encoder) or interleaved.
+//
+// Top-level phase spans accumulate into Stats.Phases; nested phase spans
+// appear only in the attached trace, so their time rolls up into the
+// enclosing phase exactly once and Stats.Total stays the sum of the
+// top-level phases. Group spans (BeginGroup) are trace-only containers —
+// e.g. one span per compiled function — and do not affect phase accounting
+// at all. A nil *Phaser is safe to call into (used by helpers shared with
+// untimed paths).
+type Phaser struct {
+	s     *Stats
+	tr    *obs.Tracer
+	depth int
+	// allocB/allocO baseline the compile-level allocation delta captured
+	// in Finish when a tracer is attached.
+	allocB, allocO int64
+}
+
+// NewPhaser starts phase measurement writing into s, mirroring spans into
+// tr (which may be nil for stats-only operation).
+func NewPhaser(s *Stats, tr *obs.Tracer) *Phaser {
+	p := &Phaser{s: s, tr: tr}
+	if tr.Enabled() {
+		p.allocB, p.allocO = obs.ReadAllocs()
+	}
+	return p
+}
+
+// PhaseSpan is one open phase (or group) span. End must be called exactly
+// once; the zero value is inert.
+type PhaseSpan struct {
+	p     *Phaser
+	name  string
+	start time.Time
+	sp    obs.SpanRef
+	top   bool
+	group bool
+}
+
+// Begin opens a phase span. Top-level spans are charged to Stats.Phases on
+// End; nested spans are trace-only detail.
+func (p *Phaser) Begin(name string) PhaseSpan {
+	if p == nil {
+		return PhaseSpan{}
+	}
+	p.depth++
+	return PhaseSpan{
+		p: p, name: name, top: p.depth == 1,
+		start: time.Now(), sp: p.tr.BeginCat(name, "phase"),
+	}
+}
+
+// BeginGroup opens a trace-only grouping span (e.g. "func:<name>" around a
+// function's phases, or "RegAlloc" around its sub-phases). It nests in the
+// trace but leaves phase accounting untouched, so sub-phases begun inside
+// it still count as top-level phases.
+func (p *Phaser) BeginGroup(name string) PhaseSpan {
+	if p == nil {
+		return PhaseSpan{}
+	}
+	return PhaseSpan{p: p, group: true, sp: p.tr.BeginCat(name, "group")}
+}
+
+// End closes the span, charging top-level phases to Stats.
+func (ps PhaseSpan) End() {
+	if ps.p == nil {
+		return
+	}
+	if ps.group {
+		ps.sp.End()
+		return
+	}
+	ps.p.depth--
+	if ps.top {
+		ps.p.s.AddPhase(ps.name, time.Since(ps.start))
+	}
+	ps.sp.End()
+}
+
+// Finish completes phase measurement: Stats.Total becomes the sum of the
+// recorded phases, and — when a tracer is attached — the compilation's heap
+// allocation delta lands in Stats.AllocBytes/AllocObjs.
+func (p *Phaser) Finish() {
+	if p == nil {
+		return
+	}
+	if p.tr.Enabled() {
+		b, o := obs.ReadAllocs()
+		p.s.AllocBytes += b - p.allocB
+		p.s.AllocObjs += o - p.allocO
+	}
+	var total time.Duration
+	for _, ph := range p.s.Phases {
+		total += ph.Dur
+	}
+	p.s.Total = total
+}
+
+// Tracer returns the attached tracer (nil when tracing is off), for
+// call sites that want raw spans or counters.
+func (p *Phaser) Tracer() *obs.Tracer {
+	if p == nil {
+		return nil
+	}
+	return p.tr
+}
+
+// Timer is the legacy flat phase timer, kept as a migration shim.
+//
+// Deprecated: Lap charges everything since the previous lap to one phase
+// and cannot express nesting; use Phaser begin/end spans instead.
 type Timer struct {
 	s    *Stats
 	last time.Time

@@ -35,66 +35,77 @@ func (x *exec) Call(fn int, args ...uint64) ([2]uint64, error) {
 // assembly, assembling, and linking.
 func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *backend.Stats, error) {
 	stats := &backend.Stats{Funcs: len(mod.Funcs)}
-	timer := backend.NewTimer(stats)
+	ph := backend.NewPhaser(stats, env.Trace)
 	tgt := vt.ForArch(env.Arch)
 
 	// Phase 1: print the module as C (done by the database system).
+	sp := ph.Begin("GenerateC")
 	src, err := GenerateC(mod, env)
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
 	stats.Count("c_source_bytes", int64(len(src)))
-	timer.Lap("GenerateC")
 
 	// Phase 2: the "compiler proper" re-lexes and re-parses the text.
+	sp = ph.Begin("Parse")
 	toks, err := lexAll(src)
 	if err != nil {
 		return nil, nil, err
 	}
 	fns, err := parseUnit(toks)
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
 	stats.Count("c_tokens", int64(len(toks)))
-	timer.Lap("Parse")
 
 	// Phase 3: gimplification.
+	sp = ph.Begin("Gimplify")
 	var gfns []*gimpleFunc
 	for _, fn := range fns {
+		fsp := ph.BeginGroup("func:" + fn.name)
 		gf, err := gimplify(fn)
+		fsp.End()
 		if err != nil {
 			return nil, nil, fmt.Errorf("cbe: %s: %w", fn.name, err)
 		}
 		gfns = append(gfns, gf)
 	}
-	timer.Lap("Gimplify")
+	sp.End()
 
 	// Phase 4: optimization (-O3-ish scalar pipeline).
+	sp = ph.Begin("Optimize")
 	for _, gf := range gfns {
+		fsp := ph.BeginGroup("func:" + gf.name)
 		n := optimizeGimple(gf)
+		fsp.End()
 		stats.Count("passes_run", int64(n))
 	}
-	timer.Lap("Optimize")
+	sp.End()
 
 	// Phase 5: code generation to textual assembly.
+	sp = ph.Begin("Codegen")
 	var asmText strings.Builder
 	for _, gf := range gfns {
 		if err := genAsm(gf, tgt, &asmText); err != nil {
 			return nil, nil, err
 		}
 	}
+	sp.End()
 	stats.Count("asm_bytes", int64(asmText.Len()))
-	timer.Lap("Codegen")
 
 	// Phase 6: the assembler parses the text into object code.
+	sp = ph.Begin("Assemble")
 	objs, err := assemble(asmText.String(), env.Arch)
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
-	timer.Lap("Assemble")
 
 	// Phase 7: the linker produces the shared-object image, which is then
 	// dlopen'ed (loaded into the machine).
+	sp = ph.Begin("Link")
 	code, offsets, err := link(objs, env.Arch)
 	if err != nil {
 		return nil, nil, err
@@ -117,11 +128,9 @@ func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *back
 	if err := env.DB.Bind(mod.RTNames); err != nil {
 		return nil, nil, err
 	}
-	timer.Lap("Link")
+	sp.End()
 
 	stats.CodeBytes = len(code)
-	for _, p := range stats.Phases {
-		stats.Total += p.Dur
-	}
+	ph.Finish()
 	return &exec{m: env.DB.M, mod: vmod, offsets: fnOffsets}, stats, nil
 }

@@ -41,7 +41,7 @@ func (x *exec) Call(fn int, args ...uint64) ([2]uint64, error) {
 // patches relocations.
 func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *backend.Stats, error) {
 	stats := &backend.Stats{Funcs: len(mod.Funcs)}
-	timer := backend.NewTimer(stats)
+	ph := backend.NewPhaser(stats, env.Trace)
 	tgt := vt.ForArch(env.Arch)
 
 	type compiled struct {
@@ -52,35 +52,44 @@ func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *back
 	var parts []compiled
 
 	for _, f := range mod.Funcs {
+		fsp := ph.BeginGroup("func:" + f.Name)
+
 		// IRGen: two-pass translation with hash-map value mapping.
+		sp := ph.Begin("IRGen")
 		cir, err := translate(f, env, e.opts)
+		sp.End()
 		if err != nil {
 			return nil, nil, err
 		}
-		timer.Lap("IRGen")
 
 		// IRPasses: CFG and dominator-tree computation on the IR.
+		sp = ph.Begin("IRPasses")
 		computeDomTree(cir)
-		timer.Lap("IRPasses")
+		sp.End()
 
 		// ISelPrepare: the three preparation passes.
+		sp = ph.Begin("ISelPrepare")
 		prep := runPrepare(cir)
-		timer.Lap("ISelPrepare")
+		sp.End()
 
 		// ISel: tree-matching lowering to VCode.
+		sp = ph.Begin("ISel")
 		vc, err := lower(cir, prep, tgt)
+		sp.End()
 		if err != nil {
 			return nil, nil, fmt.Errorf("clift: %s: %w", f.Name, err)
 		}
-		timer.Lap("ISel")
 
 		// RegAlloc (live-range building, bundle merging, assignment).
-		ra := allocateTimed(vc, tgt, timer)
+		rsp := ph.BeginGroup("RegAlloc")
+		ra := allocate(vc, tgt, ph)
+		rsp.End()
 		stats.Count("bundles", int64(ra.numBundles))
 		stats.Count("spilled", int64(ra.numSpilled))
 		stats.Count("btree_inserts", int64(ra.btreeInserts))
 
 		// Emit.
+		sp = ph.Begin("Emit")
 		asm := vt.NewAssembler(env.Arch)
 		if err := emit(vc, ra, tgt, asm); err != nil {
 			return nil, nil, err
@@ -90,11 +99,13 @@ func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *back
 			return nil, nil, fmt.Errorf("clift: %s: %w", f.Name, err)
 		}
 		parts = append(parts, compiled{code: code, relocs: relocs, name: f.Name})
-		timer.Lap("Emit")
+		sp.End()
+		fsp.End()
 	}
 
 	// Link: concatenate function buffers, apply relocations, register
 	// unwind info.
+	lsp := ph.Begin("Link")
 	total := 0
 	for _, p := range parts {
 		total += len(p.code)
@@ -126,19 +137,11 @@ func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *back
 	if err := env.DB.Bind(mod.RTNames); err != nil {
 		return nil, nil, err
 	}
-	timer.Lap("Link")
+	lsp.End()
 
 	stats.CodeBytes = len(code)
-	for _, p := range stats.Phases {
-		stats.Total += p.Dur
-	}
+	ph.Finish()
 	return &exec{m: env.DB.M, mod: vmod, offsets: offsets}, stats, nil
-}
-
-// allocateTimed splits the register-allocation phases for the Figure 4
-// breakdown.
-func allocateTimed(vc *vcode, tgt *vt.Target, timer *backend.Timer) *raResult {
-	return allocate(vc, tgt, timer)
 }
 
 // computeDomTree runs the Cooper–Harvey–Kennedy dominator algorithm over

@@ -4,7 +4,16 @@ import (
 	"sort"
 
 	"qcc/internal/backend"
+	"qcc/internal/obs"
 	"qcc/internal/vt"
+)
+
+// Process-wide allocator counters: slab/tree growth in the hot path is an
+// allocation-volume signal the wall clock alone does not show.
+var (
+	statBTreeInserts = obs.NewCounter("clift.ra_btree_inserts")
+	statBundles      = obs.NewCounter("clift.ra_bundles")
+	statSpilled      = obs.NewCounter("clift.ra_spilled")
 )
 
 // The register allocator follows the shape the paper describes for
@@ -118,15 +127,11 @@ func visitOperands(in *vinst, fn opndFn) {
 	}
 }
 
-// allocate runs register allocation over vc for the given target; timer
-// (optional) receives the live-range / merge / assign sub-phase laps for the
-// Figure 4 breakdown.
-func allocate(vc *vcode, tgt *vt.Target, timer *backend.Timer) *raResult {
-	lap := func(name string) {
-		if timer != nil {
-			timer.Lap(name)
-		}
-	}
+// allocate runs register allocation over vc for the given target; ph
+// (optional, nil-safe) receives the live-range / merge / assign sub-phase
+// spans for the Figure 4 breakdown.
+func allocate(vc *vcode, tgt *vt.Target, ph *backend.Phaser) *raResult {
+	sp := ph.Begin("RegAlloc.liveranges")
 	nv := int(vc.nvregs)
 
 	// Reserve the two highest allocatable GPRs (and FPRs) as emission
@@ -269,7 +274,8 @@ func allocate(vc *vcode, tgt *vt.Target, timer *backend.Timer) *raResult {
 		}
 	}
 
-	lap("RegAlloc.liveranges")
+	sp.End()
+	sp = ph.Begin("RegAlloc.merge")
 
 	// Bundle merging: coalesce move-related vregs whose intervals do not
 	// properly overlap.
@@ -324,7 +330,8 @@ func allocate(vc *vcode, tgt *vt.Target, timer *backend.Timer) *raResult {
 		}
 	}
 
-	lap("RegAlloc.merge")
+	sp.End()
+	sp = ph.Begin("RegAlloc.assign")
 
 	// Physical register occupancy, seeded with fixed preg references and
 	// call clobbers.
@@ -491,6 +498,9 @@ func allocate(vc *vcode, tgt *vt.Target, timer *backend.Timer) *raResult {
 	sort.Slice(res.usedCalleeSaved, func(i, j int) bool {
 		return res.usedCalleeSaved[i] < res.usedCalleeSaved[j]
 	})
-	lap("RegAlloc.assign")
+	sp.End()
+	statBTreeInserts.Add(int64(res.btreeInserts))
+	statBundles.Add(int64(res.numBundles))
+	statSpilled.Add(int64(res.numSpilled))
 	return res
 }

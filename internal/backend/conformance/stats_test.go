@@ -1,0 +1,113 @@
+package conformance_test
+
+import (
+	"testing"
+	"time"
+
+	"qcc/internal/backend"
+	"qcc/internal/codegen"
+	"qcc/internal/obs"
+	"qcc/internal/vt"
+)
+
+// TestStatsWellFormed checks the observability contract every engine must
+// satisfy: a non-empty phase breakdown, a Total consistent with the sum of
+// the phases (within 5%), and — for every compiling back-end — emitted code.
+func TestStatsWellFormed(t *testing.T) {
+	for _, arch := range []vt.Arch{vt.VX64, vt.VA64} {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			build := corpus(t)["join-groupby-sort"]
+			for ename, eng := range engines(arch) {
+				ename, eng := ename, eng
+				t.Run(ename, func(t *testing.T) {
+					w := buildWorld(arch)
+					c, err := codegen.Compile("stats", build(), w.cat)
+					if err != nil {
+						t.Fatal(err)
+					}
+					_, stats, err := eng.Compile(c.Module, &backend.Env{DB: w.db, Arch: arch})
+					if err != nil {
+						t.Fatalf("%s: %v", ename, err)
+					}
+					if len(stats.Phases) == 0 {
+						t.Fatalf("%s: no phases recorded", ename)
+					}
+					var sum time.Duration
+					for _, p := range stats.Phases {
+						if p.Dur < 0 {
+							t.Errorf("%s: phase %s has negative duration %v", ename, p.Name, p.Dur)
+						}
+						sum += p.Dur
+					}
+					if stats.Total <= 0 {
+						t.Fatalf("%s: non-positive Total %v", ename, stats.Total)
+					}
+					diff := stats.Total - sum
+					if diff < 0 {
+						diff = -diff
+					}
+					if float64(diff) > 0.05*float64(stats.Total) {
+						t.Errorf("%s: Total %v deviates from phase sum %v by more than 5%%", ename, stats.Total, sum)
+					}
+					if ename != "interp" && stats.CodeBytes <= 0 {
+						t.Errorf("%s: compiling back-end reported CodeBytes=%d", ename, stats.CodeBytes)
+					}
+					if stats.Funcs <= 0 {
+						t.Errorf("%s: Funcs=%d", ename, stats.Funcs)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestTraceWellFormed attaches a tracer to one compile per engine and checks
+// the recorded span tree: spans close, nest consistently, and cover every
+// phase reported in Stats.
+func TestTraceWellFormed(t *testing.T) {
+	arch := vt.VX64
+	build := corpus(t)["join-groupby-sort"]
+	for ename, eng := range engines(arch) {
+		ename, eng := ename, eng
+		t.Run(ename, func(t *testing.T) {
+			w := buildWorld(arch)
+			c, err := codegen.Compile("trace", build(), w.cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := obs.New(obs.Options{})
+			_, stats, err := eng.Compile(c.Module, &backend.Env{DB: w.db, Arch: arch, Trace: tr})
+			if err != nil {
+				t.Fatalf("%s: %v", ename, err)
+			}
+			snap := tr.Snapshot(ename)
+			if len(snap.Spans) == 0 {
+				t.Fatalf("%s: trace has no spans", ename)
+			}
+			names := map[string]bool{}
+			for i, sp := range snap.Spans {
+				names[sp.Name] = true
+				if sp.Dur < 0 {
+					t.Errorf("%s: span %s never ended", ename, sp.Name)
+				}
+				if sp.Parent >= int32(i) {
+					t.Errorf("%s: span %s has forward parent %d", ename, sp.Name, sp.Parent)
+				}
+				if sp.Parent >= 0 {
+					p := snap.Spans[sp.Parent]
+					if sp.Depth != p.Depth+1 {
+						t.Errorf("%s: span %s depth %d under parent depth %d", ename, sp.Name, sp.Depth, p.Depth)
+					}
+				} else if sp.Depth != 0 {
+					t.Errorf("%s: root span %s has depth %d", ename, sp.Name, sp.Depth)
+				}
+			}
+			for _, p := range stats.Phases {
+				if !names[p.Name] {
+					t.Errorf("%s: phase %s missing from trace", ename, p.Name)
+				}
+			}
+		})
+	}
+}

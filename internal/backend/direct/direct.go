@@ -45,18 +45,22 @@ func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *back
 		return nil, nil, &backend.ErrUnsupported{Backend: "direct", Reason: "only vx64 is supported"}
 	}
 	stats := &backend.Stats{Funcs: len(mod.Funcs)}
-	timer := backend.NewTimer(stats)
+	ph := backend.NewPhaser(stats, env.Trace)
 
 	asm := vt.NewFastX64Assembler()
 	offsets := make([]int32, len(mod.Funcs))
 	var unwind []vm.UnwindRange
 
 	for fi, f := range mod.Funcs {
+		fsp := ph.BeginGroup("func:" + f.Name)
+
 		// Analysis pass.
+		sp := ph.Begin("Analysis")
 		a := analyze(f)
-		timer.Lap("Analysis")
+		sp.End()
 
 		// Code generation pass.
+		sp = ph.Begin("Codegen")
 		start := int32(asm.PCOffset())
 		offsets[fi] = start
 		g := &codegen{f: f, asm: asm, an: a, env: env, mod: mod}
@@ -68,9 +72,11 @@ func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *back
 			Start: start, End: end, Name: f.Name,
 			CFI: encodeCFI(start, end, g.frameSize),
 		})
-		timer.Lap("Codegen")
+		sp.End()
+		fsp.End()
 	}
 
+	sp := ph.Begin("Emit")
 	code, relocs, err := asm.Finish()
 	if err != nil {
 		return nil, nil, fmt.Errorf("direct: %w", err)
@@ -87,9 +93,9 @@ func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *back
 	if err := env.DB.Bind(mod.RTNames); err != nil {
 		return nil, nil, err
 	}
-	timer.Lap("Emit")
+	sp.End()
 	stats.CodeBytes = len(code)
-	stats.Total = stats.PhaseDur("Analysis") + stats.PhaseDur("Codegen") + stats.PhaseDur("Emit")
+	ph.Finish()
 	return &exec{m: env.DB.M, mod: vmod, offsets: offsets}, stats, nil
 }
 

@@ -64,10 +64,13 @@ type exec struct {
 // Compile implements backend.Engine.
 func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *backend.Stats, error) {
 	stats := &backend.Stats{Funcs: len(mod.Funcs)}
-	t := backend.NewTimer(stats)
+	ph := backend.NewPhaser(stats, env.Trace)
+	sp := ph.Begin("Translate")
 	x := &exec{env: env, m: env.DB.M, db: env.DB}
 	for _, f := range mod.Funcs {
+		fsp := ph.BeginGroup("func:" + f.Name)
 		bf, err := translate(f, env)
+		fsp.End()
 		if err != nil {
 			return nil, nil, err
 		}
@@ -76,8 +79,8 @@ func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *back
 	if err := env.DB.Bind(mod.RTNames); err != nil {
 		return nil, nil, err
 	}
-	t.Lap("Translate")
-	stats.Total = stats.PhaseDur("Translate")
+	sp.End()
+	ph.Finish()
 	return x, stats, nil
 }
 

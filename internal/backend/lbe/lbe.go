@@ -2,7 +2,6 @@ package lbe
 
 import (
 	"fmt"
-	"time"
 
 	"qcc/internal/backend"
 	"qcc/internal/qir"
@@ -100,7 +99,7 @@ func (x *exec) Call(fn int, args ...uint64) ([2]uint64, error) {
 // Compile implements backend.Engine.
 func (e *Engine) Compile(qmod *qir.Module, env *backend.Env) (backend.Exec, *backend.Stats, error) {
 	stats := &backend.Stats{Funcs: len(qmod.Funcs)}
-	timer := backend.NewTimer(stats)
+	ph := backend.NewPhaser(stats, env.Trace)
 	cfg := e.cfg
 	if cfg.ISel == ISelDefault {
 		if cfg.Opt {
@@ -111,6 +110,7 @@ func (e *Engine) Compile(qmod *qir.Module, env *backend.Env) (backend.Exec, *bac
 	}
 
 	// TargetMachine: constructed per compilation unless cached.
+	sp := ph.Begin("TargetMachine")
 	var tm *targetMachine
 	if cfg.NoTMCache {
 		tm = newTargetMachine(env.Arch)
@@ -125,7 +125,7 @@ func (e *Engine) Compile(qmod *qir.Module, env *backend.Env) (backend.Exec, *bac
 		}
 	}
 	tgt := tm.tgt
-	timer.Lap("TargetMachine")
+	sp.End()
 
 	lmod := &Module{Name: qmod.Name, RTNames: qmod.RTNames}
 	rtid := func(name string) uint32 { return qmod.RTImport(name) }
@@ -147,21 +147,26 @@ func (e *Engine) Compile(qmod *qir.Module, env *backend.Env) (backend.Exec, *bac
 	}
 
 	for _, qf := range qmod.Funcs {
+		fsp := ph.BeginGroup("func:" + qf.Name)
+
 		// IR construction.
+		sp = ph.Begin("IRBuild")
 		fn, err := buildIR(qf, lmod, env, cfg, rtid)
+		sp.End()
 		if err != nil {
 			return nil, nil, err
 		}
-		timer.Lap("IRBuild")
 
 		// IR passes (midend in optimized mode, then back-end prep).
+		sp = ph.Begin("IRPasses")
 		if cfg.Opt {
-			opt.run(fn, stats, "IRPasses")
+			opt.run(fn, ph, stats)
 		}
-		prep.run(fn, stats, "IRPasses")
-		timer.Lap("IRPasses")
+		prep.run(fn, ph, stats)
+		sp.End()
 
 		// Instruction selection.
+		sp = ph.Begin("ISel")
 		mf := &mfunc{name: fn.Name}
 		mf.blocks = make([]mblock, len(fn.Blocks))
 		is := &isel{cfg: cfg, fn: fn, mf: mf, tgt: tgt, stats: stats, vals: map[*Instr]mval{}}
@@ -195,46 +200,55 @@ func (e *Engine) Compile(qmod *qir.Module, env *backend.Env) (backend.Exec, *bac
 				return nil, nil, err
 			}
 		}
-		timer.Lap("ISel")
+		sp.End()
 
 		// SSA lowering and target constraints.
+		sp = ph.Begin("OtherPasses")
 		mf.computeCFG()
 		phiElim(mf)
 		rewrites := twoAddress(mf, tgt)
 		stats.Count("twoaddr_rewrites", int64(rewrites))
 		stats.Count("passes_run", 2)
-		timer.Lap("OtherPasses")
+		sp.End()
 
 		// Register allocation.
+		sp = ph.Begin("RegAlloc")
 		var ra *raState
 		if cfg.Opt {
 			ra, err = greedyRegAlloc(mf, tgt)
 		} else {
 			ra, err = fastRegAlloc(mf, tgt)
 		}
+		sp.End()
 		if err != nil {
 			return nil, nil, fmt.Errorf("lbe: %s: %w", fn.Name, err)
 		}
 		stats.Count("spill_slots", int64(ra.numSlots))
-		timer.Lap("RegAlloc")
 
 		// The remaining small machine passes (stack coloring, copy
 		// propagation scans, branch folding in opt mode, ...): each
 		// iterates the machine code.
+		sp = ph.Begin("PrologEpilog")
 		runMachineScanPasses(mf, cfg.Opt, stats)
 		prologEpilog(mf, ra, tgt)
 		stats.Count("passes_run", 1)
-		timer.Lap("PrologEpilog")
+		sp.End()
 
-		// Assembly printing into the in-memory object.
+		// Assembly printing into the in-memory object. The printer calls
+		// back into the encoder; under Lap accounting that time was charged
+		// wholesale to AsmPrinter, while the span records the encoder as a
+		// nested child.
+		sp = ph.Begin("AsmPrinter")
 		if err := asmPrint(mf, tgt, oe, len(fnNames), cfg, rtUsed); err != nil {
 			return nil, nil, err
 		}
 		fnNames = append(fnNames, fn.Name)
-		timer.Lap("AsmPrinter")
+		sp.End()
+		fsp.End()
 	}
 
 	// Module epilogue: PLT stubs, object emission, JIT linking.
+	sp = ph.Begin("ObjectEmission")
 	var maxRT uint32
 	for id := range rtUsed {
 		if id > maxRT {
@@ -260,17 +274,18 @@ func (e *Engine) Compile(qmod *qir.Module, env *backend.Env) (backend.Exec, *bac
 	}
 	objBytes := encodeObject(obj)
 	stats.CodeBytes = len(text)
-	timer.Lap("ObjectEmission")
+	sp.End()
 
+	sp = ph.Begin("Linking")
 	vmod, offsets, err := jitLink(objBytes, env.Arch, fnNames)
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
-	timer.Lap("Linking")
 
 	// Destructing the IR module is measurably expensive in LLVM; walk and
 	// release everything explicitly.
-	destructStart := time.Now()
+	sp = ph.Begin("IRDestruct")
 	for _, fn := range lmod.Fns {
 		for _, b := range fn.Blocks {
 			for _, in := range b.Instrs {
@@ -285,14 +300,12 @@ func (e *Engine) Compile(qmod *qir.Module, env *backend.Env) (backend.Exec, *bac
 		fn.Params = nil
 	}
 	lmod.Fns = nil
-	stats.AddPhase("IRDestruct", time.Since(destructStart))
+	sp.End()
 
 	if err := env.DB.Bind(qmod.RTNames); err != nil {
 		return nil, nil, err
 	}
-	for _, p := range stats.Phases {
-		stats.Total += p.Dur
-	}
+	ph.Finish()
 	return &exec{m: env.DB.M, mod: vmod, offsets: offsets}, stats, nil
 }
 

@@ -2,7 +2,6 @@ package lbe
 
 import (
 	"fmt"
-	"time"
 
 	"qcc/internal/backend"
 )
@@ -34,12 +33,15 @@ type passManager struct {
 
 func (pm *passManager) add(p irPass) { pm.passes = append(pm.passes, p) }
 
-// run executes the pipeline on one function, charging each pass group's
-// time to the given phase name.
-func (pm *passManager) run(fn *Fn, stats *backend.Stats, phase string) {
+// run executes the pipeline on one function. Pass time is charged to the
+// phase span the caller has open (the old Lap scheme charged it twice:
+// once here via AddPhase and once by the enclosing lap); with tracing on,
+// each individual pass additionally gets a nested trace span.
+func (pm *passManager) run(fn *Fn, ph *backend.Phaser, stats *backend.Stats) {
 	ctx := &passContext{stats: stats, available: map[string]any{}}
-	start := time.Now()
+	tr := ph.Tracer()
 	for _, p := range pm.passes {
+		psp := tr.BeginCat(p.name, "pass")
 		// Legacy pass-manager bookkeeping: look up required analyses,
 		// recompute if unavailable, invalidate afterwards.
 		for _, a := range p.analyses {
@@ -56,9 +58,9 @@ func (pm *passManager) run(fn *Fn, stats *backend.Stats, phase string) {
 			}
 			ctx.dt, ctx.loops = nil, nil
 		}
+		psp.End()
 		stats.Count("passes_run", 1)
 	}
-	stats.AddPhase(phase, time.Since(start))
 }
 
 func computeAnalysis(fn *Fn, ctx *passContext, name string) {

@@ -18,6 +18,7 @@ import (
 	"qcc/internal/backend/interp"
 	"qcc/internal/backend/lbe"
 	"qcc/internal/codegen"
+	"qcc/internal/obs"
 	"qcc/internal/plan"
 	"qcc/internal/rt"
 	"qcc/internal/vm"
@@ -92,6 +93,8 @@ type QueryMeasurement struct {
 	Exec     time.Duration
 	Rows     int
 	Executed int64 // VM instructions
+	Branches int64 // VM branch instructions
+	MemOps   int64 // VM loads + stores
 }
 
 // EngineRun is the per-engine outcome over a suite.
@@ -130,40 +133,62 @@ func RunSuiteBest(times int, mkWorld func() (*World, error), eng backend.Engine,
 // RunSuite compiles and executes every query with one engine, resetting
 // query state between queries.
 func RunSuite(w *World, eng backend.Engine, arch vt.Arch, queries []Query, runs int) (*EngineRun, error) {
+	return RunSuiteTraced(w, eng, arch, queries, runs, nil)
+}
+
+// RunSuiteTraced is RunSuite with an optional tracer attached to every
+// compilation: each query's compile appears as a "query:<name>" group with
+// the back-end's nested phase spans beneath it, and execution as an "exec"
+// span. A nil tracer is RunSuite.
+func RunSuiteTraced(w *World, eng backend.Engine, arch vt.Arch, queries []Query, runs int, tr *obs.Tracer) (*EngineRun, error) {
 	if runs < 1 {
 		runs = 1
 	}
 	out := &EngineRun{Engine: eng.Name(), Stats: &backend.Stats{}}
 	w.DB.Checkpoint()
 	for _, q := range queries {
+		qsp := tr.BeginCat("query:"+q.Name, "query")
 		c, err := codegen.Compile(q.Name, q.Build(), w.Cat)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", eng.Name(), q.Name, err)
 		}
-		ex, stats, err := eng.Compile(c.Module, &backend.Env{DB: w.DB, Arch: arch})
+		ex, stats, err := eng.Compile(c.Module, &backend.Env{DB: w.DB, Arch: arch, Trace: tr})
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", eng.Name(), q.Name, err)
+		}
+		// Mirror the back-end's event counters into the trace so exports
+		// show them as counter tracks alongside the spans.
+		for name, v := range stats.Counters {
+			tr.Add(name, v)
 		}
 		out.Stats.Merge(stats)
 		var best time.Duration
 		var rows int
-		var executed int64
+		var executed, branches, memops int64
 		for r := 0; r < runs; r++ {
 			w.DB.ResetQueryState()
 			startInstr := w.DB.M.Executed
+			startBranch := w.DB.M.Branches
+			startMem := w.DB.M.MemOps
+			esp := tr.BeginCat("exec", "exec")
 			start := time.Now()
 			if err := codegen.Run(w.DB, w.Cat, c, ex.Call); err != nil {
 				return nil, fmt.Errorf("%s/%s: run: %w", eng.Name(), q.Name, err)
 			}
 			d := time.Since(start)
+			esp.End()
 			if r == 0 || d < best {
 				best = d
 			}
 			rows = w.DB.Out.NumRows()
 			executed = w.DB.M.Executed - startInstr
+			branches = w.DB.M.Branches - startBranch
+			memops = w.DB.M.MemOps - startMem
 		}
+		qsp.End()
 		out.Queries = append(out.Queries, QueryMeasurement{
-			Name: q.Name, Compile: stats.Total, Exec: best, Rows: rows, Executed: executed,
+			Name: q.Name, Compile: stats.Total, Exec: best, Rows: rows,
+			Executed: executed, Branches: branches, MemOps: memops,
 		})
 		out.Compile += stats.Total
 		out.Exec += best

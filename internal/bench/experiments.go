@@ -49,6 +49,19 @@ func loadH(cfg Config, sf float64) (*World, error) {
 	return w, nil
 }
 
+// NewWorldLoaded creates a world with the named workload ("tpch" or
+// "tpcds") loaded at cfg.SF (exported for cmd/qtrace).
+func NewWorldLoaded(cfg Config, workload string) (*World, error) {
+	switch workload {
+	case "tpch":
+		return loadH(cfg, cfg.SF)
+	case "tpcds":
+		return loadDS(cfg)
+	default:
+		return nil, fmt.Errorf("bench: unknown workload %q", workload)
+	}
+}
+
 // Table1 reproduces the GCC/C compile-time breakdown over all TPC-DS
 // queries (paper Table I).
 func Table1(cfg Config) (*Report, error) {

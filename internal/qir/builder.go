@@ -1,6 +1,19 @@
 package qir
 
-import "math"
+import (
+	"math"
+
+	"qcc/internal/obs"
+)
+
+// Slab-growth counters for the two append-heavy arenas the builder manages.
+// A "growth" is an append that forces a reallocation (len == cap before the
+// append); the counts expose how much IR construction churns the allocator
+// without paying ReadMemStats on the hot path.
+var (
+	statInstrGrowths = obs.NewCounter("qir.instr_slab_growths")
+	statExtraGrowths = obs.NewCounter("qir.extra_slab_growths")
+)
 
 // Builder constructs a Func block by block. It is the fast-generation API
 // the query compiler uses: appending an instruction is an array append plus
@@ -51,10 +64,21 @@ func (b *Builder) Terminated() bool {
 
 func (b *Builder) append(in Instr) Value {
 	v := Value(len(b.f.Instrs))
+	if len(b.f.Instrs) == cap(b.f.Instrs) {
+		statInstrGrowths.Inc()
+	}
 	b.f.Instrs = append(b.f.Instrs, in)
 	blk := &b.f.Blocks[b.cur]
 	blk.List = append(blk.List, v)
 	return v
+}
+
+// noteExtraGrowth records whether appending add more elements to the operand
+// pool will force a reallocation.
+func (b *Builder) noteExtraGrowth(add int) {
+	if len(b.f.Extra)+add > cap(b.f.Extra) {
+		statExtraGrowths.Inc()
+	}
 }
 
 func (b *Builder) addEdge(from, to BlockID) {
@@ -159,6 +183,7 @@ func (b *Builder) Select(cond, x, y Value) Value {
 func (b *Builder) Call(ret Type, name string, args ...Value) Value {
 	id := b.f.mod.RTImport(name)
 	start := int32(len(b.f.Extra))
+	b.noteExtraGrowth(len(args))
 	b.f.Extra = append(b.f.Extra, args...)
 	return b.append(Instr{Op: OpCall, Type: ret, A: start, B: int32(len(args)), C: NoValue, Aux: id})
 }
@@ -170,6 +195,7 @@ func (b *Builder) Phi(t Type, pairs ...int32) Value {
 		panic("qir: phi pairs must be (pred, value) tuples")
 	}
 	start := int32(len(b.f.Extra))
+	b.noteExtraGrowth(len(pairs))
 	b.f.Extra = append(b.f.Extra, pairs...)
 	return b.append(Instr{Op: OpPhi, Type: t, A: start, B: int32(len(pairs) / 2), C: NoValue})
 }
@@ -182,9 +208,11 @@ func (b *Builder) AddPhiArg(phi Value, pred BlockID, v Value) {
 	in := &b.f.Instrs[phi]
 	if int(in.A+2*in.B) != len(b.f.Extra) {
 		start := int32(len(b.f.Extra))
+		b.noteExtraGrowth(int(2 * in.B))
 		b.f.Extra = append(b.f.Extra, b.f.Extra[in.A:in.A+2*in.B]...)
 		in.A = start
 	}
+	b.noteExtraGrowth(2)
 	b.f.Extra = append(b.f.Extra, pred, v)
 	in.B++
 }

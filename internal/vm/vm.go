@@ -132,6 +132,12 @@ type Machine struct {
 	Mem []byte
 	// Executed counts executed instructions since creation.
 	Executed int64
+	// Branches counts executed branch instructions (taken or not) since
+	// creation; MemOps counts executed loads and stores. Together with
+	// Executed they give an architecture-neutral profile of generated code
+	// quality per query.
+	Branches int64
+	MemOps   int64
 	// RT is the runtime function table.
 	RT []RTFunc
 
@@ -280,7 +286,13 @@ func (m *Machine) run(mod *Module, pc int32) error {
 	F := &m.F
 	callBase := len(m.callPCs)
 	count := int64(0)
-	defer func() { m.Executed += count }()
+	branches := int64(0)
+	memops := int64(0)
+	defer func() {
+		m.Executed += count
+		m.Branches += branches
+		m.MemOps += memops
+	}()
 
 	trap := func(code vt.TrapCode, msg string) error {
 		t := &Trap{Code: code, PC: offs[pc], Msg: msg}
@@ -294,6 +306,7 @@ func (m *Machine) run(mod *Module, pc int32) error {
 
 	mem := m.Mem
 	loadAddr := func(a uint64, n uint64) (uint64, bool) {
+		memops++
 		return a, a >= nullGuard && a+n <= uint64(len(mem))
 	}
 
@@ -479,14 +492,17 @@ func (m *Machine) run(mod *Module, pc int32) error {
 				R[in.RD] = 0
 			}
 		case vt.Br:
+			branches++
 			pc = bidx[pc]
 			continue
 		case vt.BrCC:
+			branches++
 			if evalCond(in.Cond, R[in.RA], R[in.RB]) {
 				pc = bidx[pc]
 				continue
 			}
 		case vt.BrNZ:
+			branches++
 			if R[in.RA] != 0 {
 				pc = bidx[pc]
 				continue
