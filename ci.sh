@@ -4,6 +4,8 @@
 #   2. full build
 #   3. tests under the race detector (exercises the concurrent obs counters)
 #   4. a smoke run of the benchmark harness emitting the stable JSON report
+#   5. the verification stack (qir verifier, regalloc checker, machine lint,
+#      cross-backend differential) over the TPC-H suite on both targets
 set -eu
 
 cd "$(dirname "$0")"
@@ -23,5 +25,9 @@ trap 'rm -f "$tmp"' EXIT
 go run ./cmd/qbench -sf 0.01 -json "$tmp"
 grep -q '"schema": "qcc.obs.report/v1"' "$tmp"
 echo "report OK: $tmp"
+
+echo "== qverify (tpch, vx64 + va64) =="
+go run ./cmd/qverify -sf 0.01
+go run ./cmd/qverify -sf 0.01 -arch va64
 
 echo "== ci.sh: all checks passed =="

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	qbench [-arch vx64|va64] [-sf 0.05] [-runs 1] [-mem 1024] [-json file] <experiment>...
+//	qbench [-arch vx64|va64] [-sf 0.05] [-runs 1] [-mem 1024] [-json file] [-check] <experiment>...
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7
 // ablate-llvm fallbacks all
@@ -10,6 +10,8 @@
 // -json writes a machine-readable report (schema qcc.obs.report/v1) of the
 // TPC-H suite over all engines to the given file ("-" for stdout). With
 // -json and no experiment arguments, only the JSON report is produced.
+// -check runs the machine-code verifier inside every compilation; its cost
+// appears as Check.* phases in the report.
 package main
 
 import (
@@ -29,12 +31,14 @@ func main() {
 	sfSmall := flag.Float64("sf-small", 0.02, "small scale factor for fig7")
 	sfLarge := flag.Float64("sf-large", 0.2, "large scale factor for fig7")
 	jsonOut := flag.String("json", "", "write a qcc.obs.report/v1 JSON report of the TPC-H suite to this file (\"-\" for stdout)")
+	check := flag.Bool("check", false, "run the machine-code verifier on every compilation (adds Check.* phases to the report)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
 	cfg.SF = *sf
 	cfg.Runs = *runs
 	cfg.MemMB = *mem
+	cfg.Check = *check
 	switch *archFlag {
 	case "vx64":
 		cfg.Arch = vt.VX64

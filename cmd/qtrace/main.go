@@ -41,6 +41,7 @@ func main() {
 	mem := flag.Int("mem", 512, "VM memory in MiB")
 	runs := flag.Int("runs", 1, "execution repetitions (best-of)")
 	allocs := flag.Bool("allocs", false, "capture per-span heap allocation deltas (slows compilation; off by default)")
+	check := flag.Bool("check", false, "run the machine-code verifier on every compilation (adds Check.* spans)")
 	format := flag.String("format", "chrome", "output format: chrome, prom, or json")
 	out := flag.String("o", "-", "output file (\"-\" for stdout)")
 	flag.Parse()
@@ -55,6 +56,7 @@ func main() {
 	cfg.SF = *sf
 	cfg.MemMB = *mem
 	cfg.Runs = *runs
+	cfg.Check = *check
 	switch *archFlag {
 	case "vx64":
 		cfg.Arch = vt.VX64
@@ -124,7 +126,7 @@ func main() {
 			fail("load %s: %v", *workload, err)
 		}
 		tr := obs.New(obs.Options{Allocs: *allocs})
-		run, err := bench.RunSuiteTraced(w, eng, cfg.Arch, queries, cfg.Runs, tr)
+		run, err := bench.RunSuiteTraced(w, eng, cfg.Arch, queries, cfg.Runs, tr, cfg.BackendOptions())
 		if err != nil {
 			fail("%v", err)
 		}

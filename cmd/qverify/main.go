@@ -1,0 +1,143 @@
+// Command qverify runs the full verification stack over a workload:
+//
+//  1. the QIR verifier (SSA, CFG, type, and terminator-payload invariants)
+//     on every query module;
+//  2. a checked compile on every verifier-wired back-end — the symbolic
+//     register-allocation checker plus the machine-code lint;
+//  3. the cross-backend structural differential (per-function runtime-call
+//     and trap sets must agree across back-ends, modulo the canonicalized
+//     failure idiom).
+//
+// It exits non-zero on the first failure, printing located diagnostics.
+//
+// Usage:
+//
+//	qverify [-arch vx64|va64] [-workload tpch|tpcds] [-sf 0.01] [-mem 512]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"qcc/internal/backend"
+	"qcc/internal/backend/clift"
+	"qcc/internal/backend/direct"
+	"qcc/internal/backend/lbe"
+	"qcc/internal/bench"
+	"qcc/internal/codegen"
+	"qcc/internal/mcv"
+	"qcc/internal/vt"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "qverify: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	archFlag := flag.String("arch", "vx64", "target architecture (vx64 or va64)")
+	workload := flag.String("workload", "tpch", "workload (tpch or tpcds)")
+	sf := flag.Float64("sf", 0.01, "scale factor")
+	mem := flag.Int("mem", 512, "VM memory in MiB")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.SF = *sf
+	cfg.MemMB = *mem
+	switch *archFlag {
+	case "vx64":
+		cfg.Arch = vt.VX64
+	case "va64":
+		cfg.Arch = vt.VA64
+	default:
+		fail("unknown arch %q", *archFlag)
+	}
+
+	var queries []bench.Query
+	switch *workload {
+	case "tpch":
+		queries = bench.HQueries()
+	case "tpcds":
+		queries = bench.DSQueries()
+	default:
+		fail("unknown workload %q", *workload)
+	}
+
+	engines := map[string]backend.Engine{
+		"clift":      clift.New(),
+		"llvm-cheap": lbe.NewCheap(),
+		"llvm-opt":   lbe.NewOpt(),
+	}
+	if cfg.Arch == vt.VX64 {
+		engines["direct"] = direct.New()
+	}
+	names := make([]string, 0, len(engines))
+	for n := range engines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	// Stage 1: QIR verification of every query module.
+	w, err := bench.NewWorldLoaded(cfg, *workload)
+	if err != nil {
+		fail("load %s: %v", *workload, err)
+	}
+	for _, q := range queries {
+		c, err := codegen.Compile(q.Name, q.Build(), w.Cat)
+		if err != nil {
+			fail("codegen %s: %v", q.Name, err)
+		}
+		if err := c.Module.VerifyModule(); err != nil {
+			fail("qir %s: %v", q.Name, err)
+		}
+	}
+	fmt.Printf("qverify: qir: %d %s modules verified (%s)\n", len(queries), *workload, cfg.Arch)
+
+	// Stage 2: checked compiles, collecting per-function summaries.
+	sums := map[string]map[string][]mcv.FuncSummary{}
+	for _, ename := range names {
+		// A fresh world per engine so compiled code and heap layout do not
+		// leak between back-ends.
+		w, err := bench.NewWorldLoaded(cfg, *workload)
+		if err != nil {
+			fail("load %s: %v", *workload, err)
+		}
+		sums[ename] = map[string][]mcv.FuncSummary{}
+		for _, q := range queries {
+			c, err := codegen.Compile(q.Name, q.Build(), w.Cat)
+			if err != nil {
+				fail("codegen %s: %v", q.Name, err)
+			}
+			_, stats, err := engines[ename].Compile(c.Module, &backend.Env{
+				DB: w.DB, Arch: cfg.Arch,
+				Options: backend.Options{Check: true},
+			})
+			if err != nil {
+				fail("%s/%s: %v", ename, q.Name, err)
+			}
+			sums[ename][q.Name] = stats.Summaries
+		}
+		fmt.Printf("qverify: %s: %d queries compiled clean (regalloc check + lint)\n", ename, len(queries))
+	}
+
+	// Stage 3: cross-backend differential against the clift baseline.
+	base := sums["clift"]
+	for _, ename := range names {
+		if ename == "clift" {
+			continue
+		}
+		for _, q := range queries {
+			d := mcv.Diff("clift", mcv.CanonicalizeFailures(base[q.Name]),
+				ename, mcv.CanonicalizeFailures(sums[ename][q.Name]))
+			if len(d) > 0 {
+				for _, diag := range d {
+					fmt.Fprintf(os.Stderr, "qverify: %s: clift vs %s: %s\n", q.Name, ename, diag)
+				}
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Println("qverify: differential: all back-ends agree")
+}

@@ -9,11 +9,23 @@ import (
 	"sort"
 	"time"
 
+	"qcc/internal/mcv"
 	"qcc/internal/obs"
 	"qcc/internal/qir"
 	"qcc/internal/rt"
 	"qcc/internal/vt"
 )
+
+// Options toggles optional compilation behavior shared by all back-ends.
+type Options struct {
+	// Check runs the machine-code verifier (internal/mcv) over the
+	// compiled output: the symbolic register-allocation checker, the
+	// machine-code lint, and the per-function structural summary used by
+	// the cross-backend differential. Verification failures turn into
+	// Compile errors; the checker's cost appears as its own "Check.*"
+	// phases in Stats.
+	Check bool
+}
 
 // Env is the compilation environment: the runtime the generated code will
 // execute against (string constants are interned into its machine memory at
@@ -25,6 +37,8 @@ type Env struct {
 	// from the back-end. Nil (the default) disables tracing with zero
 	// overhead beyond the per-phase clock reads Stats always needs.
 	Trace *obs.Tracer
+	// Options carries optional behavior toggles (verification, ...).
+	Options Options
 }
 
 // Exec is a compiled query module ready to run.
@@ -53,6 +67,9 @@ type Stats struct {
 	// otherwise).
 	AllocBytes int64
 	AllocObjs  int64
+	// Summaries holds the per-function structural fingerprints produced
+	// when Options.Check is set, for cross-backend differential checks.
+	Summaries []mcv.FuncSummary
 }
 
 // Phase is one named compile phase.
@@ -90,6 +107,7 @@ func (s *Stats) Merge(other *Stats) {
 	s.Funcs += other.Funcs
 	s.AllocBytes += other.AllocBytes
 	s.AllocObjs += other.AllocObjs
+	s.Summaries = append(s.Summaries, other.Summaries...)
 	for k, v := range other.Counters {
 		s.Count(k, v)
 	}

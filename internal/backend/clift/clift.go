@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"qcc/internal/backend"
+	"qcc/internal/mcv"
 	"qcc/internal/qir"
 	"qcc/internal/vm"
 	"qcc/internal/vt"
@@ -88,6 +89,16 @@ func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *back
 		stats.Count("spilled", int64(ra.numSpilled))
 		stats.Count("btree_inserts", int64(ra.btreeInserts))
 
+		if env.Options.Check {
+			csp := ph.Begin("Check.RegAlloc")
+			cf, cdiags := buildCheckFunc(vc, ra, tgt)
+			cdiags = append(cdiags, mcv.CheckFunc(cf)...)
+			csp.End()
+			if err := mcv.Error("clift: regalloc check", cdiags); err != nil {
+				return nil, nil, err
+			}
+		}
+
 		// Emit.
 		sp = ph.Begin("Emit")
 		asm := vt.NewAssembler(env.Arch)
@@ -138,6 +149,18 @@ func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *back
 		return nil, nil, err
 	}
 	lsp.End()
+
+	if env.Options.Check {
+		csp := ph.Begin("Check.Lint")
+		ldiags := mcv.Lint(vmod.Prog, vmod.Funcs(), len(mod.RTNames))
+		csp.End()
+		if err := mcv.Error("clift: machine lint", ldiags); err != nil {
+			return nil, nil, err
+		}
+		csp = ph.Begin("Check.Summary")
+		stats.Summaries = mcv.Summarize(vmod.Prog, vmod.Funcs(), mod.RTNames)
+		csp.End()
+	}
 
 	stats.CodeBytes = len(code)
 	ph.Finish()

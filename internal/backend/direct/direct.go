@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"qcc/internal/backend"
+	"qcc/internal/mcv"
 	"qcc/internal/qir"
 	"qcc/internal/vm"
 	"qcc/internal/vt"
@@ -94,6 +95,21 @@ func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *back
 		return nil, nil, err
 	}
 	sp.End()
+
+	// DirectEmit has no pre-allocation program to check symbolically, so
+	// verification is the machine-code lint plus the structural summary.
+	if env.Options.Check {
+		csp := ph.Begin("Check.Lint")
+		ldiags := mcv.Lint(vmod.Prog, vmod.Funcs(), len(mod.RTNames))
+		csp.End()
+		if err := mcv.Error("direct: machine lint", ldiags); err != nil {
+			return nil, nil, err
+		}
+		csp = ph.Begin("Check.Summary")
+		stats.Summaries = mcv.Summarize(vmod.Prog, vmod.Funcs(), mod.RTNames)
+		csp.End()
+	}
+
 	stats.CodeBytes = len(code)
 	ph.Finish()
 	return &exec{m: env.DB.M, mod: vmod, offsets: offsets}, stats, nil

@@ -460,6 +460,7 @@ func greedyRegAlloc(mf *mfunc, tgt *vt.Target) (*raState, error) {
 						stn.rb = mpreg(p)
 						stn.imm = int64(slotOf[v])
 						stn.sym = -2
+						stn.inserted, stn.mval = true, v
 						post = append(post, stn)
 					}
 					return
@@ -496,12 +497,14 @@ func greedyRegAlloc(mf *mfunc, tgt *vt.Target) (*raState, error) {
 						stn.rb = mpreg(p)
 						stn.imm = int64(slotOf[v])
 						stn.sym = -2
+						stn.inserted, stn.mval = true, v
 						post = append(post, stn)
 					}
 				} else if imm, remat := rematImm[v]; remat {
 					mv := newMinst(vt.MovRI)
 					mv.rd = mpreg(p)
 					mv.imm = imm
+					mv.inserted, mv.mval = true, v
 					pre = append(pre, mv)
 				} else {
 					ld := newMinst(vt.Load64)
@@ -512,6 +515,7 @@ func greedyRegAlloc(mf *mfunc, tgt *vt.Target) (*raState, error) {
 					ld.ra = mpreg(tgt.SP)
 					ld.imm = int64(slotOf[v])
 					ld.sym = -2
+					ld.inserted, ld.mval = true, v
 					pre = append(pre, ld)
 				}
 				*r = mpreg(p)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"qcc/internal/backend"
+	"qcc/internal/mcv"
 	"qcc/internal/qir"
 	"qcc/internal/vm"
 	"qcc/internal/vt"
@@ -211,6 +212,15 @@ func (e *Engine) Compile(qmod *qir.Module, env *backend.Env) (backend.Exec, *bac
 		stats.Count("passes_run", 2)
 		sp.End()
 
+		// The verifier pairs post-allocation code with its pre-allocation
+		// twin, so snapshot the MIR the allocators are about to rewrite.
+		var preRA [][]minst
+		if env.Options.Check {
+			csp := ph.Begin("Check.Snapshot")
+			preRA = snapshotMIR(mf)
+			csp.End()
+		}
+
 		// Register allocation.
 		sp = ph.Begin("RegAlloc")
 		var ra *raState
@@ -224,6 +234,18 @@ func (e *Engine) Compile(qmod *qir.Module, env *backend.Env) (backend.Exec, *bac
 			return nil, nil, fmt.Errorf("lbe: %s: %w", fn.Name, err)
 		}
 		stats.Count("spill_slots", int64(ra.numSlots))
+
+		// Check before the machine scan passes and prologue insertion
+		// below mutate the MIR (frame indices become byte offsets there).
+		if env.Options.Check {
+			csp := ph.Begin("Check.RegAlloc")
+			cf, cdiags := buildMCheckFunc(mf, preRA, ra, tgt)
+			cdiags = append(cdiags, mcv.CheckFunc(cf)...)
+			csp.End()
+			if err := mcv.Error("lbe: regalloc check", cdiags); err != nil {
+				return nil, nil, err
+			}
+		}
 
 		// The remaining small machine passes (stack coloring, copy
 		// propagation scans, branch folding in opt mode, ...): each
@@ -281,6 +303,18 @@ func (e *Engine) Compile(qmod *qir.Module, env *backend.Env) (backend.Exec, *bac
 	sp.End()
 	if err != nil {
 		return nil, nil, err
+	}
+
+	if env.Options.Check {
+		csp := ph.Begin("Check.Lint")
+		ldiags := mcv.Lint(vmod.Prog, vmod.Funcs(), len(qmod.RTNames))
+		csp.End()
+		if err := mcv.Error("lbe: machine lint", ldiags); err != nil {
+			return nil, nil, err
+		}
+		csp = ph.Begin("Check.Summary")
+		stats.Summaries = mcv.Summarize(vmod.Prog, vmod.Funcs(), qmod.RTNames)
+		csp.End()
 	}
 
 	// Destructing the IR module is measurably expensive in LLVM; walk and

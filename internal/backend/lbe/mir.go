@@ -42,6 +42,11 @@ type minst struct {
 	sym    int32 // relocation symbol for address materialization (-1 none)
 	isCall bool
 
+	// inserted marks allocator-created spill/reload/remat instructions;
+	// mval is the vreg they move (for the machine-code verifier).
+	inserted bool
+	mval     mreg
+
 	// phi, when non-nil, holds (incoming vreg, pred block) pairs.
 	phi *phiInfo
 }
@@ -52,7 +57,7 @@ type phiInfo struct {
 }
 
 func newMinst(op vt.Op) minst {
-	return minst{op: op, rd: mnone, ra: mnone, rb: mnone, rc: mnone, sym: -1, target: -1}
+	return minst{op: op, rd: mnone, ra: mnone, rb: mnone, rc: mnone, sym: -1, target: -1, mval: mnone}
 }
 
 type mblock struct {

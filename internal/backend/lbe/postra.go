@@ -247,13 +247,23 @@ func fastRegAlloc(mf *mfunc, tgt *vt.Target) (*raState, error) {
 			})
 
 			allocGPR := func() (uint8, error) {
+				// Every handed-out callee-saved register must reach the
+				// prologue's save list: caches over callee-saved registers
+				// survive calls, so an unsaved one would be clobbered by the
+				// callee underneath a live cache.
+				grab := func(p uint8) uint8 {
+					if tgt.IsCalleeSaved(p) {
+						usedCallee[p] = true
+					}
+					inUse |= 1 << p
+					return p
+				}
 				for _, p := range gprs {
 					if inUse&(1<<p) != 0 || reserved&(1<<p) != 0 {
 						continue
 					}
 					if regOwner[p] == mnone {
-						inUse |= 1 << p
-						return p, nil
+						return grab(p), nil
 					}
 				}
 				for _, p := range gprs {
@@ -261,8 +271,7 @@ func fastRegAlloc(mf *mfunc, tgt *vt.Target) (*raState, error) {
 						continue
 					}
 					dropReg(p, rcInt) // values are stored at def: drop is free
-					inUse |= 1 << p
-					return p, nil
+					return grab(p), nil
 				}
 				return 0, fmt.Errorf("lbe: fast RA out of registers")
 			}
@@ -340,6 +349,7 @@ func fastRegAlloc(mf *mfunc, tgt *vt.Target) (*raState, error) {
 					ld.ra = mpreg(tgt.SP)
 					ld.imm = int64(slot(v))
 					ld.sym = -2 // frame-index marker
+					ld.inserted, ld.mval = true, v
 					emit(ld)
 					fcached.set(v, p)
 					fregOwner[p] = v
@@ -360,6 +370,7 @@ func fastRegAlloc(mf *mfunc, tgt *vt.Target) (*raState, error) {
 				ld.ra = mpreg(tgt.SP)
 				ld.imm = int64(slot(v))
 				ld.sym = -2
+				ld.inserted, ld.mval = true, v
 				emit(ld)
 				cached.set(v, p)
 				regOwner[p] = v
@@ -390,6 +401,7 @@ func fastRegAlloc(mf *mfunc, tgt *vt.Target) (*raState, error) {
 					stn.rb = mpreg(p)
 					stn.imm = int64(slot(v))
 					stn.sym = -2
+					stn.inserted, stn.mval = true, v
 					defStores = append(defStores, stn)
 				} else {
 					// Reuse the register the value was just read from
@@ -411,6 +423,7 @@ func fastRegAlloc(mf *mfunc, tgt *vt.Target) (*raState, error) {
 					stn.rb = mpreg(p)
 					stn.imm = int64(slot(v))
 					stn.sym = -2
+					stn.inserted, stn.mval = true, v
 					defStores = append(defStores, stn)
 				}
 				if tgt.IsCalleeSaved(mpregNum(*d.r)) && d.cls == rcInt {

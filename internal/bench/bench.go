@@ -36,6 +36,14 @@ type Config struct {
 	MemMB int
 	// Runs averages execution measurements over this many repetitions.
 	Runs int
+	// Check runs the machine-code verifier (internal/mcv) on every
+	// compilation; its cost shows up as the back-ends' "Check.*" phases.
+	Check bool
+}
+
+// BackendOptions translates the config into per-compilation options.
+func (c Config) BackendOptions() backend.Options {
+	return backend.Options{Check: c.Check}
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -133,14 +141,15 @@ func RunSuiteBest(times int, mkWorld func() (*World, error), eng backend.Engine,
 // RunSuite compiles and executes every query with one engine, resetting
 // query state between queries.
 func RunSuite(w *World, eng backend.Engine, arch vt.Arch, queries []Query, runs int) (*EngineRun, error) {
-	return RunSuiteTraced(w, eng, arch, queries, runs, nil)
+	return RunSuiteTraced(w, eng, arch, queries, runs, nil, backend.Options{})
 }
 
 // RunSuiteTraced is RunSuite with an optional tracer attached to every
 // compilation: each query's compile appears as a "query:<name>" group with
 // the back-end's nested phase spans beneath it, and execution as an "exec"
-// span. A nil tracer is RunSuite.
-func RunSuiteTraced(w *World, eng backend.Engine, arch vt.Arch, queries []Query, runs int, tr *obs.Tracer) (*EngineRun, error) {
+// span. A nil tracer and zero options is RunSuite. opts.Check makes every
+// compilation run the machine-code verifier.
+func RunSuiteTraced(w *World, eng backend.Engine, arch vt.Arch, queries []Query, runs int, tr *obs.Tracer, opts backend.Options) (*EngineRun, error) {
 	if runs < 1 {
 		runs = 1
 	}
@@ -152,7 +161,7 @@ func RunSuiteTraced(w *World, eng backend.Engine, arch vt.Arch, queries []Query,
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", eng.Name(), q.Name, err)
 		}
-		ex, stats, err := eng.Compile(c.Module, &backend.Env{DB: w.DB, Arch: arch, Trace: tr})
+		ex, stats, err := eng.Compile(c.Module, &backend.Env{DB: w.DB, Arch: arch, Trace: tr, Options: opts})
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", eng.Name(), q.Name, err)
 		}

@@ -58,7 +58,7 @@ func JSONReport(cfg Config) (*obs.Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: load tpch: %w", err)
 		}
-		run, err := RunSuite(w, eng, cfg.Arch, HQueries(), cfg.Runs)
+		run, err := RunSuiteTraced(w, eng, cfg.Arch, HQueries(), cfg.Runs, nil, cfg.BackendOptions())
 		if err != nil {
 			return nil, err
 		}

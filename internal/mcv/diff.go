@@ -1,0 +1,186 @@
+package mcv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qcc/internal/vm"
+	"qcc/internal/vt"
+)
+
+// FuncSummary is the structural fingerprint of one compiled function used
+// by the cross-backend differential check: which runtime functions it can
+// call and which trap conditions it can raise. Back-ends compiling the same
+// QIR function should agree on both sets regardless of how they allocate
+// registers or schedule code.
+type FuncSummary struct {
+	Name string `json:"name"`
+	// Calls is the sorted set of runtime callees (by name; "<indirect>"
+	// for indirect calls).
+	Calls []string `json:"calls,omitempty"`
+	// Traps is the sorted set of trap codes the function can raise.
+	Traps []string `json:"traps,omitempty"`
+}
+
+// Summarize fingerprints every function of a decoded program. Runtime calls
+// routed through local stubs (a call whose target lies outside every
+// function range and lands on a CallRT) are resolved to the runtime name.
+func Summarize(prog *vt.Program, funcs []vm.UnwindRange, rtNames []string) []FuncSummary {
+	inFunc := func(off int64) bool {
+		for i := range funcs {
+			if off >= int64(funcs[i].Start) && off < int64(funcs[i].End) {
+				return true
+			}
+		}
+		return false
+	}
+	rtName := func(id int64) string {
+		if id >= 0 && id < int64(len(rtNames)) {
+			return rtNames[id]
+		}
+		return fmt.Sprintf("<rt:%d>", id)
+	}
+	out := make([]FuncSummary, 0, len(funcs))
+	for i := range funcs {
+		fn := &funcs[i]
+		calls := map[string]bool{}
+		traps := map[string]bool{}
+		if fn.Start < 0 || int(fn.Start) >= len(prog.Index) || prog.Index[fn.Start] < 0 {
+			out = append(out, FuncSummary{Name: fn.Name})
+			continue
+		}
+		for k := prog.Index[fn.Start]; int(k) < len(prog.Instrs) && prog.Offsets[k] < fn.End; k++ {
+			in := prog.Instrs[k]
+			switch in.Op {
+			case vt.CallRT:
+				calls[rtName(in.Imm)] = true
+			case vt.Call:
+				// Calls into another function range are local; calls to
+				// code outside every range are runtime stubs.
+				if inFunc(in.Imm) {
+					continue
+				}
+				if t := in.Imm; t >= 0 && t < int64(len(prog.Index)) {
+					if ti := prog.Index[t]; ti >= 0 && prog.Instrs[ti].Op == vt.CallRT {
+						calls[rtName(prog.Instrs[ti].Imm)] = true
+						continue
+					}
+				}
+				calls["<stub>"] = true
+			case vt.CallInd:
+				calls["<indirect>"] = true
+			case vt.Trap, vt.TrapNZ:
+				traps[vt.TrapCode(in.Imm).String()] = true
+			}
+		}
+		out = append(out, FuncSummary{Name: fn.Name, Calls: sortedKeys(calls), Traps: sortedKeys(traps)})
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CanonicalizeFailures folds the failure idioms back-ends lower differently
+// into one canonical form, so Diff compares failure semantics rather than
+// lowering choices: a `throw_<code>` runtime call is a no-return helper that
+// back-ends pair with an "unreachable" trap, where others trap with <code>
+// inline. Each throw_<code> call becomes trap <code>, and the paired
+// "unreachable" trap is dropped (only when a throw_ call was folded). The
+// input is not modified.
+func CanonicalizeFailures(ss []FuncSummary) []FuncSummary {
+	out := make([]FuncSummary, len(ss))
+	for i, s := range ss {
+		calls := map[string]bool{}
+		traps := map[string]bool{}
+		for _, t := range s.Traps {
+			traps[t] = true
+		}
+		folded := false
+		for _, c := range s.Calls {
+			if code, ok := strings.CutPrefix(c, "throw_"); ok {
+				traps[code] = true
+				folded = true
+				continue
+			}
+			calls[c] = true
+		}
+		if folded {
+			delete(traps, "unreachable")
+		}
+		out[i] = FuncSummary{Name: s.Name, Calls: sortedKeys(calls), Traps: sortedKeys(traps)}
+	}
+	return out
+}
+
+// Diff compares two back-ends' summaries of the same module per function
+// name, reporting runtime-call and trap-site sets that disagree. Functions
+// present on only one side are reported too.
+func Diff(aEngine string, a []FuncSummary, bEngine string, b []FuncSummary) []Diag {
+	var diags []Diag
+	add := func(fn, format string, args ...any) {
+		diags = append(diags, Diag{Func: fn, Block: -1, Inst: -1, Off: -1, Msg: fmt.Sprintf(format, args...)})
+	}
+	byName := func(ss []FuncSummary) map[string]FuncSummary {
+		m := make(map[string]FuncSummary, len(ss))
+		for _, s := range ss {
+			m[s.Name] = s
+		}
+		return m
+	}
+	am, bm := byName(a), byName(b)
+	names := make([]string, 0, len(am))
+	for n := range am {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		bs, ok := bm[n]
+		if !ok {
+			add(n, "present in %s but not in %s", aEngine, bEngine)
+			continue
+		}
+		as := am[n]
+		if !equalSets(as.Calls, bs.Calls) {
+			add(n, "runtime-call sets differ: %s={%s} %s={%s}",
+				aEngine, strings.Join(as.Calls, ","), bEngine, strings.Join(bs.Calls, ","))
+		}
+		if !equalSets(as.Traps, bs.Traps) {
+			add(n, "trap sets differ: %s={%s} %s={%s}",
+				aEngine, strings.Join(as.Traps, ","), bEngine, strings.Join(bs.Traps, ","))
+		}
+	}
+	bn := make([]string, 0, len(bm))
+	for n := range bm {
+		if _, ok := am[n]; !ok {
+			bn = append(bn, n)
+		}
+	}
+	sort.Strings(bn)
+	for _, n := range bn {
+		add(n, "present in %s but not in %s", bEngine, aEngine)
+	}
+	return diags
+}
+
+func equalSets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,561 @@
+// Package mcv is the machine-code verifier: a static-analysis layer below
+// the QIR verifier that checks what the compiling back-ends actually
+// produce. It has three independent passes:
+//
+//   - a symbolic register-allocation checker (CheckFunc) in the style of
+//     regalloc2's checker: an abstract dataflow interpretation over the
+//     allocated code that maps every physical register and spill slot to
+//     the set of virtual registers it provably holds, and verifies that
+//     every use reads a location containing the right vreg, that spills
+//     and reloads pair up, and that callee-saved/clobber discipline holds
+//     across calls;
+//   - a machine-code lint (Lint) over decoded programs: encode→decode
+//     round-trip equality, branch targets on instruction boundaries inside
+//     the function, stack accesses within the declared frame, and
+//     call/runtime-call targets that resolve;
+//   - a cross-backend differential summary (Summarize/Diff) comparing
+//     per-function runtime-call sets and trap sites across back-ends
+//     compiling the same QIR module.
+//
+// The package is deliberately independent of any back-end: back-ends adapt
+// their post-allocation representation into the small Func/Inst model here.
+package mcv
+
+import (
+	"fmt"
+	"sort"
+
+	"qcc/internal/vt"
+)
+
+// Loc is an abstract storage location: a physical integer register, a
+// physical float register, or a spill slot.
+type Loc int32
+
+const (
+	fprBase  Loc = 256
+	slotBase Loc = 512
+	// LocNone marks an absent location.
+	LocNone Loc = -1
+)
+
+// GPR returns the location of integer register p.
+func GPR(p uint8) Loc { return Loc(p) }
+
+// FPR returns the location of float register p.
+func FPR(p uint8) Loc { return fprBase + Loc(p) }
+
+// Slot returns the location of spill slot s.
+func Slot(s int32) Loc { return slotBase + Loc(s) }
+
+// IsGPR reports whether l is an integer register.
+func (l Loc) IsGPR() bool { return l >= 0 && l < fprBase }
+
+// IsFPR reports whether l is a float register.
+func (l Loc) IsFPR() bool { return l >= fprBase && l < slotBase }
+
+// IsSlot reports whether l is a spill slot.
+func (l Loc) IsSlot() bool { return l >= slotBase }
+
+// Reg returns the physical register number of a GPR/FPR location.
+func (l Loc) Reg() uint8 {
+	if l.IsFPR() {
+		return uint8(l - fprBase)
+	}
+	return uint8(l)
+}
+
+// SlotIndex returns the slot number of a slot location.
+func (l Loc) SlotIndex() int32 { return int32(l - slotBase) }
+
+func (l Loc) String() string {
+	switch {
+	case l == LocNone:
+		return "<none>"
+	case l.IsGPR():
+		return fmt.Sprintf("r%d", uint8(l))
+	case l.IsFPR():
+		return fmt.Sprintf("f%d", l.Reg())
+	default:
+		return fmt.Sprintf("slot%d", l.SlotIndex())
+	}
+}
+
+// Kind classifies instructions for the allocation checker.
+type Kind uint8
+
+const (
+	// KindNormal is any computing instruction: uses are checked, defs
+	// overwrite their location.
+	KindNormal Kind = iota
+	// KindMove copies a value between two locations (register moves and
+	// allocator edge moves).
+	KindMove
+	// KindSpill stores a register to a spill slot.
+	KindSpill
+	// KindReload loads a spill slot back into a register.
+	KindReload
+	// KindRemat recomputes a constant value into a register instead of
+	// reloading it; unlike a def it does not invalidate other copies.
+	KindRemat
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindMove:
+		return "move"
+	case KindSpill:
+		return "spill"
+	case KindReload:
+		return "reload"
+	case KindRemat:
+		return "remat"
+	default:
+		return "inst"
+	}
+}
+
+// Operand is one checked register operand of a normal instruction. V < 0
+// marks a fixed physical-register reference (ABI registers): those are not
+// tracked symbolically, but their defs still clobber the location.
+type Operand struct {
+	V   int32
+	Loc Loc
+	Def bool
+}
+
+// Move describes the data movement of a move/spill/reload/remat. SrcV/DstV
+// are the virtual registers involved (-1 for fixed physical sources such as
+// incoming arguments).
+type Move struct {
+	SrcV, DstV int32
+	Src, Dst   Loc
+}
+
+// Edge is a control-flow edge leaving a branch instruction, optionally
+// carrying the allocator's parallel edge moves (block-parameter shuffles).
+type Edge struct {
+	Succ  int32
+	Moves []Move
+}
+
+// Inst is one instruction in checker form.
+type Inst struct {
+	Kind Kind
+	Op   vt.Op
+	Ops  []Operand
+	Move Move
+	Call bool
+	Edge *Edge
+}
+
+// Block is one basic block.
+type Block struct {
+	Insts []Inst
+	Succs []int32
+}
+
+// Func is an allocated function ready for checking.
+type Func struct {
+	Name   string
+	Blocks []Block
+	Target *vt.Target
+	// Saved lists the callee-saved registers the prologue preserves; any
+	// write to a callee-saved register outside this set is an error.
+	Saved []uint8
+	// NumSlots bounds the spill-slot indices (-1: unknown).
+	NumSlots int32
+}
+
+// Diag is one located diagnostic. Block/Inst locate allocation-checker
+// findings; Off locates machine-code findings (Block < 0).
+type Diag struct {
+	Func  string
+	Block int32
+	Inst  int
+	Off   int32
+	Msg   string
+}
+
+func (d Diag) String() string {
+	if d.Block >= 0 {
+		return fmt.Sprintf("%s: b%d/%d: %s", d.Func, d.Block, d.Inst, d.Msg)
+	}
+	return fmt.Sprintf("%s+0x%x: %s", d.Func, d.Off, d.Msg)
+}
+
+// Error folds diagnostics into a single error (nil when the list is empty).
+func Error(what string, diags []Diag) error {
+	if len(diags) == 0 {
+		return nil
+	}
+	msg := what + ":"
+	for i, d := range diags {
+		if i == 4 {
+			msg += fmt.Sprintf("\n  ... and %d more", len(diags)-i)
+			break
+		}
+		msg += "\n  " + d.String()
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// maxDiagsPerFunc caps the diagnostics one function can produce so a single
+// systematic mistake does not flood the report.
+const maxDiagsPerFunc = 32
+
+// vset is a set of virtual registers. Stored sets are treated as immutable:
+// state updates replace sets instead of mutating them, so cloned states can
+// share them safely.
+type vset map[int32]struct{}
+
+// state maps each location to the set of vregs it provably holds. A missing
+// location holds nothing provable.
+type state map[Loc]vset
+
+func cloneState(s state) state {
+	ns := make(state, len(s))
+	for l, v := range s {
+		ns[l] = v
+	}
+	return ns
+}
+
+func locHas(s state, l Loc, v int32) bool {
+	_, ok := s[l][v]
+	return ok
+}
+
+// killVreg removes v from every location (copy-on-write).
+func killVreg(s state, v int32) {
+	for l, set := range s {
+		if _, ok := set[v]; !ok {
+			continue
+		}
+		if len(set) == 1 {
+			delete(s, l)
+			continue
+		}
+		ns := make(vset, len(set)-1)
+		for x := range set {
+			if x != v {
+				ns[x] = struct{}{}
+			}
+		}
+		s[l] = ns
+	}
+}
+
+// addTo adds v to the set at l (copy-on-write).
+func addTo(s state, l Loc, v int32) {
+	old := s[l]
+	ns := make(vset, len(old)+1)
+	for x := range old {
+		ns[x] = struct{}{}
+	}
+	ns[v] = struct{}{}
+	s[l] = ns
+}
+
+// intersectInto intersects src into dst, returning the meet and whether dst
+// shrank. dst is not modified.
+func intersectInto(dst, src state) (state, bool) {
+	out := make(state, len(dst))
+	changed := false
+	for l, dset := range dst {
+		sset := src[l]
+		if len(sset) == 0 {
+			changed = true
+			continue
+		}
+		keep := make(vset)
+		for v := range dset {
+			if _, ok := sset[v]; ok {
+				keep[v] = struct{}{}
+			}
+		}
+		if len(keep) == 0 {
+			changed = true
+			continue
+		}
+		if len(keep) != len(dset) {
+			changed = true
+		}
+		out[l] = keep
+	}
+	return out, changed
+}
+
+type checker struct {
+	f      *Func
+	saved  map[uint8]bool
+	diags  []Diag
+	report bool
+	block  int32
+	inst   int
+}
+
+func (c *checker) diagf(format string, args ...any) {
+	if !c.report || len(c.diags) >= maxDiagsPerFunc {
+		return
+	}
+	c.diags = append(c.diags, Diag{
+		Func: c.f.Name, Block: c.block, Inst: c.inst, Off: -1,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func holders(s state, l Loc) string {
+	set := s[l]
+	if len(set) == 0 {
+		return "nothing"
+	}
+	vs := make([]int, 0, len(set))
+	for v := range set {
+		vs = append(vs, int(v))
+	}
+	sort.Ints(vs)
+	out := ""
+	for i, v := range vs {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("v%d", v)
+	}
+	return out
+}
+
+// checkDst enforces callee-saved discipline and slot bounds on a written
+// location.
+func (c *checker) checkDst(l Loc) {
+	if l.IsGPR() {
+		p := l.Reg()
+		if p != c.f.Target.SP && c.f.Target.IsCalleeSaved(p) && !c.saved[p] {
+			c.diagf("writes callee-saved r%d, which the prologue does not save", p)
+		}
+		return
+	}
+	if l.IsSlot() && c.f.NumSlots >= 0 {
+		if s := l.SlotIndex(); s < 0 || s >= c.f.NumSlots {
+			c.diagf("writes out-of-range spill slot %d (frame has %d)", s, c.f.NumSlots)
+		}
+	}
+}
+
+func (c *checker) checkUse(s state, what string, l Loc, v int32) {
+	if v < 0 {
+		return // fixed physical reference: not tracked
+	}
+	if !locHas(s, l, v) {
+		c.diagf("%s of v%d reads %s, which holds %s", what, v, l, holders(s, l))
+		// Adopt the claim to suppress cascading reports downstream.
+		addTo(s, l, v)
+	}
+}
+
+// applyMove performs the common move/spill/reload transfer: dst receives
+// src's contents plus the moved vreg. When the move redefines a different
+// vreg (DstV != SrcV) every other copy of DstV dies; a spill/reload of one
+// vreg (DstV == SrcV) leaves existing copies — including the source — valid.
+func (c *checker) applyMove(s state, m Move, what string) {
+	c.checkUse(s, what, m.Src, m.SrcV)
+	src := s[m.Src]
+	ns := make(vset, len(src)+2)
+	for x := range src {
+		ns[x] = struct{}{}
+	}
+	if m.SrcV >= 0 {
+		ns[m.SrcV] = struct{}{}
+	}
+	if m.DstV >= 0 {
+		if m.DstV != m.SrcV {
+			killVreg(s, m.DstV)
+		}
+		ns[m.DstV] = struct{}{}
+	}
+	if len(ns) > 0 {
+		s[m.Dst] = ns
+	} else {
+		delete(s, m.Dst)
+	}
+	c.checkDst(m.Dst)
+}
+
+type edgeOut struct {
+	succ int32
+	st   state
+}
+
+// step interprets one instruction over s, appending per-edge out-states for
+// explicit control-flow edges.
+func (c *checker) step(s state, in *Inst, outs *[]edgeOut) {
+	switch in.Kind {
+	case KindMove, KindSpill, KindReload:
+		c.applyMove(s, in.Move, in.Kind.String())
+		return
+	case KindRemat:
+		m := in.Move
+		if m.DstV >= 0 {
+			s[m.Dst] = vset{m.DstV: {}}
+		} else {
+			delete(s, m.Dst)
+		}
+		c.checkDst(m.Dst)
+		return
+	}
+
+	// Normal instruction: uses first.
+	for i := range in.Ops {
+		if o := &in.Ops[i]; !o.Def {
+			c.checkUse(s, fmt.Sprintf("%s use", in.Op), o.Loc, o.V)
+		}
+	}
+	if in.Edge != nil {
+		es := cloneState(s)
+		if len(in.Edge.Moves) > 0 {
+			c.applyEdgeMoves(es, in.Edge.Moves)
+		}
+		*outs = append(*outs, edgeOut{succ: in.Edge.Succ, st: es})
+	}
+	if in.Call {
+		tgt := c.f.Target
+		for _, p := range tgt.CallerSaved {
+			delete(s, GPR(p))
+		}
+		delete(s, GPR(tgt.Scratch))
+		for p := 0; p < tgt.NumFPR; p++ {
+			delete(s, FPR(uint8(p)))
+		}
+	}
+	for i := range in.Ops {
+		o := &in.Ops[i]
+		if !o.Def {
+			continue
+		}
+		if o.V >= 0 {
+			killVreg(s, o.V)
+			s[o.Loc] = vset{o.V: {}}
+		} else {
+			delete(s, o.Loc)
+		}
+		c.checkDst(o.Loc)
+	}
+}
+
+// applyEdgeMoves interprets the allocator's parallel edge moves: all
+// sources read the pre-edge state, writes land in order.
+func (c *checker) applyEdgeMoves(s state, moves []Move) {
+	srcs := make([]vset, len(moves))
+	for k, m := range moves {
+		c.checkUse(s, "edge move", m.Src, m.SrcV)
+		srcs[k] = s[m.Src]
+	}
+	for k, m := range moves {
+		ns := make(vset, len(srcs[k])+2)
+		for x := range srcs[k] {
+			ns[x] = struct{}{}
+		}
+		if m.SrcV >= 0 {
+			ns[m.SrcV] = struct{}{}
+		}
+		if m.DstV >= 0 {
+			if m.DstV != m.SrcV {
+				killVreg(s, m.DstV)
+			}
+			ns[m.DstV] = struct{}{}
+		}
+		if len(ns) > 0 {
+			s[m.Dst] = ns
+		} else {
+			delete(s, m.Dst)
+		}
+		c.checkDst(m.Dst)
+	}
+}
+
+// evalBlock interprets block b from in-state in (which it does not modify)
+// and returns the out-state of every control-flow edge.
+func (c *checker) evalBlock(b int32, in state) []edgeOut {
+	s := cloneState(in)
+	var outs []edgeOut
+	blk := &c.f.Blocks[b]
+	for i := range blk.Insts {
+		c.inst = i
+		c.step(s, &blk.Insts[i], &outs)
+	}
+	// Successors without an explicit edge receive the block-end state
+	// (back-ends whose MIR has no edge moves list successors only).
+	covered := make(map[int32]bool, len(outs))
+	for _, eo := range outs {
+		covered[eo.succ] = true
+	}
+	for _, succ := range blk.Succs {
+		if !covered[succ] {
+			outs = append(outs, edgeOut{succ: succ, st: cloneState(s)})
+		}
+	}
+	return outs
+}
+
+// CheckFunc runs the symbolic register-allocation check: a forward dataflow
+// fixpoint with intersection meet (a location is trusted only if it holds
+// the value on every incoming path), then a reporting pass over the fixed
+// in-states.
+func CheckFunc(f *Func) []Diag {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	c := &checker{f: f, saved: make(map[uint8]bool, len(f.Saved))}
+	for _, p := range f.Saved {
+		c.saved[p] = true
+	}
+
+	n := len(f.Blocks)
+	ins := make([]state, n)
+	ins[0] = state{}
+	queued := make([]bool, n)
+	work := []int32{0}
+	queued[0] = true
+	// The meet is a finite descending chain, so the fixpoint terminates;
+	// the bound is a defensive backstop only.
+	for steps := 0; len(work) > 0 && steps < 1000*n+10000; steps++ {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		c.block = b
+		for _, eo := range c.evalBlock(b, ins[b]) {
+			if eo.succ < 0 || int(eo.succ) >= n {
+				continue // reported in the reporting pass
+			}
+			if ins[eo.succ] == nil {
+				ins[eo.succ] = eo.st
+			} else {
+				merged, changed := intersectInto(ins[eo.succ], eo.st)
+				if !changed {
+					continue
+				}
+				ins[eo.succ] = merged
+			}
+			if !queued[eo.succ] {
+				work = append(work, eo.succ)
+				queued[eo.succ] = true
+			}
+		}
+	}
+
+	// Reporting pass from the fixed in-states (skipping unreachable
+	// blocks, whose in-state never formed).
+	c.report = true
+	for b := 0; b < n; b++ {
+		if ins[b] == nil {
+			continue
+		}
+		c.block = int32(b)
+		for _, eo := range c.evalBlock(int32(b), ins[b]) {
+			if eo.succ < 0 || int(eo.succ) >= n {
+				c.diagf("edge to out-of-range block %d", eo.succ)
+			}
+		}
+	}
+	return c.diags
+}

@@ -106,6 +106,67 @@ func TestVerifyCatchesPhiPredMismatch(t *testing.T) {
 	}
 }
 
+func TestVerifyCatchesBadBrTarget(t *testing.T) {
+	m := NewModule("bad")
+	b := NewFunc(m, "f", Void)
+	next := b.NewBlock()
+	b.Br(next)
+	b.SetBlock(next)
+	b.Ret(NoValue)
+	f := b.Func()
+	f.Instrs[f.Blocks[0].Terminator()].Aux = 99
+	err := f.Verify()
+	if err == nil || !strings.Contains(err.Error(), "not a block id") {
+		t.Errorf("expected bad br target error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesBadCondBrTargets(t *testing.T) {
+	build := func() *Func {
+		m := NewModule("bad")
+		b := NewFunc(m, "f", Void, I64)
+		yes := b.NewBlock()
+		no := b.NewBlock()
+		cond := b.ICmp(CmpEQ, b.Param(0), b.ConstInt(I64, 0))
+		b.CondBr(cond, yes, no)
+		b.SetBlock(yes)
+		b.Ret(NoValue)
+		b.SetBlock(no)
+		b.Ret(NoValue)
+		return b.Func()
+	}
+
+	f := build()
+	f.Instrs[f.Blocks[0].Terminator()].Aux = 1 << 20
+	err := f.Verify()
+	if err == nil || !strings.Contains(err.Error(), "true-successor") {
+		t.Errorf("expected bad true-successor error, got %v", err)
+	}
+
+	f = build()
+	f.Instrs[f.Blocks[0].Terminator()].B = -3
+	err = f.Verify()
+	if err == nil || !strings.Contains(err.Error(), "false-successor") {
+		t.Errorf("expected bad false-successor error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesPhiInEntry(t *testing.T) {
+	m := NewModule("bad")
+	b := NewFunc(m, "f", Void)
+	f := b.Func()
+	// A phi in the entry block (no predecessors, zero pairs) is meaningless
+	// and must be rejected even though its pair count matches its preds.
+	f.Instrs = append(f.Instrs, Instr{Op: OpPhi, Type: I64, A: 0, B: 0, C: NoValue})
+	f.Blocks[0].List = append(f.Blocks[0].List, 0)
+	f.Instrs = append(f.Instrs, Instr{Op: OpRet, Type: Void, A: NoValue, B: NoValue, C: NoValue})
+	f.Blocks[0].List = append(f.Blocks[0].List, 1)
+	err := f.Verify()
+	if err == nil || !strings.Contains(err.Error(), "entry block") {
+		t.Errorf("expected phi-in-entry error, got %v", err)
+	}
+}
+
 func TestDominators(t *testing.T) {
 	f := buildLoopFunc(t)
 	dom := f.Dominators()

@@ -33,6 +33,33 @@ func (f *Func) Verify() error {
 		}
 	}
 
+	// Terminator payloads. Branch targets live in Aux (and in B for the
+	// false arm of OpCondBr); they must name valid blocks before the CFG
+	// walk below dereferences them.
+	for b := range f.Blocks {
+		t := f.Blocks[b].Terminator()
+		if t == NoValue {
+			continue
+		}
+		in := &f.Instrs[t]
+		switch in.Op {
+		case OpBr:
+			if int(in.Aux) >= len(f.Blocks) {
+				return fmt.Errorf("%s b%d: br target %d is not a block id (%d blocks)",
+					f.Name, b, in.Aux, len(f.Blocks))
+			}
+		case OpCondBr:
+			if int(in.Aux) >= len(f.Blocks) {
+				return fmt.Errorf("%s b%d: condbr true-successor %d is not a block id (%d blocks)",
+					f.Name, b, in.Aux, len(f.Blocks))
+			}
+			if in.B < 0 || int(in.B) >= len(f.Blocks) {
+				return fmt.Errorf("%s b%d: condbr false-successor %d is not a block id (%d blocks)",
+					f.Name, b, in.B, len(f.Blocks))
+			}
+		}
+	}
+
 	// CFG edge consistency.
 	predCount := make(map[[2]BlockID]int)
 	var succBuf []BlockID
@@ -75,6 +102,11 @@ func (f *Func) Verify() error {
 			}
 			switch in.Op {
 			case OpPhi:
+				if b == 0 {
+					// The entry block has no predecessors, so a phi there
+					// has nothing to select between.
+					return fmt.Errorf("%s: phi %d in entry block", f.Name, v)
+				}
 				if phiDone {
 					return fmt.Errorf("%s b%d: phi %d after non-phi", f.Name, b, v)
 				}

@@ -245,6 +245,7 @@ func (p *Program) decodeA64() error {
 	if len(code)%4 != 0 {
 		return fmt.Errorf("va64: code length %d not word-aligned", len(code))
 	}
+	tgt := ForArch(VA64)
 	for pc := 0; pc < len(code); pc += 4 {
 		w := binary.LittleEndian.Uint32(code[pc:])
 		op := Op(w & 0xFF)
@@ -252,6 +253,74 @@ func (p *Program) decodeA64() error {
 		ra := uint8(w >> 14 & 0x3F)
 		rb := uint8(w >> 20 & 0x3F)
 		x := uint8(w >> 26 & 0x3F)
+
+		// Register fields are 6 bits wide but the machine has only 32
+		// integer and 16 float registers; reject encodings that name a
+		// register that does not exist rather than aliasing it later.
+		var regErr error
+		ck := func(n uint8, float bool, field string) {
+			if regErr != nil {
+				return
+			}
+			lim, cls := uint8(tgt.NumGPR), "r"
+			if float {
+				lim, cls = uint8(tgt.NumFPR), "f"
+			}
+			if n >= lim {
+				regErr = fmt.Errorf("va64: %s: register field %s=%s%d out of range at %d",
+					op, field, cls, n, pc)
+			}
+		}
+		switch op {
+		case MovRR, Neg, Not,
+			AddI, SubI, MulI, AndI, OrI, XorI, ShlI, ShrI, SarI, RotrI, Lea,
+			Load8, Load8S, Load16, Load16S, Load32, Load32S, Load64:
+			ck(rd, false, "rd")
+			ck(ra, false, "ra")
+		case FMovRR:
+			ck(rd, true, "rd")
+			ck(ra, true, "ra")
+		case MovRF, CvtF2SI:
+			ck(rd, false, "rd")
+			ck(ra, true, "ra")
+		case MovFR, CvtSI2F, FLoad:
+			ck(rd, true, "rd")
+			ck(ra, false, "ra")
+		case Add, Sub, Mul, And, Or, Xor, Shl, Shr, Sar, Rotr, SDiv, SRem, UDiv, URem,
+			Crc32, SetCC:
+			ck(rd, false, "rd")
+			ck(ra, false, "ra")
+			ck(rb, false, "rb")
+		case FAdd, FSub, FMul, FDiv:
+			ck(rd, true, "rd")
+			ck(ra, true, "ra")
+			ck(rb, true, "rb")
+		case FCmp:
+			ck(rd, false, "rd")
+			ck(ra, true, "ra")
+			ck(rb, true, "rb")
+		case MulWideU, MulWideS:
+			ck(rd, false, "rd")
+			ck(ra, false, "ra")
+			ck(rb, false, "rb")
+			ck(x, false, "rc")
+		case MovZ, MovK:
+			ck(rd, false, "rd")
+		case Store8, Store16, Store32, Store64:
+			ck(rd, false, "rb") // value field, encoded in the rd slot
+			ck(ra, false, "ra")
+		case FStore:
+			ck(rd, true, "rb")
+			ck(ra, false, "ra")
+		case BrNZ:
+			ck(rd, false, "ra") // tested register, encoded in the rd slot
+		case CallInd, TrapNZ:
+			ck(ra, false, "ra")
+		}
+		if regErr != nil {
+			return regErr
+		}
+
 		i := Instr{Op: op}
 		switch op {
 		case Nop, Ret:

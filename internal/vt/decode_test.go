@@ -1,0 +1,105 @@
+package vt
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// TestDecodeX64Truncated feeds the vx64 decoder instruction prefixes cut off
+// mid-operand; every one must come back as a truncation error, not a panic.
+func TestDecodeX64Truncated(t *testing.T) {
+	cases := []struct {
+		name string
+		code []byte
+	}{
+		{"movri-no-imm", []byte{byte(MovRI), 0x10}},
+		{"movri-short-imm", []byte{byte(MovRI), 0x10, 3, 1, 2}},
+		{"add-no-regs", []byte{byte(Add)}},
+		{"setcc-short", []byte{byte(SetCC), 0x01}},
+		{"store-no-imm", []byte{byte(Store64), 0x12}},
+		{"br-short-rel", []byte{byte(Br), 1, 2}},
+		{"brcc-short-rel", []byte{byte(BrCC), 0x12, 0, 1}},
+		{"call-short", []byte{byte(Call), 1, 2, 3}},
+		{"callrt-short", []byte{byte(CallRT), 7}},
+		{"trapnz-short", []byte{byte(TrapNZ), 0x10}},
+	}
+	for _, c := range cases {
+		_, err := Decode(VX64, c.code)
+		if err == nil || !strings.Contains(err.Error(), "truncated") {
+			t.Errorf("%s: want truncated error, got %v", c.name, err)
+		}
+	}
+}
+
+func TestDecodeX64BadOpcode(t *testing.T) {
+	_, err := Decode(VX64, []byte{0xFF})
+	if err == nil || !strings.Contains(err.Error(), "bad opcode") {
+		t.Errorf("want bad opcode error, got %v", err)
+	}
+}
+
+// a64word assembles one va64 instruction word from its raw bit fields.
+func a64word(op Op, rd, ra, rb, x uint8) []byte {
+	w := uint32(op) | uint32(rd)<<8 | uint32(ra)<<14 | uint32(rb)<<20 | uint32(x)<<26
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], w)
+	return b[:]
+}
+
+// TestDecodeA64BadRegisterFields checks that 6-bit register fields naming a
+// register beyond the machine's 32 GPRs / 16 FPRs are rejected with an error
+// (they previously aliased silently).
+func TestDecodeA64BadRegisterFields(t *testing.T) {
+	cases := []struct {
+		name string
+		code []byte
+	}{
+		{"mov-rd", a64word(MovRR, 40, 1, 0, 0)},
+		{"add-rb", a64word(Add, 1, 2, 33, 0)},
+		{"fadd-rd-fpr", a64word(FAdd, 16, 0, 1, 0)},
+		{"fmov-ra-fpr", a64word(FMovRR, 0, 20, 0, 0)},
+		{"fcmp-ra-fpr", a64word(FCmp, 3, 17, 2, 0)},
+		{"fload-rd-fpr", a64word(FLoad, 20, 1, 0, 0)},
+		{"fstore-value-fpr", a64word(FStore, 16, 1, 0, 0)},
+		{"cvt-si2f-rd-fpr", a64word(CvtSI2F, 16, 1, 0, 0)},
+		{"store-value-field", a64word(Store64, 35, 1, 0, 0)},
+		{"load-ra", a64word(Load64, 1, 33, 0, 0)},
+		{"movz-rd", a64word(MovZ, 45, 0, 0, 0)},
+		{"mulwide-rc", a64word(MulWideU, 1, 2, 3, 34)},
+		{"brnz-ra", a64word(BrNZ, 33, 0, 0, 0)},
+		{"callind-ra", a64word(CallInd, 0, 32, 0, 0)},
+	}
+	for _, c := range cases {
+		_, err := Decode(VA64, c.code)
+		if err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("%s: want out-of-range register error, got %v", c.name, err)
+		}
+	}
+}
+
+// TestDecodeA64ValidBoundaries checks that the highest real register in each
+// class still decodes (the range check must not be off by one).
+func TestDecodeA64ValidBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		code []byte
+	}{
+		{"add-r31", a64word(Add, 31, 31, 31, 0)},
+		{"fadd-f15", a64word(FAdd, 15, 15, 15, 0)},
+		{"fload-f15", a64word(FLoad, 15, 31, 0, 0)},
+		{"mulwide-r31", a64word(MulWideU, 1, 2, 3, 31)},
+	}
+	for _, c := range cases {
+		if _, err := Decode(VA64, c.code); err != nil {
+			t.Errorf("%s: unexpected decode error: %v", c.name, err)
+		}
+	}
+}
+
+func TestDecodeA64Unaligned(t *testing.T) {
+	_, err := Decode(VA64, []byte{1, 2, 3})
+	if err == nil || !strings.Contains(err.Error(), "word-aligned") {
+		t.Errorf("want alignment error, got %v", err)
+	}
+}
