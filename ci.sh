@@ -2,10 +2,12 @@
 # ci.sh — the checks a change must pass before merging:
 #   1. go vet
 #   2. full build
-#   3. tests under the race detector (exercises the concurrent obs counters)
+#   3. tests under the race detector (exercises the concurrent obs counters
+#      and the parallel compilation driver's worker pool)
 #   4. a smoke run of the benchmark harness emitting the stable JSON report
 #   5. the verification stack (qir verifier, regalloc checker, machine lint,
-#      cross-backend differential) over the TPC-H suite on both targets
+#      cross-backend differential) over the TPC-H suite on both targets —
+#      once sequentially per arch, once through the parallel driver (-jobs 4)
 set -eu
 
 cd "$(dirname "$0")"
@@ -29,5 +31,8 @@ echo "report OK: $tmp"
 echo "== qverify (tpch, vx64 + va64) =="
 go run ./cmd/qverify -sf 0.01
 go run ./cmd/qverify -sf 0.01 -arch va64
+
+echo "== qverify (tpch, vx64, parallel driver -jobs 4) =="
+go run ./cmd/qverify -sf 0.01 -jobs 4
 
 echo "== ci.sh: all checks passed =="

@@ -2,22 +2,29 @@
 //
 // Usage:
 //
-//	qbench [-arch vx64|va64] [-sf 0.05] [-runs 1] [-mem 1024] [-json file] [-check] <experiment>...
+//	qbench [-arch vx64|va64] [-sf 0.05] [-runs 1] [-mem 1024] [-jobs N]
+//	       [-cache-mb 0] [-json file] [-check] <experiment>...
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7
-// ablate-llvm fallbacks all
+// ablate-llvm fallbacks scaling cachewarm all
 //
 // -json writes a machine-readable report (schema qcc.obs.report/v1) of the
 // TPC-H suite over all engines to the given file ("-" for stdout). With
 // -json and no experiment arguments, only the JSON report is produced.
 // -check runs the machine-code verifier inside every compilation; its cost
 // appears as Check.* phases in the report.
+// -jobs shards each compilation across N worker goroutines (the parallel
+// driver, internal/backend/pcc); -jobs 1 is the sequential seed code path.
+// -cache-mb enables the content-addressed code cache with the given byte
+// budget. Both apply to the -json report and the scaling/cachewarm
+// experiments; the paper-reproduction experiments stay sequential.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"qcc/internal/bench"
 	"qcc/internal/vt"
@@ -30,6 +37,8 @@ func main() {
 	mem := flag.Int("mem", 1024, "VM memory in MiB")
 	sfSmall := flag.Float64("sf-small", 0.02, "small scale factor for fig7")
 	sfLarge := flag.Float64("sf-large", 0.2, "large scale factor for fig7")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel compilation workers (1 = sequential)")
+	cacheMB := flag.Int("cache-mb", 0, "content-addressed code cache budget in MiB (0 = disabled)")
 	jsonOut := flag.String("json", "", "write a qcc.obs.report/v1 JSON report of the TPC-H suite to this file (\"-\" for stdout)")
 	check := flag.Bool("check", false, "run the machine-code verifier on every compilation (adds Check.* phases to the report)")
 	flag.Parse()
@@ -39,6 +48,8 @@ func main() {
 	cfg.Runs = *runs
 	cfg.MemMB = *mem
 	cfg.Check = *check
+	cfg.Jobs = *jobs
+	cfg.CacheMB = *cacheMB
 	switch *archFlag {
 	case "vx64":
 		cfg.Arch = vt.VX64
@@ -96,6 +107,8 @@ func main() {
 		{"fig7", func() (*bench.Report, error) { return bench.Fig7(cfg, *sfSmall, *sfLarge) }},
 		{"ablate-llvm", func() (*bench.Report, error) { return bench.AblateLLVM(cfg) }},
 		{"fallbacks", func() (*bench.Report, error) { return bench.AblateLLVM(cfg) }},
+		{"scaling", func() (*bench.Report, error) { return bench.Scaling(cfg, nil) }},
+		{"cachewarm", func() (*bench.Report, error) { return bench.CacheWarm(cfg) }},
 	}
 	want := map[string]bool{}
 	for _, a := range args {

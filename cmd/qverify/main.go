@@ -13,6 +13,11 @@
 // Usage:
 //
 //	qverify [-arch vx64|va64] [-workload tpch|tpcds] [-sf 0.01] [-mem 512]
+//	        [-jobs 1]
+//
+// -jobs N runs every checked compile through the parallel driver
+// (internal/backend/pcc) with N workers, verifying the sharded pipeline
+// under the same regalloc checker, lint, and differential.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"qcc/internal/backend/clift"
 	"qcc/internal/backend/direct"
 	"qcc/internal/backend/lbe"
+	"qcc/internal/backend/pcc"
 	"qcc/internal/bench"
 	"qcc/internal/codegen"
 	"qcc/internal/mcv"
@@ -41,6 +47,7 @@ func main() {
 	workload := flag.String("workload", "tpch", "workload (tpch or tpcds)")
 	sf := flag.Float64("sf", 0.01, "scale factor")
 	mem := flag.Int("mem", 512, "VM memory in MiB")
+	jobs := flag.Int("jobs", 1, "parallel compilation workers for the checked compiles")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -72,6 +79,11 @@ func main() {
 	}
 	if cfg.Arch == vt.VX64 {
 		engines["direct"] = direct.New()
+	}
+	if *jobs > 1 {
+		for n, e := range engines {
+			engines[n] = pcc.Wrap(e, pcc.Config{Jobs: *jobs})
+		}
 	}
 	names := make([]string, 0, len(engines))
 	for n := range engines {

@@ -70,6 +70,20 @@ type Stats struct {
 	// Summaries holds the per-function structural fingerprints produced
 	// when Options.Check is set, for cross-backend differential checks.
 	Summaries []mcv.FuncSummary
+	// Wall is the elapsed wall-clock time of the compilation when it ran
+	// on more than one goroutine (set by the parallel driver). Zero for
+	// single-threaded compiles, where Total already is wall-clock time.
+	Wall time.Duration
+}
+
+// WallClock returns the compilation's elapsed wall-clock time: Wall when a
+// parallel driver recorded one, otherwise Total (single-threaded compiles
+// spend their phases back to back, so the phase sum is the elapsed time).
+func (s *Stats) WallClock() time.Duration {
+	if s.Wall > 0 {
+		return s.Wall
+	}
+	return s.Total
 }
 
 // Phase is one named compile phase.
@@ -103,6 +117,7 @@ func (s *Stats) Merge(other *Stats) {
 		s.AddPhase(p.Name, p.Dur)
 	}
 	s.Total += other.Total
+	s.Wall += other.Wall
 	s.CodeBytes += other.CodeBytes
 	s.Funcs += other.Funcs
 	s.AllocBytes += other.AllocBytes
@@ -140,6 +155,105 @@ type Engine interface {
 	// Compile lowers a QIR module to executable form. The returned Stats
 	// carry the phase breakdown of this compilation.
 	Compile(mod *qir.Module, env *Env) (Exec, *Stats, error)
+}
+
+// Unit is one function's compiled-but-unlinked output. The payload is
+// back-end specific and position independent: intra-function branches are
+// already resolved PC-relative, while references to other functions remain
+// symbolic (function-index relocations) until Link. Payloads must not be
+// mutated after CompileFunc returns — the parallel driver shares them with
+// the content-addressed code cache.
+type Unit struct {
+	// Index is the function's position in qir.Module.Funcs.
+	Index int
+	// Name is the function name (display and symbol resolution).
+	Name string
+	// Bytes approximates the payload's machine-code size, used by the
+	// code cache's byte budget.
+	Bytes int
+	// Payload is the back-end specific compilation result consumed by
+	// Link. Treat as immutable.
+	Payload any
+}
+
+// ModuleCompiler compiles the functions of one module independently and
+// links the results. Obtained from FuncEngine.BeginModule; one instance is
+// tied to one (module, env) pair.
+//
+// CompileFunc must be safe to call concurrently from multiple goroutines
+// with distinct indices, must not mutate shared state (the module, the
+// runtime DB, the machine), and must produce deterministic output: the
+// bytes of unit i depend only on the module content, the environment, and
+// the back-end configuration — never on compilation order or timing.
+// Link consumes the units in index order and must produce output
+// byte-identical to a sequential CompileUnits run.
+type ModuleCompiler interface {
+	// Variant returns a stable string identifying the code-generation
+	// configuration (back-end name plus every option that can change
+	// emitted bytes). Units produced by compilers with equal Variant, for
+	// equal target architectures and equal canonical function
+	// fingerprints, are interchangeable — the contract behind the
+	// content-addressed code cache. An empty string opts this back-end
+	// out of caching.
+	Variant() string
+	// CompileFunc compiles function i into a position-independent unit.
+	// Phase time is charged to ph (top-level spans of a fresh per-unit
+	// Phaser under the parallel driver; the module Phaser when
+	// sequential).
+	CompileFunc(i int, ph *Phaser) (*Unit, error)
+	// Link resolves inter-function references over the units (one per
+	// module function, in index order) and produces the executable.
+	Link(units []*Unit, ph *Phaser) (Exec, error)
+}
+
+// FuncEngine is an Engine whose compilation pipeline is split per function,
+// enabling the parallel driver (internal/backend/pcc) to shard a module
+// across worker goroutines. BeginModule performs all shared-state mutation
+// up front — interning string constants into the runtime, importing runtime
+// helper names into the module — so CompileFunc bodies are pure.
+type FuncEngine interface {
+	Engine
+	BeginModule(mod *qir.Module, env *Env, ph *Phaser) (ModuleCompiler, error)
+}
+
+// PreIntern materializes every string constant of the module into the
+// runtime's machine memory (in pool order, which is deterministic).
+// FuncEngine back-ends call this in BeginModule so that string lookups in
+// CompileFunc bodies hit the memoized table and never mutate the machine.
+func PreIntern(mod *qir.Module, db *rt.DB) {
+	for _, s := range mod.Strings {
+		db.InternString(s)
+	}
+}
+
+// CompileUnits is the sequential compilation driver shared by the
+// FuncEngine back-ends: BeginModule, one CompileFunc per function in index
+// order (each under a "func:<name>" trace group), then Link. Engine.Compile
+// of every FuncEngine delegates here, so the parallel driver at jobs=1 and
+// plain Compile run the exact same code path.
+func CompileUnits(e FuncEngine, mod *qir.Module, env *Env) (Exec, *Stats, error) {
+	stats := &Stats{Funcs: len(mod.Funcs)}
+	ph := NewPhaser(stats, env.Trace)
+	mc, err := e.BeginModule(mod, env, ph)
+	if err != nil {
+		return nil, nil, err
+	}
+	units := make([]*Unit, len(mod.Funcs))
+	for i, f := range mod.Funcs {
+		fsp := ph.BeginGroup("func:" + f.Name)
+		u, err := mc.CompileFunc(i, ph)
+		fsp.End()
+		if err != nil {
+			return nil, nil, err
+		}
+		units[i] = u
+	}
+	exec, err := mc.Link(units, ph)
+	if err != nil {
+		return nil, nil, err
+	}
+	ph.Finish()
+	return exec, stats, nil
 }
 
 // Phaser measures compile phases as explicit begin/end spans. It replaces
@@ -250,6 +364,24 @@ func (p *Phaser) Tracer() *obs.Tracer {
 		return nil
 	}
 	return p.tr
+}
+
+// Stats returns the stats the phaser charges into (nil for a nil phaser).
+func (p *Phaser) Stats() *Stats {
+	if p == nil {
+		return nil
+	}
+	return p.s
+}
+
+// Count adds delta to a named counter of the phaser's stats. Nil-safe, so
+// per-function pipeline code can record event counters through the phaser
+// it already threads.
+func (p *Phaser) Count(name string, delta int64) {
+	if p == nil {
+		return
+	}
+	p.s.Count(name, delta)
 }
 
 // Timer is the legacy flat phase timer, kept as a migration shim.

@@ -29,108 +29,141 @@ func (x *exec) Call(fn int, args ...uint64) ([2]uint64, error) {
 	return x.m.Call(x.mod, x.offsets[fn], args...)
 }
 
-// Compile implements backend.Engine. The phases correspond to the Table I
-// breakdown: C code generation, re-parsing the text, lowering to the
-// GIMPLE-like IR, -O3-style optimization, code generation to textual
-// assembly, assembling, and linking.
-func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *backend.Stats, error) {
-	stats := &backend.Stats{Funcs: len(mod.Funcs)}
-	ph := backend.NewPhaser(stats, env.Trace)
-	tgt := vt.ForArch(env.Arch)
+// Module exposes the linked machine-code image (byte-identity tests,
+// disassembly tooling).
+func (x *exec) Module() *vm.Module { return x.mod }
 
+// Compile implements backend.Engine via the shared sequential unit driver.
+// The phases correspond to the Table I breakdown: C code generation,
+// re-parsing the text, lowering to the GIMPLE-like IR, -O3-style
+// optimization, code generation to textual assembly, assembling, and
+// linking.
+func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *backend.Stats, error) {
+	return backend.CompileUnits(e, mod, env)
+}
+
+// moduleCompiler implements backend.ModuleCompiler. The translation unit is
+// generated and parsed whole in BeginModule (that is where GenerateC interns
+// string constants and imports runtime helpers — module-level mutation);
+// gimplification onward runs per function.
+type moduleCompiler struct {
+	mod *qir.Module
+	env *backend.Env
+	tgt *vt.Target
+	fns []*cfunc // parsed C functions, index-aligned with mod.Funcs
+}
+
+// BeginModule implements backend.FuncEngine: render the module as one C
+// translation unit and re-lex/re-parse it, exactly as GCC receives a file.
+func (e *Engine) BeginModule(mod *qir.Module, env *backend.Env, ph *backend.Phaser) (backend.ModuleCompiler, error) {
 	// Phase 1: print the module as C (done by the database system).
 	sp := ph.Begin("GenerateC")
 	src, err := GenerateC(mod, env)
 	sp.End()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	stats.Count("c_source_bytes", int64(len(src)))
+	ph.Count("c_source_bytes", int64(len(src)))
 
 	// Phase 2: the "compiler proper" re-lexes and re-parses the text.
 	sp = ph.Begin("Parse")
 	toks, err := lexAll(src)
 	if err != nil {
-		return nil, nil, err
+		sp.End()
+		return nil, err
 	}
 	fns, err := parseUnit(toks)
 	sp.End()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	stats.Count("c_tokens", int64(len(toks)))
+	ph.Count("c_tokens", int64(len(toks)))
+	if len(fns) != len(mod.Funcs) {
+		return nil, fmt.Errorf("cbe: parsed %d functions, module has %d", len(fns), len(mod.Funcs))
+	}
+	return &moduleCompiler{mod: mod, env: env, tgt: vt.ForArch(env.Arch), fns: fns}, nil
+}
+
+// Variant implements backend.ModuleCompiler (cache keying).
+func (c *moduleCompiler) Variant() string { return "cbe/v1" }
+
+// CompileFunc implements backend.ModuleCompiler: gimplify, optimize,
+// generate textual assembly, and assemble one function into object code.
+func (c *moduleCompiler) CompileFunc(i int, ph *backend.Phaser) (*backend.Unit, error) {
+	fn := c.fns[i]
 
 	// Phase 3: gimplification.
-	sp = ph.Begin("Gimplify")
-	var gfns []*gimpleFunc
-	for _, fn := range fns {
-		fsp := ph.BeginGroup("func:" + fn.name)
-		gf, err := gimplify(fn)
-		fsp.End()
-		if err != nil {
-			return nil, nil, fmt.Errorf("cbe: %s: %w", fn.name, err)
-		}
-		gfns = append(gfns, gf)
-	}
+	sp := ph.Begin("Gimplify")
+	gf, err := gimplify(fn)
 	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("cbe: %s: %w", fn.name, err)
+	}
 
 	// Phase 4: optimization (-O3-ish scalar pipeline).
 	sp = ph.Begin("Optimize")
-	for _, gf := range gfns {
-		fsp := ph.BeginGroup("func:" + gf.name)
-		n := optimizeGimple(gf)
-		fsp.End()
-		stats.Count("passes_run", int64(n))
-	}
+	n := optimizeGimple(gf)
 	sp.End()
+	ph.Count("passes_run", int64(n))
 
 	// Phase 5: code generation to textual assembly.
 	sp = ph.Begin("Codegen")
 	var asmText strings.Builder
-	for _, gf := range gfns {
-		if err := genAsm(gf, tgt, &asmText); err != nil {
-			return nil, nil, err
-		}
-	}
+	err = genAsm(gf, c.tgt, &asmText)
 	sp.End()
-	stats.Count("asm_bytes", int64(asmText.Len()))
+	if err != nil {
+		return nil, err
+	}
+	ph.Count("asm_bytes", int64(asmText.Len()))
 
 	// Phase 6: the assembler parses the text into object code.
 	sp = ph.Begin("Assemble")
-	objs, err := assemble(asmText.String(), env.Arch)
+	objs, err := assemble(asmText.String(), c.env.Arch)
 	sp.End()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
+	if len(objs) != 1 {
+		return nil, fmt.Errorf("cbe: %s: assembled into %d sections", fn.name, len(objs))
+	}
+	return &backend.Unit{
+		Index: i, Name: c.mod.Funcs[i].Name, Bytes: len(objs[0].code),
+		Payload: objs[0],
+	}, nil
+}
 
-	// Phase 7: the linker produces the shared-object image, which is then
-	// dlopen'ed (loaded into the machine).
-	sp = ph.Begin("Link")
-	code, offsets, err := link(objs, env.Arch)
-	if err != nil {
-		return nil, nil, err
+// Link implements backend.ModuleCompiler. Phase 7: the linker produces the
+// shared-object image, which is then dlopen'ed (loaded into the machine).
+func (c *moduleCompiler) Link(units []*backend.Unit, ph *backend.Phaser) (backend.Exec, error) {
+	sp := ph.Begin("Link")
+	defer sp.End()
+	objs := make([]*asmFunc, len(units))
+	for i, u := range units {
+		objs[i] = u.Payload.(*asmFunc)
 	}
-	vmod, err := vm.Load(env.Arch, code)
+	code, offsets, err := link(objs, c.env.Arch)
 	if err != nil {
-		return nil, nil, fmt.Errorf("cbe: %w", err)
+		return nil, err
+	}
+	vmod, err := vm.Load(c.env.Arch, code)
+	if err != nil {
+		return nil, fmt.Errorf("cbe: %w", err)
 	}
 	var unwind []vm.UnwindRange
-	fnOffsets := make([]int32, len(mod.Funcs))
-	for i, f := range mod.Funcs {
+	fnOffsets := make([]int32, len(c.mod.Funcs))
+	for i, f := range c.mod.Funcs {
 		off, ok := offsets[mangle(f.Name)]
 		if !ok {
-			return nil, nil, fmt.Errorf("cbe: dlsym: %s not found", f.Name)
+			return nil, fmt.Errorf("cbe: dlsym: %s not found", f.Name)
 		}
 		fnOffsets[i] = off
 		unwind = append(unwind, vm.UnwindRange{Start: off, End: off + 1, Name: f.Name, CFI: []byte{1}})
 	}
 	vmod.RegisterUnwind(unwind)
-	if err := env.DB.Bind(mod.RTNames); err != nil {
-		return nil, nil, err
+	if err := c.env.DB.Bind(c.mod.RTNames); err != nil {
+		return nil, err
 	}
-	sp.End()
 
-	stats.CodeBytes = len(code)
-	ph.Finish()
-	return &exec{m: env.DB.M, mod: vmod, offsets: fnOffsets}, stats, nil
+	ph.Stats().CodeBytes = len(code)
+	return &exec{m: c.env.DB.M, mod: vmod, offsets: fnOffsets}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"qcc/internal/backend"
 	"qcc/internal/mcv"
 	"qcc/internal/qir"
+	"qcc/internal/rt"
 	"qcc/internal/vm"
 	"qcc/internal/vt"
 )
@@ -36,135 +37,199 @@ func (x *exec) Call(fn int, args ...uint64) ([2]uint64, error) {
 	return x.m.Call(x.mod, x.offsets[fn], args...)
 }
 
-// Compile implements backend.Engine: each function runs through the full
-// Cranelift-style pipeline individually (Cranelift compiles one function at
-// a time); the link step then concatenates the per-function buffers and
-// patches relocations.
+// Module exposes the linked machine-code image (byte-identity tests,
+// disassembly tooling).
+func (x *exec) Module() *vm.Module { return x.mod }
+
+// Compile implements backend.Engine via the shared sequential unit driver:
+// each function runs through the full Cranelift-style pipeline individually
+// (Cranelift compiles one function at a time); the link step then
+// concatenates the per-function buffers and patches relocations.
 func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *backend.Stats, error) {
-	stats := &backend.Stats{Funcs: len(mod.Funcs)}
-	ph := backend.NewPhaser(stats, env.Trace)
-	tgt := vt.ForArch(env.Arch)
+	return backend.CompileUnits(e, mod, env)
+}
 
-	type compiled struct {
-		code   []byte
-		relocs []vt.Reloc
-		name   string
-	}
-	var parts []compiled
+// moduleCompiler implements backend.ModuleCompiler for one (module, env).
+type moduleCompiler struct {
+	mod  *qir.Module
+	env  *backend.Env
+	opts Options
+	tgt  *vt.Target
+}
 
+// unit is the per-function payload: one function's emitted buffer (branches
+// PC-relative) plus its unit-relative function-index relocations.
+type unit struct {
+	code   []byte
+	relocs []vt.Reloc
+}
+
+// BeginModule implements backend.FuncEngine. Shared-state mutation happens
+// here: string constants are interned into machine memory and every runtime
+// helper translation can fall back to — depending on the ablation options —
+// is imported into the module's runtime-name table, mirroring the
+// conditions in translate/trapArith.
+func (e *Engine) BeginModule(mod *qir.Module, env *backend.Env, ph *backend.Phaser) (backend.ModuleCompiler, error) {
+	backend.PreIntern(mod, env.DB)
 	for _, f := range mod.Funcs {
-		fsp := ph.BeginGroup("func:" + f.Name)
-
-		// IRGen: two-pass translation with hash-map value mapping.
-		sp := ph.Begin("IRGen")
-		cir, err := translate(f, env, e.opts)
-		sp.End()
-		if err != nil {
-			return nil, nil, err
-		}
-
-		// IRPasses: CFG and dominator-tree computation on the IR.
-		sp = ph.Begin("IRPasses")
-		computeDomTree(cir)
-		sp.End()
-
-		// ISelPrepare: the three preparation passes.
-		sp = ph.Begin("ISelPrepare")
-		prep := runPrepare(cir)
-		sp.End()
-
-		// ISel: tree-matching lowering to VCode.
-		sp = ph.Begin("ISel")
-		vc, err := lower(cir, prep, tgt)
-		sp.End()
-		if err != nil {
-			return nil, nil, fmt.Errorf("clift: %s: %w", f.Name, err)
-		}
-
-		// RegAlloc (live-range building, bundle merging, assignment).
-		rsp := ph.BeginGroup("RegAlloc")
-		ra := allocate(vc, tgt, ph)
-		rsp.End()
-		stats.Count("bundles", int64(ra.numBundles))
-		stats.Count("spilled", int64(ra.numSpilled))
-		stats.Count("btree_inserts", int64(ra.btreeInserts))
-
-		if env.Options.Check {
-			csp := ph.Begin("Check.RegAlloc")
-			cf, cdiags := buildCheckFunc(vc, ra, tgt)
-			cdiags = append(cdiags, mcv.CheckFunc(cf)...)
-			csp.End()
-			if err := mcv.Error("clift: regalloc check", cdiags); err != nil {
-				return nil, nil, err
+		for b := range f.Blocks {
+			for _, v := range f.Blocks[b].List {
+				in := &f.Instrs[v]
+				switch in.Op {
+				case qir.OpSMulTrap, qir.OpSAddTrap, qir.OpSSubTrap:
+					if in.Type == qir.I128 {
+						if in.Op == qir.OpSMulTrap {
+							mod.RTImport(rt.FnI128MulOv)
+						}
+					} else if !isNarrow(in.Type) && e.opts.NoOverflow {
+						switch in.Op {
+						case qir.OpSAddTrap:
+							mod.RTImport(rt.FnAddOv64)
+						case qir.OpSSubTrap:
+							mod.RTImport(rt.FnSubOv64)
+						default:
+							mod.RTImport(rt.FnMulOv64)
+						}
+					}
+				case qir.OpCrc32:
+					if e.opts.NoCrc32 {
+						mod.RTImport(rt.FnCrc32Help)
+					}
+				}
 			}
 		}
+	}
+	return &moduleCompiler{mod: mod, env: env, opts: e.opts, tgt: vt.ForArch(env.Arch)}, nil
+}
 
-		// Emit.
-		sp = ph.Begin("Emit")
-		asm := vt.NewAssembler(env.Arch)
-		if err := emit(vc, ra, tgt, asm); err != nil {
-			return nil, nil, err
-		}
-		code, relocs, err := asm.Finish()
-		if err != nil {
-			return nil, nil, fmt.Errorf("clift: %s: %w", f.Name, err)
-		}
-		parts = append(parts, compiled{code: code, relocs: relocs, name: f.Name})
-		sp.End()
-		fsp.End()
+// Variant implements backend.ModuleCompiler (cache keying): the ablation
+// options change emitted code, so they are part of the identity.
+func (c *moduleCompiler) Variant() string {
+	return fmt.Sprintf("clift/v1;crc32=%t;ovf=%t;mulwide=%t",
+		!c.opts.NoCrc32, !c.opts.NoOverflow, !c.opts.NoMulWide)
+}
+
+// CompileFunc implements backend.ModuleCompiler: the per-function
+// Cranelift-style pipeline, IRGen through Emit.
+func (c *moduleCompiler) CompileFunc(i int, ph *backend.Phaser) (*backend.Unit, error) {
+	f := c.mod.Funcs[i]
+
+	// IRGen: two-pass translation with hash-map value mapping.
+	sp := ph.Begin("IRGen")
+	cir, err := translate(f, c.env, c.opts)
+	sp.End()
+	if err != nil {
+		return nil, err
 	}
 
-	// Link: concatenate function buffers, apply relocations, register
-	// unwind info.
+	// IRPasses: CFG and dominator-tree computation on the IR.
+	sp = ph.Begin("IRPasses")
+	computeDomTree(cir)
+	sp.End()
+
+	// ISelPrepare: the three preparation passes.
+	sp = ph.Begin("ISelPrepare")
+	prep := runPrepare(cir)
+	sp.End()
+
+	// ISel: tree-matching lowering to VCode.
+	sp = ph.Begin("ISel")
+	vc, err := lower(cir, prep, c.tgt)
+	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("clift: %s: %w", f.Name, err)
+	}
+
+	// RegAlloc (live-range building, bundle merging, assignment).
+	rsp := ph.BeginGroup("RegAlloc")
+	ra := allocate(vc, c.tgt, ph)
+	rsp.End()
+	ph.Count("bundles", int64(ra.numBundles))
+	ph.Count("spilled", int64(ra.numSpilled))
+	ph.Count("btree_inserts", int64(ra.btreeInserts))
+
+	if c.env.Options.Check {
+		csp := ph.Begin("Check.RegAlloc")
+		cf, cdiags := buildCheckFunc(vc, ra, c.tgt)
+		cdiags = append(cdiags, mcv.CheckFunc(cf)...)
+		csp.End()
+		if err := mcv.Error("clift: regalloc check", cdiags); err != nil {
+			return nil, err
+		}
+	}
+
+	// Emit.
+	sp = ph.Begin("Emit")
+	asm := vt.NewAssembler(c.env.Arch)
+	if err := emit(vc, ra, c.tgt, asm); err != nil {
+		sp.End()
+		return nil, err
+	}
+	code, relocs, err := asm.Finish()
+	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("clift: %s: %w", f.Name, err)
+	}
+	return &backend.Unit{
+		Index: i, Name: f.Name, Bytes: len(code),
+		Payload: &unit{code: code, relocs: relocs},
+	}, nil
+}
+
+// Link implements backend.ModuleCompiler: concatenate function buffers,
+// apply relocations, register unwind info.
+func (c *moduleCompiler) Link(units []*backend.Unit, ph *backend.Phaser) (backend.Exec, error) {
 	lsp := ph.Begin("Link")
 	total := 0
-	for _, p := range parts {
-		total += len(p.code)
+	for _, u := range units {
+		total += len(u.Payload.(*unit).code)
 	}
 	code := make([]byte, 0, total)
-	offsets := make([]int32, len(parts))
-	var pendingRelocs []vt.Reloc
+	offsets := make([]int32, len(units))
 	var unwind []vm.UnwindRange
-	for i, p := range parts {
+	for i, u := range units {
+		p := u.Payload.(*unit)
 		offsets[i] = int32(len(code))
-		for _, r := range p.relocs {
-			r.Offset += offsets[i]
-			pendingRelocs = append(pendingRelocs, r)
-		}
 		code = append(code, p.code...)
 		unwind = append(unwind, vm.UnwindRange{
-			Start: offsets[i], End: int32(len(code)), Name: p.name,
+			Start: offsets[i], End: int32(len(code)), Name: u.Name,
 			CFI: []byte{0x01},
 		})
 	}
-	for _, r := range pendingRelocs {
-		r.Patch(code, int64(offsets[r.Sym]))
+	// Relocations are unit-relative; rebase copies rather than the
+	// (possibly cache-shared) payload entries.
+	for i, u := range units {
+		for _, r := range u.Payload.(*unit).relocs {
+			r.Offset += offsets[i]
+			r.Patch(code, int64(offsets[r.Sym]))
+		}
 	}
-	vmod, err := vm.Load(env.Arch, code)
+	vmod, err := vm.Load(c.env.Arch, code)
 	if err != nil {
-		return nil, nil, fmt.Errorf("clift: %w", err)
+		lsp.End()
+		return nil, fmt.Errorf("clift: %w", err)
 	}
 	vmod.RegisterUnwind(unwind)
-	if err := env.DB.Bind(mod.RTNames); err != nil {
-		return nil, nil, err
+	if err := c.env.DB.Bind(c.mod.RTNames); err != nil {
+		lsp.End()
+		return nil, err
 	}
 	lsp.End()
 
-	if env.Options.Check {
+	if c.env.Options.Check {
 		csp := ph.Begin("Check.Lint")
-		ldiags := mcv.Lint(vmod.Prog, vmod.Funcs(), len(mod.RTNames))
+		ldiags := mcv.Lint(vmod.Prog, vmod.Funcs(), len(c.mod.RTNames))
 		csp.End()
 		if err := mcv.Error("clift: machine lint", ldiags); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		csp = ph.Begin("Check.Summary")
-		stats.Summaries = mcv.Summarize(vmod.Prog, vmod.Funcs(), mod.RTNames)
+		ph.Stats().Summaries = mcv.Summarize(vmod.Prog, vmod.Funcs(), c.mod.RTNames)
 		csp.End()
 	}
 
-	stats.CodeBytes = len(code)
-	ph.Finish()
-	return &exec{m: env.DB.M, mod: vmod, offsets: offsets}, stats, nil
+	ph.Stats().CodeBytes = len(code)
+	return &exec{m: c.env.DB.M, mod: vmod, offsets: offsets}, nil
 }
 
 // computeDomTree runs the Cooper–Harvey–Kennedy dominator algorithm over

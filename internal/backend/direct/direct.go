@@ -9,6 +9,12 @@
 // and last-use heuristics from the paper guiding evictions. Encoding uses
 // the branch-minimized fast encoder (8-byte immediates always). Only vx64 is
 // supported — the paper notes the AArch64 port was never merged.
+//
+// The pipeline is exposed per function (backend.FuncEngine): every function
+// is encoded into its own position-independent buffer whose function-address
+// relocations are resolved at Link, so the parallel driver can compile
+// functions on worker goroutines and the code cache can reuse buffers across
+// modules.
 package direct
 
 import (
@@ -17,6 +23,7 @@ import (
 	"qcc/internal/backend"
 	"qcc/internal/mcv"
 	"qcc/internal/qir"
+	"qcc/internal/rt"
 	"qcc/internal/vm"
 	"qcc/internal/vt"
 )
@@ -40,79 +47,142 @@ func (x *exec) Call(fn int, args ...uint64) ([2]uint64, error) {
 	return x.m.Call(x.mod, x.offsets[fn], args...)
 }
 
-// Compile implements backend.Engine.
+// Module exposes the linked machine-code image (byte-identity tests,
+// disassembly tooling).
+func (x *exec) Module() *vm.Module { return x.mod }
+
+// Compile implements backend.Engine via the shared sequential unit driver.
 func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *backend.Stats, error) {
+	return backend.CompileUnits(e, mod, env)
+}
+
+// moduleCompiler implements backend.ModuleCompiler for one (module, env).
+type moduleCompiler struct {
+	mod *qir.Module
+	env *backend.Env
+}
+
+// unit is the per-function payload: position-independent code (branches are
+// PC-relative, immediates fixed-width) plus unit-relative function-address
+// relocations and the frame size needed to build CFI at link time.
+type unit struct {
+	code      []byte
+	relocs    []vt.Reloc
+	frameSize int64
+}
+
+// BeginModule implements backend.FuncEngine. All shared-state mutation
+// happens here, before any (possibly concurrent) CompileFunc: string
+// constants are interned into machine memory and the one runtime helper
+// DirectEmit can emit (128-bit multiply overflow) is imported into the
+// module's runtime-name table.
+func (e *Engine) BeginModule(mod *qir.Module, env *backend.Env, ph *backend.Phaser) (backend.ModuleCompiler, error) {
 	if env.Arch != vt.VX64 {
-		return nil, nil, &backend.ErrUnsupported{Backend: "direct", Reason: "only vx64 is supported"}
+		return nil, &backend.ErrUnsupported{Backend: "direct", Reason: "only vx64 is supported"}
 	}
-	stats := &backend.Stats{Funcs: len(mod.Funcs)}
-	ph := backend.NewPhaser(stats, env.Trace)
-
-	asm := vt.NewFastX64Assembler()
-	offsets := make([]int32, len(mod.Funcs))
-	var unwind []vm.UnwindRange
-
-	for fi, f := range mod.Funcs {
-		fsp := ph.BeginGroup("func:" + f.Name)
-
-		// Analysis pass.
-		sp := ph.Begin("Analysis")
-		a := analyze(f)
-		sp.End()
-
-		// Code generation pass.
-		sp = ph.Begin("Codegen")
-		start := int32(asm.PCOffset())
-		offsets[fi] = start
-		g := &codegen{f: f, asm: asm, an: a, env: env, mod: mod}
-		if err := g.genFunc(); err != nil {
-			return nil, nil, fmt.Errorf("direct: %s: %w", f.Name, err)
+	backend.PreIntern(mod, env.DB)
+	for _, f := range mod.Funcs {
+		for b := range f.Blocks {
+			for _, v := range f.Blocks[b].List {
+				in := &f.Instrs[v]
+				if in.Op == qir.OpSMulTrap && in.Type == qir.I128 {
+					mod.RTImport(rt.FnI128MulOv)
+				}
+			}
 		}
-		end := int32(asm.PCOffset())
-		unwind = append(unwind, vm.UnwindRange{
-			Start: start, End: end, Name: f.Name,
-			CFI: encodeCFI(start, end, g.frameSize),
-		})
-		sp.End()
-		fsp.End()
 	}
+	return &moduleCompiler{mod: mod, env: env}, nil
+}
 
-	sp := ph.Begin("Emit")
-	code, relocs, err := asm.Finish()
-	if err != nil {
-		return nil, nil, fmt.Errorf("direct: %w", err)
+// Variant implements backend.ModuleCompiler (cache keying).
+func (c *moduleCompiler) Variant() string { return "direct/v1" }
+
+// CompileFunc implements backend.ModuleCompiler: the analysis and single
+// code-generation pass for one function, into a fresh encoder.
+func (c *moduleCompiler) CompileFunc(i int, ph *backend.Phaser) (*backend.Unit, error) {
+	f := c.mod.Funcs[i]
+
+	// Analysis pass.
+	sp := ph.Begin("Analysis")
+	a := analyze(f)
+	sp.End()
+
+	// Code generation pass.
+	sp = ph.Begin("Codegen")
+	asm := vt.NewFastX64Assembler()
+	g := &codegen{f: f, asm: asm, an: a, env: c.env, mod: c.mod}
+	if err := g.genFunc(); err != nil {
+		sp.End()
+		return nil, fmt.Errorf("direct: %s: %w", f.Name, err)
 	}
-	// Resolve function-address relocations (FuncAddr constants).
-	for _, r := range relocs {
-		r.Patch(code, int64(offsets[r.Sym]))
+	code, relocs, err := asm.Finish()
+	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("direct: %s: %w", f.Name, err)
+	}
+	return &backend.Unit{
+		Index: i, Name: f.Name, Bytes: len(code),
+		Payload: &unit{code: code, relocs: relocs, frameSize: g.frameSize},
+	}, nil
+}
+
+// Link implements backend.ModuleCompiler: concatenate the unit buffers,
+// resolve function-address relocations, build unwind info, load.
+func (c *moduleCompiler) Link(units []*backend.Unit, ph *backend.Phaser) (backend.Exec, error) {
+	sp := ph.Begin("Emit")
+	total := 0
+	for _, u := range units {
+		total += len(u.Payload.(*unit).code)
+	}
+	code := make([]byte, 0, total)
+	offsets := make([]int32, len(units))
+	var unwind []vm.UnwindRange
+	for i, u := range units {
+		p := u.Payload.(*unit)
+		offsets[i] = int32(len(code))
+		code = append(code, p.code...)
+		unwind = append(unwind, vm.UnwindRange{
+			Start: offsets[i], End: int32(len(code)), Name: u.Name,
+			CFI: encodeCFI(offsets[i], int32(len(code)), p.frameSize),
+		})
+	}
+	// Resolve function-address relocations (FuncAddr constants). The
+	// recorded offsets are unit-relative; rebase without mutating the
+	// (possibly cache-shared) payloads.
+	for i, u := range units {
+		for _, r := range u.Payload.(*unit).relocs {
+			r.Offset += offsets[i]
+			r.Patch(code, int64(offsets[r.Sym]))
+		}
 	}
 	vmod, err := vm.Load(vt.VX64, code)
 	if err != nil {
-		return nil, nil, fmt.Errorf("direct: %w", err)
+		sp.End()
+		return nil, fmt.Errorf("direct: %w", err)
 	}
 	vmod.RegisterUnwind(unwind)
-	if err := env.DB.Bind(mod.RTNames); err != nil {
-		return nil, nil, err
+	if err := c.env.DB.Bind(c.mod.RTNames); err != nil {
+		sp.End()
+		return nil, err
 	}
 	sp.End()
 
 	// DirectEmit has no pre-allocation program to check symbolically, so
 	// verification is the machine-code lint plus the structural summary.
-	if env.Options.Check {
+	if c.env.Options.Check {
 		csp := ph.Begin("Check.Lint")
-		ldiags := mcv.Lint(vmod.Prog, vmod.Funcs(), len(mod.RTNames))
+		ldiags := mcv.Lint(vmod.Prog, vmod.Funcs(), len(c.mod.RTNames))
 		csp.End()
 		if err := mcv.Error("direct: machine lint", ldiags); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		csp = ph.Begin("Check.Summary")
-		stats.Summaries = mcv.Summarize(vmod.Prog, vmod.Funcs(), mod.RTNames)
+		ph.Stats().Summaries = mcv.Summarize(vmod.Prog, vmod.Funcs(), c.mod.RTNames)
 		csp.End()
 	}
 
-	stats.CodeBytes = len(code)
-	ph.Finish()
-	return &exec{m: env.DB.M, mod: vmod, offsets: offsets}, stats, nil
+	ph.Stats().CodeBytes = len(code)
+	return &exec{m: c.env.DB.M, mod: vmod, offsets: offsets}, nil
 }
 
 // analysis bundles the single analysis pass results.

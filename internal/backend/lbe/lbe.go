@@ -2,10 +2,12 @@ package lbe
 
 import (
 	"fmt"
+	"sort"
 
 	"qcc/internal/backend"
 	"qcc/internal/mcv"
 	"qcc/internal/qir"
+	"qcc/internal/rt"
 	"qcc/internal/vm"
 	"qcc/internal/vt"
 )
@@ -97,10 +99,45 @@ func (x *exec) Call(fn int, args ...uint64) ([2]uint64, error) {
 	return x.m.Call(x.mod, x.offsets[fn], args...)
 }
 
-// Compile implements backend.Engine.
+// Module exposes the linked machine-code image (byte-identity tests,
+// disassembly tooling).
+func (x *exec) Module() *vm.Module { return x.mod }
+
+// Compile implements backend.Engine via the shared sequential unit driver.
 func (e *Engine) Compile(qmod *qir.Module, env *backend.Env) (backend.Exec, *backend.Stats, error) {
-	stats := &backend.Stats{Funcs: len(qmod.Funcs)}
-	ph := backend.NewPhaser(stats, env.Trace)
+	return backend.CompileUnits(e, qmod, env)
+}
+
+// moduleCompiler implements backend.ModuleCompiler for one (module, env).
+type moduleCompiler struct {
+	qmod *qir.Module
+	env  *backend.Env
+	cfg  Config // ISel resolved
+	tm   *targetMachine
+	// prep and opt are built once per module and read-only afterwards
+	// (run creates a fresh passContext per call).
+	prep *passManager
+	opt  *passManager
+}
+
+// unit is the per-function payload: one function's object-file fragment.
+// Branches inside text are PC-relative; calls into the module PLT stay as
+// named fixups and function-address references as symbol relocations, both
+// resolved at Link.
+type unit struct {
+	text   []byte
+	relocs []vt.Reloc  // function-index symbol relocations (MovSym)
+	fixups []callFixup // $plt<N> call sites, unit-relative offsets
+	cfi    []byte      // unwind advances, unit-relative offsets
+	rtIDs  []uint32    // runtime helpers routed through the PLT, sorted
+	fn     *Fn         // retained for the IRDestruct phase at Link
+}
+
+// BeginModule implements backend.FuncEngine. Shared-state mutation happens
+// here: the TargetMachine cache, string-constant interning, and importing
+// the runtime helpers translation can reach for lazily (the overflow trap
+// and the 128-bit multiply helper), mirroring trapArith.
+func (e *Engine) BeginModule(qmod *qir.Module, env *backend.Env, ph *backend.Phaser) (backend.ModuleCompiler, error) {
 	cfg := e.cfg
 	if cfg.ISel == ISelDefault {
 		if cfg.Opt {
@@ -125,16 +162,24 @@ func (e *Engine) Compile(qmod *qir.Module, env *backend.Env) (backend.Exec, *bac
 			e.tmCache[env.Arch] = tm
 		}
 	}
-	tgt := tm.tgt
 	sp.End()
 
-	lmod := &Module{Name: qmod.Name, RTNames: qmod.RTNames}
-	rtid := func(name string) uint32 { return qmod.RTImport(name) }
-
-	// The object emitter is shared by the whole module.
-	oe := newObjEmitter(env.Arch)
-	rtUsed := map[uint32]bool{}
-	var fnNames []string
+	backend.PreIntern(qmod, env.DB)
+	for _, f := range qmod.Funcs {
+		for b := range f.Blocks {
+			for _, v := range f.Blocks[b].List {
+				in := &f.Instrs[v]
+				switch in.Op {
+				case qir.OpSMulTrap, qir.OpSAddTrap, qir.OpSSubTrap:
+					if in.Type == qir.I128 && in.Op == qir.OpSMulTrap {
+						qmod.RTImport(rtFnI128MulOv)
+					} else {
+						qmod.RTImport(rt.FnOverflow)
+					}
+				}
+			}
+		}
+	}
 
 	prep := &passManager{}
 	for _, p := range backendPrepPasses() {
@@ -146,163 +191,253 @@ func (e *Engine) Compile(qmod *qir.Module, env *backend.Env) (backend.Exec, *bac
 			opt.add(p)
 		}
 	}
+	return &moduleCompiler{qmod: qmod, env: env, cfg: cfg, tm: tm, prep: prep, opt: opt}, nil
+}
 
-	for _, qf := range qmod.Funcs {
-		fsp := ph.BeginGroup("func:" + qf.Name)
+// Variant implements backend.ModuleCompiler (cache keying): every Config
+// field that changes emitted bytes participates. NoTMCache only moves
+// construction cost around, so it is deliberately absent.
+func (c *moduleCompiler) Variant() string {
+	return fmt.Sprintf("lbe/v1;opt=%t;isel=%d;structpairs=%t;largecode=%t",
+		c.cfg.Opt, c.cfg.ISel, c.cfg.StructPairs, c.cfg.LargeCodeModel)
+}
 
-		// IR construction.
-		sp = ph.Begin("IRBuild")
-		fn, err := buildIR(qf, lmod, env, cfg, rtid)
-		sp.End()
-		if err != nil {
-			return nil, nil, err
-		}
+// CompileFunc implements backend.ModuleCompiler: the per-function LLVM-style
+// pipeline, IRBuild through AsmPrinter, into a private object emitter.
+func (c *moduleCompiler) CompileFunc(idx int, ph *backend.Phaser) (*backend.Unit, error) {
+	qf := c.qmod.Funcs[idx]
+	env, cfg, tgt := c.env, c.cfg, c.tm.tgt
+	stats := ph.Stats()
 
-		// IR passes (midend in optimized mode, then back-end prep).
-		sp = ph.Begin("IRPasses")
-		if cfg.Opt {
-			opt.run(fn, ph, stats)
-		}
-		prep.run(fn, ph, stats)
-		sp.End()
+	// Each unit gets its own IR module: Fn construction appends to the
+	// module's function list, which must not be shared across goroutines.
+	lmod := &Module{Name: c.qmod.Name, RTNames: c.qmod.RTNames}
+	rtid := func(name string) uint32 { return c.qmod.RTImport(name) }
 
-		// Instruction selection.
-		sp = ph.Begin("ISel")
-		mf := &mfunc{name: fn.Name}
-		mf.blocks = make([]mblock, len(fn.Blocks))
-		is := &isel{cfg: cfg, fn: fn, mf: mf, tgt: tgt, stats: stats, vals: map[*Instr]mval{}}
-		switch cfg.ISel {
-		case ISelFast:
-			dag := &selectionDAG{isel: is}
-			fi := &fastISel{isel: is, dag: dag}
-			is.cur = 0
-			is.bindParams()
-			for bi, b := range fn.Blocks {
-				if err := fi.runOnBlock(b, int32(bi)); err != nil {
-					return nil, nil, err
-				}
-			}
-			stats.Count("dag_nodes", dag.nodesBuilt)
-			stats.Count("knownbits_queries", dag.kbQueries)
-		case ISelDAG:
-			dag := &selectionDAG{isel: is}
-			is.cur = 0
-			is.bindParams()
-			for bi, b := range fn.Blocks {
-				if err := dag.lowerRange(b, 0, len(b.Instrs), int32(bi)); err != nil {
-					return nil, nil, err
-				}
-			}
-			stats.Count("dag_nodes", dag.nodesBuilt)
-			stats.Count("knownbits_queries", dag.kbQueries)
-		case ISelGlobal:
-			gi := &gISel{isel: is}
-			if _, err := gi.run(fn); err != nil {
-				return nil, nil, err
-			}
-		}
-		sp.End()
-
-		// SSA lowering and target constraints.
-		sp = ph.Begin("OtherPasses")
-		mf.computeCFG()
-		phiElim(mf)
-		rewrites := twoAddress(mf, tgt)
-		stats.Count("twoaddr_rewrites", int64(rewrites))
-		stats.Count("passes_run", 2)
-		sp.End()
-
-		// The verifier pairs post-allocation code with its pre-allocation
-		// twin, so snapshot the MIR the allocators are about to rewrite.
-		var preRA [][]minst
-		if env.Options.Check {
-			csp := ph.Begin("Check.Snapshot")
-			preRA = snapshotMIR(mf)
-			csp.End()
-		}
-
-		// Register allocation.
-		sp = ph.Begin("RegAlloc")
-		var ra *raState
-		if cfg.Opt {
-			ra, err = greedyRegAlloc(mf, tgt)
-		} else {
-			ra, err = fastRegAlloc(mf, tgt)
-		}
-		sp.End()
-		if err != nil {
-			return nil, nil, fmt.Errorf("lbe: %s: %w", fn.Name, err)
-		}
-		stats.Count("spill_slots", int64(ra.numSlots))
-
-		// Check before the machine scan passes and prologue insertion
-		// below mutate the MIR (frame indices become byte offsets there).
-		if env.Options.Check {
-			csp := ph.Begin("Check.RegAlloc")
-			cf, cdiags := buildMCheckFunc(mf, preRA, ra, tgt)
-			cdiags = append(cdiags, mcv.CheckFunc(cf)...)
-			csp.End()
-			if err := mcv.Error("lbe: regalloc check", cdiags); err != nil {
-				return nil, nil, err
-			}
-		}
-
-		// The remaining small machine passes (stack coloring, copy
-		// propagation scans, branch folding in opt mode, ...): each
-		// iterates the machine code.
-		sp = ph.Begin("PrologEpilog")
-		runMachineScanPasses(mf, cfg.Opt, stats)
-		prologEpilog(mf, ra, tgt)
-		stats.Count("passes_run", 1)
-		sp.End()
-
-		// Assembly printing into the in-memory object. The printer calls
-		// back into the encoder; under Lap accounting that time was charged
-		// wholesale to AsmPrinter, while the span records the encoder as a
-		// nested child.
-		sp = ph.Begin("AsmPrinter")
-		if err := asmPrint(mf, tgt, oe, len(fnNames), cfg, rtUsed); err != nil {
-			return nil, nil, err
-		}
-		fnNames = append(fnNames, fn.Name)
-		sp.End()
-		fsp.End()
-	}
-
-	// Module epilogue: PLT stubs, object emission, JIT linking.
-	sp = ph.Begin("ObjectEmission")
-	var maxRT uint32
-	for id := range rtUsed {
-		if id > maxRT {
-			maxRT = id
-		}
-	}
-	emitPLT(oe, rtUsed, maxRT)
-	text, relocs, err := oe.finish()
+	// IR construction.
+	sp := ph.Begin("IRBuild")
+	fn, err := buildIR(qf, lmod, env, cfg, rtid)
+	sp.End()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	obj := &object{text: text, cfi: oe.cfi}
-	for _, n := range fnNames {
-		off := int32(len(obj.names))
-		obj.names = append(obj.names, n...)
+
+	// IR passes (midend in optimized mode, then back-end prep).
+	sp = ph.Begin("IRPasses")
+	if cfg.Opt {
+		c.opt.run(fn, ph, stats)
+	}
+	c.prep.run(fn, ph, stats)
+	sp.End()
+
+	// Instruction selection.
+	sp = ph.Begin("ISel")
+	mf := &mfunc{name: fn.Name}
+	mf.blocks = make([]mblock, len(fn.Blocks))
+	is := &isel{cfg: cfg, fn: fn, mf: mf, tgt: tgt, stats: stats, vals: map[*Instr]mval{}}
+	switch cfg.ISel {
+	case ISelFast:
+		dag := &selectionDAG{isel: is}
+		fi := &fastISel{isel: is, dag: dag}
+		is.cur = 0
+		is.bindParams()
+		for bi, b := range fn.Blocks {
+			if err := fi.runOnBlock(b, int32(bi)); err != nil {
+				return nil, err
+			}
+		}
+		stats.Count("dag_nodes", dag.nodesBuilt)
+		stats.Count("knownbits_queries", dag.kbQueries)
+	case ISelDAG:
+		dag := &selectionDAG{isel: is}
+		is.cur = 0
+		is.bindParams()
+		for bi, b := range fn.Blocks {
+			if err := dag.lowerRange(b, 0, len(b.Instrs), int32(bi)); err != nil {
+				return nil, err
+			}
+		}
+		stats.Count("dag_nodes", dag.nodesBuilt)
+		stats.Count("knownbits_queries", dag.kbQueries)
+	case ISelGlobal:
+		gi := &gISel{isel: is}
+		if _, err := gi.run(fn); err != nil {
+			return nil, err
+		}
+	}
+	sp.End()
+
+	// SSA lowering and target constraints.
+	sp = ph.Begin("OtherPasses")
+	mf.computeCFG()
+	phiElim(mf)
+	rewrites := twoAddress(mf, tgt)
+	stats.Count("twoaddr_rewrites", int64(rewrites))
+	stats.Count("passes_run", 2)
+	sp.End()
+
+	// The verifier pairs post-allocation code with its pre-allocation
+	// twin, so snapshot the MIR the allocators are about to rewrite.
+	var preRA [][]minst
+	if env.Options.Check {
+		csp := ph.Begin("Check.Snapshot")
+		preRA = snapshotMIR(mf)
+		csp.End()
+	}
+
+	// Register allocation.
+	sp = ph.Begin("RegAlloc")
+	var ra *raState
+	if cfg.Opt {
+		ra, err = greedyRegAlloc(mf, tgt)
+	} else {
+		ra, err = fastRegAlloc(mf, tgt)
+	}
+	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("lbe: %s: %w", fn.Name, err)
+	}
+	stats.Count("spill_slots", int64(ra.numSlots))
+
+	// Check before the machine scan passes and prologue insertion
+	// below mutate the MIR (frame indices become byte offsets there).
+	if env.Options.Check {
+		csp := ph.Begin("Check.RegAlloc")
+		cf, cdiags := buildMCheckFunc(mf, preRA, ra, tgt)
+		cdiags = append(cdiags, mcv.CheckFunc(cf)...)
+		csp.End()
+		if err := mcv.Error("lbe: regalloc check", cdiags); err != nil {
+			return nil, err
+		}
+	}
+
+	// The remaining small machine passes (stack coloring, copy
+	// propagation scans, branch folding in opt mode, ...): each
+	// iterates the machine code.
+	sp = ph.Begin("PrologEpilog")
+	runMachineScanPasses(mf, cfg.Opt, stats)
+	prologEpilog(mf, ra, tgt)
+	stats.Count("passes_run", 1)
+	sp.End()
+
+	// Assembly printing into the unit's private in-memory object. The
+	// printer calls back into the encoder; under Lap accounting that time
+	// was charged wholesale to AsmPrinter, while the span records the
+	// encoder as a nested child.
+	sp = ph.Begin("AsmPrinter")
+	oe := newObjEmitter(env.Arch)
+	rtUsed := map[uint32]bool{}
+	if err := asmPrint(mf, tgt, oe, idx, cfg, rtUsed); err != nil {
+		sp.End()
+		return nil, err
+	}
+	text, relocs, fixups, err := oe.finish()
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	rtIDs := make([]uint32, 0, len(rtUsed))
+	for id := range rtUsed {
+		rtIDs = append(rtIDs, id)
+	}
+	sort.Slice(rtIDs, func(a, b int) bool { return rtIDs[a] < rtIDs[b] })
+
+	return &backend.Unit{
+		Index: idx, Name: fn.Name, Bytes: len(text),
+		Payload: &unit{
+			text: text, relocs: relocs, fixups: fixups,
+			cfi: oe.cfi, rtIDs: rtIDs, fn: fn,
+		},
+	}, nil
+}
+
+// Link implements backend.ModuleCompiler: module epilogue — PLT stubs,
+// object emission, JIT linking, verification, IR destruction.
+func (c *moduleCompiler) Link(units []*backend.Unit, ph *backend.Phaser) (backend.Exec, error) {
+	env, qmod := c.env, c.qmod
+
+	sp := ph.Begin("ObjectEmission")
+	// Layout: the function texts in index order, then the PLT stubs for
+	// every runtime helper any unit routed through the PLT.
+	bases := make([]int32, len(units))
+	total := 0
+	rtUsed := map[uint32]bool{}
+	var maxRT uint32
+	for i, u := range units {
+		p := u.Payload.(*unit)
+		bases[i] = int32(total)
+		total += len(p.text)
+		for _, id := range p.rtIDs {
+			rtUsed[id] = true
+			if id > maxRT {
+				maxRT = id
+			}
+		}
+	}
+	pltOe := newObjEmitter(env.Arch)
+	emitPLT(pltOe, rtUsed, maxRT)
+	pltText, pltRelocs, pltFixups, err := pltOe.finish()
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	if len(pltRelocs) != 0 || len(pltFixups) != 0 {
+		sp.End()
+		return nil, fmt.Errorf("lbe: PLT emitted unexpected relocations")
+	}
+	pltBase := int32(total)
+
+	text := make([]byte, 0, total+len(pltText))
+	var cfi []byte
+	obj := &object{}
+	var fnNames []string
+	for i, u := range units {
+		p := u.Payload.(*unit)
+		text = append(text, p.text...)
+		cfi, err = rebaseCFIAdvances(cfi, p.cfi, int(bases[i]))
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
+		nameOff := int32(len(obj.names))
+		obj.names = append(obj.names, u.Name...)
 		obj.symbols = append(obj.symbols, objSymbol{
-			nameOff: off, nameLen: int32(len(n)),
-			value: oe.fnStarts[n], size: oe.fnEnds[n] - oe.fnStarts[n],
+			nameOff: nameOff, nameLen: int32(len(u.Name)),
+			value: bases[i], size: int32(len(p.text)),
 		})
+		for _, r := range p.relocs {
+			obj.relocs = append(obj.relocs, objReloc{off: r.Offset + bases[i], kind: r.Kind, sym: r.Sym})
+		}
+		fnNames = append(fnNames, u.Name)
 	}
-	for _, r := range relocs {
-		obj.relocs = append(obj.relocs, objReloc{off: r.Offset, kind: r.Kind, sym: r.Sym})
+	text = append(text, pltText...)
+	cfi, err = rebaseCFIAdvances(cfi, pltOe.cfi, int(pltBase))
+	if err != nil {
+		sp.End()
+		return nil, err
 	}
+	// Resolve the units' PLT call sites now that stub addresses exist.
+	for i, u := range units {
+		for _, f := range u.Payload.(*unit).fixups {
+			pos, ok := pltOe.labelPos[f.label]
+			if !ok {
+				sp.End()
+				return nil, fmt.Errorf("lbe: unresolved local call to %s", f.label)
+			}
+			pltOe.patchCall(text, f.at+bases[i], int64(pltBase+pos))
+		}
+	}
+	obj.text = text
+	obj.cfi = cfi
 	objBytes := encodeObject(obj)
-	stats.CodeBytes = len(text)
+	ph.Stats().CodeBytes = len(text)
 	sp.End()
 
 	sp = ph.Begin("Linking")
 	vmod, offsets, err := jitLink(objBytes, env.Arch, fnNames)
 	sp.End()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	if env.Options.Check {
@@ -310,17 +445,23 @@ func (e *Engine) Compile(qmod *qir.Module, env *backend.Env) (backend.Exec, *bac
 		ldiags := mcv.Lint(vmod.Prog, vmod.Funcs(), len(qmod.RTNames))
 		csp.End()
 		if err := mcv.Error("lbe: machine lint", ldiags); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		csp = ph.Begin("Check.Summary")
-		stats.Summaries = mcv.Summarize(vmod.Prog, vmod.Funcs(), qmod.RTNames)
+		ph.Stats().Summaries = mcv.Summarize(vmod.Prog, vmod.Funcs(), qmod.RTNames)
 		csp.End()
 	}
 
 	// Destructing the IR module is measurably expensive in LLVM; walk and
 	// release everything explicitly.
 	sp = ph.Begin("IRDestruct")
-	for _, fn := range lmod.Fns {
+	for _, u := range units {
+		p := u.Payload.(*unit)
+		fn := p.fn
+		if fn == nil {
+			continue // unit came from the code cache; its IR is long gone
+		}
+		p.fn = nil
 		for _, b := range fn.Blocks {
 			for _, in := range b.Instrs {
 				in.Ops = nil
@@ -333,14 +474,12 @@ func (e *Engine) Compile(qmod *qir.Module, env *backend.Env) (backend.Exec, *bac
 		fn.Blocks = nil
 		fn.Params = nil
 	}
-	lmod.Fns = nil
 	sp.End()
 
 	if err := env.DB.Bind(qmod.RTNames); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	ph.Finish()
-	return &exec{m: env.DB.M, mod: vmod, offsets: offsets}, stats, nil
+	return &exec{m: env.DB.M, mod: vmod, offsets: offsets}, nil
 }
 
 // runMachineScanPasses models the tail of the codegen pipeline: many small

@@ -103,11 +103,17 @@ type objEmitter struct {
 	hooks    []func(*mcInst) // per-instruction hooks (unwind writer)
 	// callFixups are local call sites patched at finish (label name and
 	// byte offset of the call instruction).
-	callFixups []struct {
-		at    int32
-		label string
-	}
-	labelPos map[string]int32 // filled from labels at finish
+	callFixups []callFixup
+	labelPos   map[string]int32 // filled from labels at finish
+}
+
+// callFixup is a call site referencing a text label by name; sites whose
+// label lives outside the emitter's own buffer (a function unit calling a
+// module PLT stub) survive finish unresolved and are patched by the link
+// step once the stub addresses are known.
+type callFixup struct {
+	at    int32
+	label string
 }
 
 func newObjEmitter(arch vt.Arch) *objEmitter {
@@ -179,10 +185,7 @@ func (oe *objEmitter) emitInstruction(in *mcInst) {
 		if oe.arch == vt.VX64 {
 			at++ // opcode byte precedes the abs32 field
 		}
-		oe.callFixups = append(oe.callFixups, struct {
-			at    int32
-			label string
-		}{at, in.labelRef})
+		oe.callFixups = append(oe.callFixups, callFixup{at, in.labelRef})
 		oe.asm.Emit(vt.Instr{Op: vt.Call, Imm: 0})
 		return
 	}
@@ -196,25 +199,60 @@ func (oe *objEmitter) emitInstruction(in *mcInst) {
 	oe.asm.Emit(i)
 }
 
-// finish resolves label fixups and local calls, returning the text bytes
-// and external relocations.
-func (oe *objEmitter) finish() ([]byte, []vt.Reloc, error) {
+// finish resolves label fixups and local calls, returning the text bytes,
+// the external (function-symbol) relocations, and any call fixups whose
+// label is not defined in this buffer — those reference module PLT stubs
+// and are resolved by the link step.
+func (oe *objEmitter) finish() ([]byte, []vt.Reloc, []callFixup, error) {
 	code, relocs, err := oe.asm.Finish()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
+	var ext []callFixup
 	for _, f := range oe.callFixups {
 		pos, ok := oe.labelPos[f.label]
 		if !ok {
-			return nil, nil, fmt.Errorf("lbe: unresolved local call to %s", f.label)
+			ext = append(ext, f)
+			continue
 		}
-		kind := vt.RelocCall32
-		if oe.arch == vt.VA64 {
-			kind = vt.RelocCall24
-		}
-		vt.Reloc{Kind: kind, Offset: f.at}.Patch(code, int64(pos))
+		oe.patchCall(code, f.at, int64(pos))
 	}
-	return code, relocs, nil
+	return code, relocs, ext, nil
+}
+
+// patchCall writes the absolute call target at a call fixup site.
+func (oe *objEmitter) patchCall(code []byte, at int32, pos int64) {
+	kind := vt.RelocCall32
+	if oe.arch == vt.VA64 {
+		kind = vt.RelocCall24
+	}
+	vt.Reloc{Kind: kind, Offset: at}.Patch(code, pos)
+}
+
+// rebaseCFIAdvances re-encodes a unit-relative CFI advance stream against a
+// new base offset, so per-function CFI fragments can be concatenated into
+// the module's unwind section.
+func rebaseCFIAdvances(dst, cfi []byte, base int) ([]byte, error) {
+	for i := 0; i < len(cfi); {
+		if cfi[i] != 0x02 {
+			return nil, fmt.Errorf("lbe: bad CFI opcode 0x%02x", cfi[i])
+		}
+		i++
+		var off uint
+		for shift := 0; ; shift += 7 {
+			if i >= len(cfi) {
+				return nil, fmt.Errorf("lbe: truncated CFI advance")
+			}
+			c := cfi[i]
+			i++
+			off |= uint(c&0x7F) << shift
+			if c&0x80 == 0 {
+				break
+			}
+		}
+		dst = appendCFIAdvance(dst, int(off)+base)
+	}
+	return dst, nil
 }
 
 // asmPrint lowers one allocated, frame-finalized MIR function through the

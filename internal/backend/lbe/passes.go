@@ -586,9 +586,18 @@ func licm(fn *Fn, dt *lDomTree, li *lLoopInfo) {
 			}
 			return true
 		}
+		// Walk the loop body in fn.Blocks order, not map order: the hoist
+		// order decides the preheader instruction sequence and must be
+		// deterministic for byte-identical recompiles.
+		var body []*Block
+		for _, b := range fn.Blocks {
+			if l.blocks[b] {
+				body = append(body, b)
+			}
+		}
 		for changed := true; changed; {
 			changed = false
-			for blk := range l.blocks {
+			for _, blk := range body {
 				for _, in := range append([]*Instr(nil), blk.Instrs...) {
 					if !invariant(in) {
 						continue

@@ -2,6 +2,7 @@ package lbe
 
 import (
 	"fmt"
+	"sort"
 
 	"qcc/internal/vt"
 )
@@ -451,9 +452,13 @@ func fastRegAlloc(mf *mfunc, tgt *vt.Target) (*raState, error) {
 		}
 		blk.insts = out
 	}
+	// Sorted so the prologue save order is deterministic (byte-identical
+	// recompiles; map iteration order is randomized), matching the greedy
+	// allocator.
 	for p := range usedCallee {
 		st.usedCallee = append(st.usedCallee, p)
 	}
+	sort.Slice(st.usedCallee, func(i, j int) bool { return st.usedCallee[i] < st.usedCallee[j] })
 	st.spills = int(st.numSlots)
 	return st, nil
 }

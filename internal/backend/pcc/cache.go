@@ -1,0 +1,110 @@
+package pcc
+
+import (
+	"container/list"
+	"sync"
+
+	"qcc/internal/backend"
+)
+
+// Cache is the content-addressed code cache: compiled units keyed by the
+// canonical fingerprint of (function body, target architecture, back-end
+// variant). Entries are position-independent unit payloads, so a hit skips
+// the whole per-function pipeline and goes straight to Link.
+//
+// Eviction is least-recently-used under a byte budget measured by
+// Unit.Bytes (machine-code size; the IR-side footprint is proportional).
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	size   int64
+	lru    *list.List // front = most recent; values are *entry
+	m      map[string]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type entry struct {
+	key  string
+	unit *cachedUnit
+}
+
+// cachedUnit stores the shareable parts of a backend.Unit (everything but
+// the module-local index).
+type cachedUnit struct {
+	name    string
+	bytes   int
+	payload any
+}
+
+// NewCache returns a cache that evicts past budgetBytes of cached machine
+// code. budgetBytes <= 0 selects an effectively unbounded cache.
+func NewCache(budgetBytes int64) *Cache {
+	if budgetBytes <= 0 {
+		budgetBytes = 1 << 62
+	}
+	return &Cache{budget: budgetBytes, lru: list.New(), m: map[string]*list.Element{}}
+}
+
+// get returns the cached unit for key, marking it most recently used.
+func (c *Cache) get(key string) (*backend.Unit, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	u := el.Value.(*entry).unit
+	return &backend.Unit{Name: u.name, Bytes: u.bytes, Payload: u.payload}, true
+}
+
+// put inserts (or refreshes) a unit and evicts the least-recently-used
+// entries until the byte budget holds again.
+func (c *Cache) put(key string, u *backend.Unit) {
+	if u == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&entry{key: key, unit: &cachedUnit{
+		name: u.Name, bytes: u.Bytes, payload: u.Payload,
+	}})
+	c.size += int64(u.Bytes)
+	for c.size > c.budget && c.lru.Len() > 1 {
+		el := c.lru.Back()
+		ent := el.Value.(*entry)
+		c.lru.Remove(el)
+		delete(c.m, ent.key)
+		c.size -= int64(ent.unit.bytes)
+	}
+}
+
+// Len returns the number of cached units.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// SizeBytes returns the cached machine-code bytes.
+func (c *Cache) SizeBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Counters returns the lifetime hit and miss counts.
+func (c *Cache) Counters() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

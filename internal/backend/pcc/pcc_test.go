@@ -1,0 +1,329 @@
+package pcc_test
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+
+	"qcc/internal/backend"
+	"qcc/internal/backend/cbe"
+	"qcc/internal/backend/clift"
+	"qcc/internal/backend/direct"
+	"qcc/internal/backend/lbe"
+	"qcc/internal/backend/pcc"
+	"qcc/internal/bench"
+	"qcc/internal/codegen"
+	"qcc/internal/plan"
+	"qcc/internal/qir"
+	"qcc/internal/rt"
+	"qcc/internal/vm"
+	"qcc/internal/vt"
+)
+
+// codeImage reaches the linked machine-code image behind an Exec; every
+// compiled back-end's exec exposes it.
+type codeImage interface{ Module() *vm.Module }
+
+func codeOf(t *testing.T, ex backend.Exec) []byte {
+	t.Helper()
+	ci, ok := ex.(codeImage)
+	if !ok {
+		t.Fatalf("exec %T does not expose its linked module", ex)
+	}
+	return ci.Module().Code
+}
+
+// funcEngines is the per-function-pipeline lineup the driver shards.
+func funcEngines(arch vt.Arch) map[string]backend.Engine {
+	es := map[string]backend.Engine{
+		"clift":      clift.New(),
+		"llvm-cheap": lbe.NewCheap(),
+		"llvm-opt":   lbe.NewOpt(),
+		"gcc":        cbe.New(),
+	}
+	if arch == vt.VX64 {
+		es["direct"] = direct.New()
+	}
+	return es
+}
+
+func benchCfg(arch vt.Arch) bench.Config {
+	cfg := bench.DefaultConfig()
+	cfg.Arch = arch
+	cfg.SF = 0.01
+	cfg.MemMB = 192
+	return cfg
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestParallelMatchesSequential is the determinism differential: for every
+// TPC-H query, every wired back-end, and both architectures, the parallel
+// driver (jobs=4) must link byte-identical machine code to the plain
+// sequential compile. Two identically-built worlds keep interned addresses
+// comparable; the per-query checkpoint/reset mirrors the benchmark harness.
+func TestParallelMatchesSequential(t *testing.T) {
+	arches := []vt.Arch{vt.VX64, vt.VA64}
+	if testing.Short() {
+		arches = arches[:1]
+	}
+	for _, arch := range arches {
+		engines := funcEngines(arch)
+		names := make([]string, 0, len(engines))
+		for n := range engines {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			eng := engines[name]
+			t.Run(arch.String()+"/"+name, func(t *testing.T) {
+				cfg := benchCfg(arch)
+				seqW, err := bench.NewWorldLoaded(cfg, "tpch")
+				if err != nil {
+					t.Fatal(err)
+				}
+				parW, err := bench.NewWorldLoaded(cfg, "tpch")
+				if err != nil {
+					t.Fatal(err)
+				}
+				par := pcc.Wrap(eng, pcc.Config{Jobs: 4})
+				seqW.DB.Checkpoint()
+				parW.DB.Checkpoint()
+				queries := bench.HQueries()
+				if testing.Short() {
+					queries = queries[:4]
+				}
+				for _, q := range queries {
+					cs, err := codegen.Compile(q.Name, q.Build(), seqW.Cat)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cp, err := codegen.Compile(q.Name, q.Build(), parW.Cat)
+					if err != nil {
+						t.Fatal(err)
+					}
+					exS, _, err := eng.Compile(cs.Module, &backend.Env{DB: seqW.DB, Arch: arch})
+					if err != nil {
+						t.Fatalf("%s sequential: %v", q.Name, err)
+					}
+					exP, _, err := par.Compile(cp.Module, &backend.Env{DB: parW.DB, Arch: arch})
+					if err != nil {
+						t.Fatalf("%s parallel: %v", q.Name, err)
+					}
+					sc, pc := codeOf(t, exS), codeOf(t, exP)
+					if !bytes.Equal(sc, pc) {
+						t.Fatalf("%s: parallel code differs from sequential (len %d vs %d, first diff at %#x)",
+							q.Name, len(sc), len(pc), firstDiff(sc, pc))
+					}
+					seqW.DB.ResetToCheckpoint()
+					parW.DB.ResetToCheckpoint()
+				}
+			})
+		}
+	}
+}
+
+// TestCacheDeterminism compiles a query three times against a cache whose
+// budget forces eviction between compiles: cold, partially warm, and
+// re-warmed code must be byte-identical to an uncached sequential compile,
+// and the machine-code verifier summaries must agree exactly.
+func TestCacheDeterminism(t *testing.T) {
+	cfg := benchCfg(vt.VX64)
+	refW, err := bench.NewWorldLoaded(cfg, "tpch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheW, err := bench.NewWorldLoaded(cfg, "tpch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := clift.New()
+	q := bench.HQueries()[0]
+	opts := backend.Options{Check: true}
+
+	cRef, err := codegen.Compile(q.Name, q.Build(), refW.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exRef, stRef, err := eng.Compile(cRef.Module, &backend.Env{DB: refW.DB, Arch: cfg.Arch, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCode := codeOf(t, exRef)
+
+	// A ~1-byte budget keeps at most one unit resident, so every compile
+	// round-trips through insert-and-evict.
+	cache := pcc.NewCache(1)
+	wrapped := pcc.Wrap(eng, pcc.Config{Jobs: 4, Cache: cache})
+	cQ, err := codegen.Compile(q.Name, q.Build(), cacheW.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := func() *backend.Env { return &backend.Env{DB: cacheW.DB, Arch: cfg.Arch, Options: opts} }
+	var codes [][]byte
+	var sums [][]interface{}
+	for round := 0; round < 3; round++ {
+		ex, st, err := wrapped.Compile(cQ.Module, env())
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		codes = append(codes, codeOf(t, ex))
+		var s []interface{}
+		for _, fs := range st.Summaries {
+			s = append(s, fs)
+		}
+		sums = append(sums, s)
+		if round == 0 && cache.Len() != 1 {
+			t.Fatalf("tiny budget should evict down to one unit, Len=%d", cache.Len())
+		}
+	}
+	for round, code := range codes {
+		if !bytes.Equal(refCode, code) {
+			t.Fatalf("round %d: cached code differs from uncached sequential (first diff %#x)",
+				round, firstDiff(refCode, code))
+		}
+	}
+	var refSums []interface{}
+	for _, fs := range stRef.Summaries {
+		refSums = append(refSums, fs)
+	}
+	for round, s := range sums {
+		if !reflect.DeepEqual(refSums, s) {
+			t.Fatalf("round %d: mcv summaries diverge from uncached compile", round)
+		}
+	}
+	if hits, misses := cache.Counters(); hits+misses == 0 {
+		t.Fatal("cache never consulted")
+	}
+}
+
+// TestCacheWarmHits: recompiling the same module against a roomy cache must
+// hit for every function and still link byte-identical code, with the hit
+// and miss totals surfaced through the compile stats counters.
+func TestCacheWarmHits(t *testing.T) {
+	cfg := benchCfg(vt.VX64)
+	w, err := bench.NewWorldLoaded(cfg, "tpch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := pcc.NewCache(64 << 20)
+	wrapped := pcc.Wrap(clift.New(), pcc.Config{Jobs: 2, Cache: cache})
+	q := bench.HQueries()[0]
+	c, err := codegen.Compile(q.Name, q.Build(), w.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := func() *backend.Env { return &backend.Env{DB: w.DB, Arch: cfg.Arch} }
+	ex1, st1, err := wrapped.Compile(c.Module, env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2, st2, err := wrapped.Compile(c.Module, env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(len(c.Module.Funcs))
+	if hits, misses := cache.Counters(); hits != n || misses != n {
+		t.Fatalf("hits=%d misses=%d, want %d/%d (all-miss cold, all-hit warm)", hits, misses, n, n)
+	}
+	if st1.Counters["cache_misses"] != n || st1.Counters["cache_hits"] != 0 {
+		t.Fatalf("cold-run stats counters wrong: %v", st1.Counters)
+	}
+	if st2.Counters["cache_hits"] != n || st2.Counters["cache_misses"] != 0 {
+		t.Fatalf("warm-run stats counters wrong: %v", st2.Counters)
+	}
+	if !bytes.Equal(codeOf(t, ex1), codeOf(t, ex2)) {
+		t.Fatal("warm-run code differs from cold-run code")
+	}
+}
+
+// tinyWorld builds a one-table dataset for targeted cache probes.
+func tinyWorld(arch vt.Arch) (*rt.DB, *rt.Catalog) {
+	m := vm.New(vm.Config{Arch: arch, MemSize: 64 << 20})
+	db := rt.NewDB(m)
+	cat := rt.NewCatalog(db)
+	tab := cat.CreateTable("t", 16, rt.ColSpec{Name: "x", Type: qir.I64})
+	for i := int64(0); i < 16; i++ {
+		cat.SetInt(tab.MustCol("x"), i, i)
+	}
+	return db, cat
+}
+
+// constSelect builds: SELECT x FROM t WHERE x > v. Two instances differ
+// only in the literal v.
+func constSelect(t *testing.T, v int64) plan.Node {
+	t.Helper()
+	pred, err := plan.NewCmp(plan.CmpGT,
+		&plan.Col{Idx: 0, Ty: qir.I64}, &plan.ConstInt{Ty: qir.I64, V: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &plan.Select{
+		Input: &plan.Scan{Table: "t", Cols: []plan.ColInfo{{Name: "x", Type: qir.I64}}},
+		Pred:  pred,
+	}
+}
+
+// TestCacheConstantSensitivity is the end-to-end collision-resistance
+// check: a module recompiled verbatim hits, but changing a single literal
+// constant in the query must miss rather than serve the stale unit.
+func TestCacheConstantSensitivity(t *testing.T) {
+	db, cat := tinyWorld(vt.VX64)
+	cache := pcc.NewCache(64 << 20)
+	wrapped := pcc.Wrap(clift.New(), pcc.Config{Jobs: 1, Cache: cache})
+	compile := func(v int64) *backend.Stats {
+		t.Helper()
+		// The same module name both times: the only difference between the
+		// two compiles is the literal.
+		c, err := codegen.Compile("q", constSelect(t, v), cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := wrapped.Compile(c.Module, &backend.Env{DB: db, Arch: vt.VX64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	cold := compile(5)
+	if cold.Counters["cache_hits"] != 0 {
+		t.Fatalf("cold compile hit: %v", cold.Counters)
+	}
+	warm := compile(5)
+	if warm.Counters["cache_misses"] != 0 || warm.Counters["cache_hits"] == 0 {
+		t.Fatalf("verbatim recompile should hit for every function: %v", warm.Counters)
+	}
+	changed := compile(6)
+	if changed.Counters["cache_misses"] == 0 {
+		t.Fatalf("constant change produced no miss — stale code served: %v", changed.Counters)
+	}
+}
+
+// TestWrapTransparent: non-sharding engines pass through Wrap unchanged,
+// and jobs<=0 defaults sanely.
+func TestWrapTransparent(t *testing.T) {
+	e := clift.New()
+	w := pcc.Wrap(e, pcc.Config{Jobs: 4})
+	if w.Name() != e.Name() {
+		t.Fatalf("wrapper must keep the engine name, got %q", w.Name())
+	}
+	pe, ok := w.(*pcc.Engine)
+	if !ok {
+		t.Fatalf("expected *pcc.Engine, got %T", w)
+	}
+	if pe.Jobs() != 4 {
+		t.Fatalf("Jobs=%d, want 4", pe.Jobs())
+	}
+}

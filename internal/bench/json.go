@@ -26,6 +26,8 @@ func EngineReportOf(run *EngineRun) obs.EngineReport {
 		for k, v := range run.Stats.Counters {
 			er.Counters[k] = v
 		}
+		er.CacheHits = run.Stats.Counters["cache_hits"]
+		er.CacheMisses = run.Stats.Counters["cache_misses"]
 	}
 	for _, q := range run.Queries {
 		er.Queries = append(er.Queries, obs.QueryReport{
@@ -46,11 +48,16 @@ func EngineReportOf(run *EngineRun) obs.EngineReport {
 // obs.Schema). Each engine gets a fresh world so heap layout is comparable
 // across engines.
 func JSONReport(cfg Config) (*obs.Report, error) {
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = 1
+	}
 	rep := &obs.Report{
 		Schema:   obs.Schema,
 		Arch:     cfg.Arch.String(),
 		Workload: "tpch",
 		SF:       cfg.SF,
+		Jobs:     jobs,
 		Engines:  []obs.EngineReport{},
 	}
 	for _, eng := range Engines(cfg.Arch) {
@@ -58,7 +65,9 @@ func JSONReport(cfg Config) (*obs.Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: load tpch: %w", err)
 		}
-		run, err := RunSuiteTraced(w, eng, cfg.Arch, HQueries(), cfg.Runs, nil, cfg.BackendOptions())
+		// Each engine gets its own cache (comparability) and fresh world.
+		wrapped := cfg.WrapEngine(eng, cfg.NewCodeCache())
+		run, err := RunSuiteTraced(w, wrapped, cfg.Arch, HQueries(), cfg.Runs, nil, cfg.BackendOptions())
 		if err != nil {
 			return nil, err
 		}

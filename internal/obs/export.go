@@ -47,9 +47,13 @@ func WriteChrome(w io.Writer, traces ...*Trace) error {
 		})
 		for _, sp := range tr.Spans {
 			dur := usOf(int64(sp.Dur))
+			tid := int(sp.Tid)
+			if tid == 0 {
+				tid = 1 // main compilation thread
+			}
 			ev := chromeEvent{
 				Name: sp.Name, Cat: sp.Cat, Ph: "X",
-				Ts: usOf(int64(sp.Start)), Dur: &dur, Pid: pid, Tid: 1,
+				Ts: usOf(int64(sp.Start)), Dur: &dur, Pid: pid, Tid: tid,
 			}
 			if sp.AllocBytes != 0 || sp.AllocObjs != 0 {
 				ev.Args = map[string]any{
@@ -204,12 +208,15 @@ const Schema = "qcc.obs.report/v1"
 // Report is the machine-readable benchmark/observability report emitted by
 // `qbench -json` and `qtrace -format json`.
 type Report struct {
-	Schema   string           `json:"schema"`
-	Arch     string           `json:"arch,omitempty"`
-	Workload string           `json:"workload,omitempty"`
-	SF       float64          `json:"sf,omitempty"`
-	Engines  []EngineReport   `json:"engines"`
-	Global   map[string]int64 `json:"global_counters,omitempty"`
+	Schema   string  `json:"schema"`
+	Arch     string  `json:"arch,omitempty"`
+	Workload string  `json:"workload,omitempty"`
+	SF       float64 `json:"sf,omitempty"`
+	// Jobs is the compilation worker count the report was produced with
+	// (1 = sequential, matching reports from before the field existed).
+	Jobs    int              `json:"jobs,omitempty"`
+	Engines []EngineReport   `json:"engines"`
+	Global  map[string]int64 `json:"global_counters,omitempty"`
 }
 
 // EngineReport is one engine's aggregate over the measured suite.
@@ -223,7 +230,11 @@ type EngineReport struct {
 	Counters   map[string]int64 `json:"counters,omitempty"`
 	AllocBytes int64            `json:"alloc_bytes,omitempty"`
 	AllocObjs  int64            `json:"alloc_objs,omitempty"`
-	Queries    []QueryReport    `json:"queries,omitempty"`
+	// CacheHits/CacheMisses are the content-addressed code-cache lookup
+	// outcomes over the suite (both zero when no cache is configured).
+	CacheHits   int64         `json:"cache_hits"`
+	CacheMisses int64         `json:"cache_misses"`
+	Queries     []QueryReport `json:"queries,omitempty"`
 }
 
 // PhaseReport is one compile phase total.

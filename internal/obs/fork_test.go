@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestForkAdopt checks the concurrent-tracing protocol: a worker records
+// into a forked tracer, and Adopt splices its span forest under the parent
+// tracer's innermost open span with depths shifted and the worker tid
+// stamped on.
+func TestForkAdopt(t *testing.T) {
+	tr := New(Options{})
+	root := tr.Begin("root")
+
+	child := tr.Fork()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w := child.BeginCat("work", "group")
+		inner := child.Begin("inner")
+		inner.End()
+		w.End()
+		child.Add("widgets", 3)
+	}()
+	<-done
+
+	tr.Adopt(child, 7)
+	root.End()
+
+	snap := tr.Snapshot("test")
+	if len(snap.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(snap.Spans), snap.Spans)
+	}
+	rootSpan, work, inner := snap.Spans[0], snap.Spans[1], snap.Spans[2]
+	if rootSpan.Name != "root" || rootSpan.Parent != -1 || rootSpan.Depth != 0 {
+		t.Errorf("root span malformed: %+v", rootSpan)
+	}
+	if work.Name != "work" || work.Parent != 0 || work.Depth != 1 || work.Tid != 7 {
+		t.Errorf("adopted root span not re-parented under open span: %+v", work)
+	}
+	if inner.Name != "inner" || inner.Parent != 1 || inner.Depth != 2 || inner.Tid != 7 {
+		t.Errorf("adopted nested span malformed: %+v", inner)
+	}
+	if snap.Counters["widgets"] != 3 {
+		t.Errorf("forked counters not merged: %v", snap.Counters)
+	}
+}
+
+// TestForkAdoptNoOpenSpan checks that adopting with no span open keeps the
+// child roots as roots.
+func TestForkAdoptNoOpenSpan(t *testing.T) {
+	tr := New(Options{})
+	child := tr.Fork()
+	child.Begin("a").End()
+	tr.Adopt(child, 2)
+	snap := tr.Snapshot("test")
+	if len(snap.Spans) != 1 || snap.Spans[0].Parent != -1 || snap.Spans[0].Depth != 0 || snap.Spans[0].Tid != 2 {
+		t.Fatalf("adopted span should stay a root: %+v", snap.Spans)
+	}
+}
+
+// TestCrossGoroutineBeginPanics: opening a span from a goroutine that does
+// not own the open-span stack must panic (previously it silently corrupted
+// parent attribution).
+func TestCrossGoroutineBeginPanics(t *testing.T) {
+	tr := New(Options{})
+	sp := tr.Begin("outer")
+	got := make(chan any, 1)
+	go func() {
+		defer func() { got <- recover() }()
+		tr.Begin("bad")
+	}()
+	r := <-got
+	if r == nil {
+		t.Fatal("Begin from a non-owning goroutine did not panic")
+	}
+	if !strings.Contains(r.(string), "Fork/Adopt") {
+		t.Fatalf("panic message should point at Fork/Adopt: %v", r)
+	}
+	// The tracer must stay usable by its owner after a recovered misuse.
+	sp.End()
+	if n := len(tr.Snapshot("t").Spans); n != 1 {
+		t.Fatalf("got %d spans after recovery, want 1", n)
+	}
+}
+
+// TestCrossGoroutineEndPanics: closing a span from the wrong goroutine must
+// panic as well.
+func TestCrossGoroutineEndPanics(t *testing.T) {
+	tr := New(Options{})
+	sp := tr.Begin("outer")
+	got := make(chan any, 1)
+	go func() {
+		defer func() { got <- recover() }()
+		sp.End()
+	}()
+	if r := <-got; r == nil {
+		t.Fatal("End from a non-owning goroutine did not panic")
+	}
+	sp.End()
+}
+
+// TestOwnershipReleases: once the stack empties, another goroutine may
+// claim the tracer (sequential handoff needs no Fork).
+func TestOwnershipReleases(t *testing.T) {
+	tr := New(Options{})
+	tr.Begin("first").End()
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		tr.Begin("second").End()
+	}()
+	if r := <-done; r != nil {
+		t.Fatalf("handoff after stack emptied should not panic: %v", r)
+	}
+	if n := len(tr.Snapshot("t").Spans); n != 2 {
+		t.Fatalf("got %d spans, want 2", n)
+	}
+}
+
+// TestConcurrentCountersAndForks: counters and Fork/Adopt are safe under
+// the race detector with many workers.
+func TestConcurrentCountersAndForks(t *testing.T) {
+	tr := New(Options{})
+	root := tr.Begin("root")
+	const workers = 8
+	children := make([]*Tracer, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		children[i] = tr.Fork()
+		wg.Add(1)
+		go func(c *Tracer) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				sp := c.Begin("unit")
+				c.Add("n", 1)
+				tr.Add("shared", 1) // counter API is concurrency-safe on the parent too
+				sp.End()
+			}
+		}(children[i])
+	}
+	wg.Wait()
+	for i, c := range children {
+		tr.Adopt(c, int32(i+2))
+	}
+	root.End()
+	snap := tr.Snapshot("t")
+	if want := 1 + workers*100; len(snap.Spans) != want {
+		t.Fatalf("got %d spans, want %d", len(snap.Spans), want)
+	}
+	if snap.Counters["n"] != workers*100 || snap.Counters["shared"] != workers*100 {
+		t.Fatalf("counters lost updates: %v", snap.Counters)
+	}
+}

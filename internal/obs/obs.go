@@ -31,6 +31,11 @@ type Span struct {
 	Cat    string // category: "phase", "pass", "func", "group", ...
 	Parent int32  // index of the enclosing span; -1 for roots
 	Depth  int32
+	// Tid identifies the logical thread (worker) the span ran on: 0/1 is
+	// the main compilation goroutine; spans merged from forked per-worker
+	// tracers carry the worker's id (see Adopt). Exporters render it as
+	// the Chrome trace thread id.
+	Tid    int32
 	Start  time.Duration // offset from the tracer epoch
 	Dur    time.Duration
 	// AllocBytes/AllocObjs hold the heap-allocation delta over the span
@@ -40,9 +45,13 @@ type Span struct {
 }
 
 // Tracer collects spans and counters for one compilation or tool run.
-// Counter and span recording are safe for concurrent use; the open-span
-// stack is shared, so spans should be opened and closed from one goroutine
-// at a time (compilation in this codebase is single-threaded per module).
+// Counter and span recording are safe for concurrent use. The open-span
+// stack is NOT: it belongs to one goroutine at a time. Ownership is claimed
+// by the first Begin on an empty stack and released when the stack empties;
+// a Begin or End from a different goroutine while spans are open panics
+// (before this check, such misuse silently corrupted parent attribution).
+// Concurrent compilation therefore gives each worker its own tracer via
+// Fork and merges the span forests with Adopt.
 type Tracer struct {
 	mu       sync.Mutex
 	epoch    time.Time
@@ -50,6 +59,7 @@ type Tracer struct {
 	stack    []int32
 	counters map[string]int64
 	allocs   bool
+	owner    int64 // goroutine id owning the open-span stack; 0 when empty
 }
 
 // New creates an enabled tracer. The zero moment of all span timestamps is
@@ -98,6 +108,7 @@ func (t *Tracer) BeginCat(name, cat string) SpanRef {
 		ab, ao = ReadAllocs()
 	}
 	t.mu.Lock()
+	t.claimStack("Begin")
 	id := int32(len(t.spans))
 	parent, depth := int32(-1), int32(0)
 	if n := len(t.stack); n > 0 {
@@ -113,6 +124,36 @@ func (t *Tracer) BeginCat(name, cat string) SpanRef {
 	return SpanRef{t: t, id: id}
 }
 
+// claimStack enforces single-goroutine ownership of the open-span stack.
+// Caller holds t.mu; on misuse the lock is released before panicking so a
+// recovering caller (e.g. a test) does not deadlock the tracer.
+func (t *Tracer) claimStack(op string) {
+	g := goid()
+	if len(t.stack) == 0 {
+		t.owner = g
+		return
+	}
+	if t.owner != g {
+		t.mu.Unlock()
+		panic("obs: Tracer span " + op + " from goroutine not owning the open-span stack; use Fork/Adopt for concurrent tracing")
+	}
+}
+
+// goid returns the current goroutine's id, parsed from the runtime stack
+// header ("goroutine N [running]:"). Only taken on traced span paths.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	var id int64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
+
 // End closes the span. Spans may end out of order (interleaved phases):
 // only this span is removed from the open stack, so an outer span ending
 // before an inner one does not corrupt attribution of the survivor.
@@ -126,6 +167,7 @@ func (s SpanRef) End() {
 		ab, ao = ReadAllocs()
 	}
 	t.mu.Lock()
+	t.claimStack("End")
 	sp := &t.spans[s.id]
 	sp.Dur = time.Since(t.epoch) - sp.Start
 	if t.allocs {
@@ -138,7 +180,65 @@ func (s SpanRef) End() {
 			break
 		}
 	}
+	if len(t.stack) == 0 {
+		t.owner = 0
+	}
 	t.mu.Unlock()
+}
+
+// Fork returns a fresh tracer for a worker goroutine that shares this
+// tracer's epoch (so span timestamps of parent and children line up) and
+// allocation setting but has its own span forest, open stack, and counters.
+// Merge it back with Adopt once the worker is done.
+func (t *Tracer) Fork() *Tracer {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return &Tracer{epoch: t.epoch, counters: map[string]int64{}, allocs: t.allocs}
+}
+
+// Adopt merges a forked tracer's spans and counters into t. The child's
+// root spans are re-parented under t's innermost open span, depths shift
+// accordingly, and every adopted span without a thread id is tagged with
+// tid (its worker id, for per-thread rendering in Chrome traces). The
+// child must be quiescent: no goroutine may still be recording into it.
+func (t *Tracer) Adopt(child *Tracer, tid int32) {
+	if t == nil || child == nil {
+		return
+	}
+	child.mu.Lock()
+	spans := append([]Span(nil), child.spans...)
+	counters := make(map[string]int64, len(child.counters))
+	for k, v := range child.counters {
+		counters[k] = v
+	}
+	child.mu.Unlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base := int32(len(t.spans))
+	parent, pdepth := int32(-1), int32(-1)
+	if n := len(t.stack); n > 0 {
+		parent = t.stack[n-1]
+		pdepth = t.spans[parent].Depth
+	}
+	for _, sp := range spans {
+		if sp.Parent < 0 {
+			sp.Parent = parent
+		} else {
+			sp.Parent += base
+		}
+		sp.Depth += pdepth + 1
+		if sp.Tid == 0 {
+			sp.Tid = tid
+		}
+		t.spans = append(t.spans, sp)
+	}
+	for k, v := range counters {
+		t.counters[k] += v
+	}
 }
 
 // Add accumulates delta into the named tracer counter. Nil-safe and safe

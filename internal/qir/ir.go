@@ -322,7 +322,17 @@ type Module struct {
 	// RTNames maps runtime-callee ids used in OpCall to names, for
 	// printing and for binding at execution time.
 	RTNames []string
+
+	frozen bool
 }
+
+// Freeze marks the module immutable: interning a new runtime name or
+// string constant panics until Unfreeze. The parallel compilation driver
+// freezes the module while worker goroutines hold it, turning any missed
+// pre-interning in a back-end's BeginModule (a data race and a determinism
+// bug) into a loud failure instead of silent pool reordering.
+func (m *Module) Freeze()   { m.frozen = true }
+func (m *Module) Unfreeze() { m.frozen = false }
 
 // NewModule creates an empty module.
 func NewModule(name string) *Module {
@@ -336,6 +346,9 @@ func (m *Module) RTImport(name string) uint32 {
 			return uint32(i)
 		}
 	}
+	if m.frozen {
+		panic("qir: RTImport(" + name + ") on frozen module; the back-end's BeginModule must pre-import every runtime helper")
+	}
 	m.RTNames = append(m.RTNames, name)
 	return uint32(len(m.RTNames) - 1)
 }
@@ -346,6 +359,9 @@ func (m *Module) InternString(s string) int64 {
 		if v == s {
 			return int64(i)
 		}
+	}
+	if m.frozen {
+		panic("qir: InternString on frozen module")
 	}
 	m.Strings = append(m.Strings, s)
 	return int64(len(m.Strings) - 1)

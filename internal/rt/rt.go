@@ -31,7 +31,16 @@ type DB struct {
 	baseStrings map[string][2]uint64
 	mark        uint64
 	target      *vt.Target
+	frozen      bool
 }
+
+// Freeze marks the compile-time intern table read-only: interning a string
+// that is not already materialized panics until Unfreeze. The parallel
+// compilation driver freezes the DB while worker goroutines compile, so a
+// back-end that forgot to pre-intern a constant in BeginModule fails loudly
+// instead of racing on the intern map and the machine allocator.
+func (db *DB) Freeze()   { db.frozen = true }
+func (db *DB) Unfreeze() { db.frozen = false }
 
 // NewDB creates a runtime environment on machine m.
 func NewDB(m *vm.Machine) *DB {
@@ -108,6 +117,9 @@ func (db *DB) ResetToCheckpoint() {
 func (db *DB) InternString(s string) (lo, hi uint64) {
 	if v, ok := db.strings[s]; ok {
 		return v[0], v[1]
+	}
+	if db.frozen {
+		panic("rt: InternString of un-pre-interned string during parallel compilation")
 	}
 	lo, hi = db.makeString(s)
 	db.strings[s] = [2]uint64{lo, hi}

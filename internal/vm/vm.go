@@ -58,6 +58,10 @@ type UnwindRange struct {
 type Module struct {
 	Arch vt.Arch
 	Prog *vt.Program
+	// Code is the raw machine-code image the module was loaded from,
+	// retained so callers can compare linked output byte for byte (the
+	// parallel-vs-sequential conformance tests) and size caches.
+	Code []byte
 	// branchIdx[i] is the instruction index of instruction i's branch
 	// target; call targets are translated the same way at load time.
 	branchIdx []int32
@@ -73,7 +77,7 @@ func Load(arch vt.Arch, code []byte) (*Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	mod := &Module{Arch: arch, Prog: prog}
+	mod := &Module{Arch: arch, Prog: prog, Code: code}
 	mod.branchIdx = make([]int32, len(prog.Instrs))
 	for k := range prog.Instrs {
 		in := &prog.Instrs[k]
@@ -120,8 +124,11 @@ func (mod *Module) symbolize(off int32) string {
 // nullGuard: addresses below this value trap as null dereferences.
 const nullGuard = 4096
 
-// Machine is a virtual CPU plus memory. It is not safe for concurrent use;
-// parallel compilation experiments use one Machine per worker.
+// Machine is a virtual CPU plus memory. It is not safe for concurrent use.
+// The parallel compilation driver (internal/backend/pcc) therefore keeps
+// all Machine mutation — string-constant interning, runtime binding,
+// loading — in the sequential BeginModule/Link steps; worker goroutines
+// only read.
 type Machine struct {
 	// R is the integer register file (shared across frames; callee-save
 	// discipline is the generated code's responsibility).
