@@ -8,6 +8,11 @@
 #   5. the verification stack (qir verifier, regalloc checker, machine lint,
 #      cross-backend differential) over the TPC-H suite on both targets —
 #      once sequentially per arch, once through the parallel driver (-jobs 4)
+#   6. a -nofuse smoke run, proving the unfused dispatch path stays healthy
+#
+# The fused-vs-unfused conformance gate (identical results, counters and
+# trap PCs on every TPC-H query, all back-ends, both archs) runs inside
+# step 3 as TestFusedDispatchDifferential under the race detector.
 set -eu
 
 cd "$(dirname "$0")"
@@ -27,6 +32,9 @@ trap 'rm -f "$tmp"' EXIT
 go run ./cmd/qbench -sf 0.01 -json "$tmp"
 grep -q '"schema": "qcc.obs.report/v1"' "$tmp"
 echo "report OK: $tmp"
+
+echo "== qbench smoke (-sf 0.01 -nofuse) =="
+go run ./cmd/qbench -sf 0.01 -nofuse table3
 
 echo "== qverify (tpch, vx64 + va64) =="
 go run ./cmd/qverify -sf 0.01

@@ -3,10 +3,10 @@
 // Usage:
 //
 //	qbench [-arch vx64|va64] [-sf 0.05] [-runs 1] [-mem 1024] [-jobs N]
-//	       [-cache-mb 0] [-json file] [-check] <experiment>...
+//	       [-cache-mb 0] [-json file] [-check] [-nofuse] <experiment>...
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7
-// ablate-llvm fallbacks scaling cachewarm all
+// ablate-llvm fallbacks scaling cachewarm exec all
 //
 // -json writes a machine-readable report (schema qcc.obs.report/v1) of the
 // TPC-H suite over all engines to the given file ("-" for stdout). With
@@ -18,6 +18,9 @@
 // -cache-mb enables the content-addressed code cache with the given byte
 // budget. Both apply to the -json report and the scaling/cachewarm
 // experiments; the paper-reproduction experiments stay sequential.
+// -nofuse disables the vm's superinstruction fusion, executing compiled
+// modules through the plain decoded-switch dispatch loop (identical results
+// and counters; dispatch-cost measurement and escape hatch).
 package main
 
 import (
@@ -41,6 +44,8 @@ func main() {
 	cacheMB := flag.Int("cache-mb", 0, "content-addressed code cache budget in MiB (0 = disabled)")
 	jsonOut := flag.String("json", "", "write a qcc.obs.report/v1 JSON report of the TPC-H suite to this file (\"-\" for stdout)")
 	check := flag.Bool("check", false, "run the machine-code verifier on every compilation (adds Check.* phases to the report)")
+	noFuse := flag.Bool("nofuse", false, "disable vm superinstruction fusion (plain decoded-switch dispatch)")
+	execJSON := flag.String("exec-json", "", "write the exec experiment's dispatch-cost report (schema qcc.bench.exec/v1) to this file")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -50,6 +55,7 @@ func main() {
 	cfg.Check = *check
 	cfg.Jobs = *jobs
 	cfg.CacheMB = *cacheMB
+	cfg.NoFuse = *noFuse
 	switch *archFlag {
 	case "vx64":
 		cfg.Arch = vt.VX64
@@ -109,6 +115,23 @@ func main() {
 		{"fallbacks", func() (*bench.Report, error) { return bench.AblateLLVM(cfg) }},
 		{"scaling", func() (*bench.Report, error) { return bench.Scaling(cfg, nil) }},
 		{"cachewarm", func() (*bench.Report, error) { return bench.CacheWarm(cfg) }},
+		{"exec", func() (*bench.Report, error) {
+			rep, jrep, err := bench.DispatchCost(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if *execJSON != "" {
+				f, err := os.Create(*execJSON)
+				if err != nil {
+					return nil, err
+				}
+				defer f.Close()
+				if err := jrep.Write(f); err != nil {
+					return nil, err
+				}
+			}
+			return rep, nil
+		}},
 	}
 	want := map[string]bool{}
 	for _, a := range args {

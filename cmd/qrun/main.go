@@ -22,6 +22,7 @@ func main() {
 	sf := flag.Float64("sf", 0.05, "scale factor")
 	archFlag := flag.String("arch", "vx64", "target architecture")
 	mem := flag.Int("mem", 512, "VM memory in MiB")
+	noFuse := flag.Bool("nofuse", false, "disable vm superinstruction fusion (plain decoded-switch dispatch)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: qrun [flags] \"SELECT ...\"")
@@ -32,7 +33,7 @@ func main() {
 	if *archFlag == "va64" {
 		arch = qc.VA64
 	}
-	db, err := qc.Open(qc.WithArch(arch), qc.WithMemoryMB(*mem), qc.WithEngine(*engine))
+	db, err := qc.Open(qc.WithArch(arch), qc.WithMemoryMB(*mem), qc.WithEngine(*engine), qc.WithFusion(!*noFuse))
 	if err != nil {
 		fatal(err)
 	}

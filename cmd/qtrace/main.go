@@ -42,6 +42,7 @@ func main() {
 	runs := flag.Int("runs", 1, "execution repetitions (best-of)")
 	allocs := flag.Bool("allocs", false, "capture per-span heap allocation deltas (slows compilation; off by default)")
 	check := flag.Bool("check", false, "run the machine-code verifier on every compilation (adds Check.* spans)")
+	noFuse := flag.Bool("nofuse", false, "disable vm superinstruction fusion (plain decoded-switch dispatch)")
 	format := flag.String("format", "chrome", "output format: chrome, prom, or json")
 	out := flag.String("o", "-", "output file (\"-\" for stdout)")
 	flag.Parse()
@@ -57,6 +58,7 @@ func main() {
 	cfg.MemMB = *mem
 	cfg.Runs = *runs
 	cfg.Check = *check
+	cfg.NoFuse = *noFuse
 	switch *archFlag {
 	case "vx64":
 		cfg.Arch = vt.VX64

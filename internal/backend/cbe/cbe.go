@@ -160,6 +160,7 @@ func (c *moduleCompiler) Link(units []*backend.Unit, ph *backend.Phaser) (backen
 		unwind = append(unwind, vm.UnwindRange{Start: off, End: off + 1, Name: f.Name, CFI: []byte{1}})
 	}
 	vmod.RegisterUnwind(unwind)
+	vmod.SetFuse(!c.env.Options.NoFuse)
 	if err := c.env.DB.Bind(c.mod.RTNames); err != nil {
 		return nil, err
 	}

@@ -161,6 +161,7 @@ func (c *moduleCompiler) Link(units []*backend.Unit, ph *backend.Phaser) (backen
 		return nil, fmt.Errorf("direct: %w", err)
 	}
 	vmod.RegisterUnwind(unwind)
+	vmod.SetFuse(!c.env.Options.NoFuse)
 	if err := c.env.DB.Bind(c.mod.RTNames); err != nil {
 		sp.End()
 		return nil, err

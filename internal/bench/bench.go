@@ -47,6 +47,11 @@ type Config struct {
 	// CacheMB sizes the content-addressed code cache in MiB per engine;
 	// 0 disables caching.
 	CacheMB int
+	// NoFuse disables the vm's superinstruction fusion, running compiled
+	// modules through the plain decoded-switch dispatch loop. Results and
+	// architecture-neutral counters are identical either way; only
+	// dispatch cost changes.
+	NoFuse bool
 }
 
 // NewCodeCache returns the configured code cache (nil when disabled).
@@ -73,7 +78,7 @@ func (c Config) WrapEngine(eng backend.Engine, cache *pcc.Cache) backend.Engine 
 
 // BackendOptions translates the config into per-compilation options.
 func (c Config) BackendOptions() backend.Options {
-	return backend.Options{Check: c.Check}
+	return backend.Options{Check: c.Check, NoFuse: c.NoFuse}
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -133,6 +138,12 @@ type QueryMeasurement struct {
 	Executed int64 // VM instructions
 	Branches int64 // VM branch instructions
 	MemOps   int64 // VM loads + stores
+	// FuseInstrs/FuseMicroOps record the module's superinstruction fusion
+	// outcome (decoded instructions vs primary-path micro-ops); both are 0
+	// for the interpreter or when fusion is disabled. The fusion rate is
+	// FuseMicroOps/FuseInstrs.
+	FuseInstrs   int64
+	FuseMicroOps int64
 }
 
 // EngineRun is the per-engine outcome over a suite.
@@ -225,12 +236,20 @@ func RunSuiteTraced(w *World, eng backend.Engine, arch vt.Arch, queries []Query,
 			memops = w.DB.M.MemOps - startMem
 		}
 		qsp.End()
+		var fuseInstrs, fuseMicro int64
+		if mh, ok := ex.(interface{ Module() *vm.Module }); ok {
+			if mod := mh.Module(); mod != nil && mod.FuseEnabled() {
+				fs := mod.FuseStats()
+				fuseInstrs, fuseMicro = int64(fs.Instrs), int64(fs.MicroOps)
+			}
+		}
 		out.Queries = append(out.Queries, QueryMeasurement{
 			// WallClock: elapsed compile time — equals stats.Total for
 			// sequential compiles, the true elapsed time under the
 			// parallel driver (where the phase sum overstates it).
 			Name: q.Name, Compile: stats.WallClock(), Exec: best, Rows: rows,
 			Executed: executed, Branches: branches, MemOps: memops,
+			FuseInstrs: fuseInstrs, FuseMicroOps: fuseMicro,
 		})
 		out.Compile += stats.WallClock()
 		out.Exec += best

@@ -31,13 +31,15 @@ func EngineReportOf(run *EngineRun) obs.EngineReport {
 	}
 	for _, q := range run.Queries {
 		er.Queries = append(er.Queries, obs.QueryReport{
-			Name:      q.Name,
-			CompileNS: q.Compile.Nanoseconds(),
-			ExecNS:    q.Exec.Nanoseconds(),
-			Rows:      q.Rows,
-			Instrs:    q.Executed,
-			Branches:  q.Branches,
-			MemOps:    q.MemOps,
+			Name:         q.Name,
+			CompileNS:    q.Compile.Nanoseconds(),
+			ExecNS:       q.Exec.Nanoseconds(),
+			Rows:         q.Rows,
+			Instrs:       q.Executed,
+			Branches:     q.Branches,
+			MemOps:       q.MemOps,
+			FuseInstrs:   q.FuseInstrs,
+			FuseMicroOps: q.FuseMicroOps,
 		})
 	}
 	return er

@@ -253,6 +253,12 @@ type QueryReport struct {
 	Instrs    int64  `json:"vm_instrs"`
 	Branches  int64  `json:"vm_branches"`
 	MemOps    int64  `json:"vm_mem_ops"`
+	// FuseInstrs/FuseMicroOps record the vm's superinstruction fusion
+	// outcome for the query's compiled module (decoded instructions vs
+	// primary-path micro-ops). Both are omitted for the interpreter and
+	// under -nofuse; the fusion rate is fuse_micro_ops/fuse_instrs.
+	FuseInstrs   int64 `json:"fuse_instrs,omitempty"`
+	FuseMicroOps int64 `json:"fuse_micro_ops,omitempty"`
 }
 
 // Write emits the report as indented JSON.

@@ -1,0 +1,1087 @@
+// Superinstruction fusion: a load-time peephole pass over the decoded
+// program that rewrites hot idioms into fused micro-ops executed by the
+// threaded dispatcher in dispatch.go.
+//
+// Fusion is a pure *view* of the decoded program. Module.Code, the decoded
+// vt.Program, and every byte-identity comparison are untouched; the fused
+// stream is built lazily on first Call so load time (measured by the
+// compile-time benchmarks) is unaffected. The fused handlers charge the
+// exact same Executed/Branches/MemOps counts and report the exact same trap
+// PCs and frames as the unfused switch loop, so the architecture-neutral
+// metrics stay comparable between the two dispatch strategies.
+//
+// The pass works on basic blocks (leader-to-leader ranges):
+//
+//   - Bounds-check hoisting: when a block performs two or more memory
+//     accesses off base registers that are unmodified since block entry, a
+//     single xGuard micro-op validates the block's whole static memory
+//     footprint (one range per base register) and the accesses run
+//     unchecked. If the guard fails, control enters a checked clone of the
+//     block whose per-access checks reproduce the unfused trap exactly.
+//   - Superinstruction runs: maximal sequences of trap-free operations
+//     (plus guarded memory accesses) collapse into one xRun micro-op
+//     executed by a compact step loop — one dispatch for the whole run.
+//   - Compare-and-branch fusion: SetCC/FCmp feeding BrNZ on the result
+//     register becomes one xCmpBr/xFCmpBr micro-op.
+//   - Immediate materialization: MovZ followed by MovK chains folds into a
+//     single constant store; AddI/SubI/Lea address chains on one register
+//     fold into a single add.
+//   - Memory pairs: an unguarded load feeding a simple op (xLoadOp), and a
+//     simple op feeding an unguarded store (xOpStore), fuse with the
+//     bounds check kept inline and partial instruction counts on trap.
+package vm
+
+import (
+	"math"
+
+	"qcc/internal/obs"
+	"qcc/internal/vt"
+)
+
+// Fusion-rate counters (fused micro-ops / original instructions), exported
+// through the process-wide obs registry and per-module via FuseStats.
+var (
+	cntFuseModules = obs.NewCounter("vm_fuse_modules")
+	cntFuseInstrs  = obs.NewCounter("vm_fuse_orig_instrs")
+	cntFuseMicro   = obs.NewCounter("vm_fuse_micro_ops")
+)
+
+// FuseStats reports what the fusion pass did to one module.
+type FuseStats struct {
+	// Instrs is the decoded instruction count of the module.
+	Instrs int
+	// MicroOps is the primary-path micro-op count (guards included,
+	// checked clones excluded); MicroOps/Instrs is the fusion rate.
+	MicroOps int
+	// CloneOps counts micro-ops in checked clones (guard slow paths).
+	CloneOps int
+	// GuardedBlocks counts blocks with a hoisted bounds check.
+	GuardedBlocks int
+}
+
+// Extended micro-opcodes. Values below vt.NumOps are checked singles of the
+// same operation; uLoad8..uFStore are memory operations whose bounds were
+// established by a block guard; the x* values are fused superinstructions.
+// The whole space is kept dense (0..xOpStore with no gaps) so the dispatch
+// switches compile to single jump tables — the threaded-dispatch property.
+const (
+	uLoad8 uint8 = uint8(vt.NumOps) + iota
+	uLoad8S
+	uLoad16
+	uLoad16S
+	uLoad32
+	uLoad32S
+	uLoad64
+	uStore8
+	uStore16
+	uStore32
+	uStore64
+	uFLoad
+	uFStore
+	// Combined step opcodes: one step executing two adjacent operations.
+	// The pair set was chosen from dynamic frequency profiles of TPC-H
+	// execution (register copies and 64-bit column stores/loads dominate
+	// compiled query code); combineSteps performs the greedy matching.
+	cMovSt64  // MovRR + Store64u
+	cSt64Mov  // Store64u + MovRR
+	cSt64Ld64 // Store64u + Load64u (different address)
+	cLd64Mov  // Load64u + MovRR
+	cMovISt64 // MovRI + Store64u
+	cSt64MovI // Store64u + MovRI
+	cMovAdd   // MovRR + Add
+	cAddSt64  // Add + Store64u
+	cSetSt64  // SetCC + Store64u
+	cLd64Set  // Load64u + SetCC
+	cSt64St64 // Store64u + Store64u
+	cLd64Ld64 // Load64u + Load64u
+	cMovMov   // MovRR + MovRR
+	cMovIMovI // MovRI + MovRI
+	// Second-round combined steps, formed by running the combiner to a
+	// fixpoint so first-round products merge with their neighbours. The
+	// narrow group below fits the five-register/two-immediate main-stream
+	// encoding and may be inlined as direct micro-ops; the wide group
+	// (cWideFirst onward) uses the rf/rg/imm3 step fields and only ever
+	// executes inside runs.
+	c2MovXor     // MovRR + Xor:          rd←ra;         rb←rc^re
+	c2MovAnd     // MovRR + And:          rd←ra;         rb←rc&re
+	c2XorMov     // Xor + MovRR:          rd←ra^rb;      rc←re
+	c2AndMov     // And + MovRR:          rd←ra&rb;      rc←re
+	c2MovMulI    // MovRR + MulI:         rd←ra;         rb←rc*imm
+	c2MulILea    // MulI + AddI:          rd←ra*imm;     rb←rc+imm2
+	c2LeaAdd     // AddI + Add:           rd←ra+imm;     rb←rc+re
+	c2AddLea     // Add + AddI:           rd←ra+rb;      rc←re+imm
+	c2MulIAdd    // MulI + Add:           rd←ra*imm;     rb←rc+re
+	c2MovIMulI   // MovRI + MulI:         rd←imm;        rb←rc*imm2
+	c2AddMovI    // Add + MovRI:          rd←ra+rb;      rc←imm
+	c2MovAddI    // MovRR + AddI:         rd←ra;         rb←rc+imm
+	c2AddIMov    // AddI + MovRR:         rd←ra+imm;     rb←rc
+	c2MovIMov    // MovRI + MovRR:        rd←imm;        rb←rc
+	c2MovIMulwu  // MovRI + MulWideU:     rd←imm;        ra,rb←lo,hi(rc*re)
+	c2CrcMovI    // Crc32 + MovRI:        rd←crc(ra,rb); rc←imm
+	c2MovCrc     // MovRR + Crc32:        rd←ra;         rb←crc(rc,re)
+	c2MovLd64    // MovRR + Load64u:      rd←ra;         rb←[rc+imm]
+	c2MovILd64   // MovRI + Load64u:      rd←imm;        rb←[rc+imm2]
+	c2Ld64Lea    // Load64u + AddI:       rd←[ra+imm];   rb←rc+imm2
+	c2LeaSt64    // AddI + Store64u:      rd←ra+imm;     [rb+imm2]←rc
+	c2MovStMovI  // cMovSt64 + MovRI:     rd←ra; [rb+imm]←rc; re←imm2
+	c2MovILdMov  // MovRI + cLd64Mov:     rd←imm; ra←[rb+imm2]; rc←re
+	t3Ld64SetSt64  // cLd64Set + Store64u:  rd←[ra+imm]; set rb←rc?re; [rf+imm2]←rg
+	t3St64MovSt64  // cSt64Mov + Store64u:  [ra+imm]←rb; rd←rc; [re+imm2]←rf
+	t3MovILd64Set  // MovRI + cLd64Set:     rd←imm; rb←[rc+imm2]; set re←rf?rg
+	t3Ld64MovMulI  // cLd64Mov + MulI:      rd←[ra+imm]; rb←rc; re←rf*imm2
+	t3MulIMovAdd   // MulI + cMovAdd:       rd←ra*imm; rb←rc; re←rf+rg
+	t3MovLd64Mov   // MovRR + cLd64Mov:     rd←ra; rb←[rc+imm]; re←rf
+	t3St64MovMov   // cSt64Mov + MovRR:     [ra+imm]←rb; rd←rc; re←rf
+	t3St64Ld64Mov  // cSt64Ld64 + MovRR:    [ra+imm]←rb; rd←[re+imm2]; rf←rg
+	t3MovSt64Ld64  // cMovSt64 + Load64u:   rd←ra; [rb+imm]←rc; re←[rf+imm2]
+	t3St64AddSt64  // Store64u + cAddSt64:  [ra+imm]←rb; rd←rc+re; [rf+imm2]←rg
+	t3Ld64MovSt64  // cLd64Mov + Store64u:  rd←[ra+imm]; rb←rc; [re+imm2]←rf
+	t3St64MovISt64 // cSt64MovI + Store64u: [ra+imm]←rb; rd←imm2; [re+imm3]←rf
+	t3SetSet       // SetCC + SetCC:        rd←ra?rb; (cond rg) rc←re?rf
+	t3XorAnd       // Xor + And:            rd←ra^rb; rc←re&rf
+	t3MulwuXor     // MulWideU + Xor:       rd,ra←lo,hi(rb*rc); re←rf^rg
+	q4MovIStLdMov  // cMovISt64 + cLd64Mov: rd←imm; [ra+imm2]←rb; rc←[re+imm3]; rf←rg
+	q4MovStMovSt   // cMovSt64 + cMovSt64(v=dst): rd←ra; [rb+imm]←rc; re←rf; [rg+imm2]←re
+	q4StLdMovSt    // cSt64Ld64 + cMovSt64(v=dst): [ra+imm]←rb; rc←[rd+imm2]; re←rf; [rg+imm3]←re
+	xGuard         // hoisted block bounds check (cnt ranges at guards[imm])
+	xGuard1  // hoisted single-range bounds check (base ra, [imm, imm2))
+	xJmp     // stream glue (clone fall-through), charges nothing
+	xRun     // superinstruction: cnt steps at steps[imm]
+	xRunBr   // run whose block ends in Br: steps, then jump tgt
+	xRunBrCC // run whose block ends in BrCC
+	xRunBrNZ // run whose block ends in BrNZ
+	// Guard+run merges: a single-range guard whose block encoded to exactly
+	// one following run micro-op. One dispatch checks bounds and executes
+	// the whole block (the absorbed run micro-op stays in the stream as a
+	// dead slot holding the steps/branch payload).
+	xG1Run     // xGuard1 + xRun
+	xG1RunBr   // xGuard1 + xRunBr
+	xG1RunBrCC // xGuard1 + xRunBrCC
+	xG1RunBrNZ // xGuard1 + xRunBrNZ
+	xCmpBr   // SetCC + BrNZ
+	xFCmpBr  // FCmp + BrNZ
+	xLoadOp  // checked load + simple op
+	xOpStore // simple op + checked store
+)
+
+// unchecked maps a memory operation to its guard-covered step opcode.
+func unchecked(op vt.Op) uint8 {
+	switch {
+	case op >= vt.Load8 && op <= vt.Store64:
+		return uLoad8 + uint8(op-vt.Load8)
+	case op == vt.FLoad:
+		return uFLoad
+	default:
+		return uFStore
+	}
+}
+
+// finstr is one fused micro-op.
+type finstr struct {
+	op   uint8 // micro-opcode (vt.Op, |uncheckedBit, or x*)
+	n    uint8 // original instructions covered (0 for guard/jmp glue)
+	cnt  uint8 // run step count / guard range count / pair access size
+	rc   uint8 // run mem-op count / RC register / pair second-op RC
+	rd   uint8
+	ra   uint8
+	rb   uint8
+	cond vt.Cond
+	op1  uint8 // pair memory operation (vt.Op)
+	pc0  int32 // original instruction index of the first constituent
+	tgt  int32 // fused branch/guard-fail/jmp target, or pair step index
+	imm  int64
+	imm2 int64 // call continuation
+}
+
+// cWideFirst is the first combined step opcode that needs the wide fields
+// (rf/rg/imm3); steps at or above it cannot be inlined as main-stream
+// micro-ops and only execute inside runs.
+const cWideFirst = t3Ld64SetSt64
+
+// fstep is one step of an xRun superinstruction. Combined steps (c*) hold
+// two operations: re and imm2 carry the second operation's extra register
+// and immediate. Wide combined steps (t3*/q4*) hold three or four
+// operations using rf, rg and imm3.
+type fstep struct {
+	op   uint8 // vt.Op, unchecked memory operation, or combined group
+	rd   uint8
+	ra   uint8
+	rb   uint8
+	rc   uint8
+	re   uint8
+	rf   uint8
+	rg   uint8
+	cond vt.Cond
+	pc0  int32
+	imm  int64
+	imm2 int64
+	imm3 int64
+}
+
+// combineSteps greedily replaces adjacent step pairs with single combined
+// steps, halving dispatch count for the patterns that dominate compiled
+// query code (register copies feeding/following 64-bit stores and loads
+// cover roughly two thirds of adjacent pairs on TPC-H). Combining is a pure
+// re-encoding: each combined step performs both constituent operations in
+// original order, so register/memory effects are identical, counters are
+// unaffected (run memory-op counts are fixed at push time), and trap
+// attribution is unaffected (all constituents are trap-free).
+func combineSteps(steps []fstep) []fstep {
+	// Run the pairwise pass to a fixpoint: second-round rules merge
+	// first-round products with their neighbours into triples and quads.
+	for len(steps) >= 2 {
+		out := steps[:0]
+		i := 0
+		for i < len(steps) {
+			if i+1 < len(steps) {
+				if c, ok := combinePair(&steps[i], &steps[i+1]); ok {
+					out = append(out, c)
+					i += 2
+					continue
+				}
+			}
+			out = append(out, steps[i])
+			i++
+		}
+		if len(out) == i {
+			return out
+		}
+		steps = out
+	}
+	return steps
+}
+
+// cMemOps is the number of guarded memory accesses a combined step performs
+// (charged as MemOps by the main-stream dispatch cases; runs charge in bulk
+// via the run's rc field instead).
+func cMemOps(op uint8) uint8 {
+	switch op {
+	case cSt64Ld64, cSt64St64, cLd64Ld64,
+		t3Ld64SetSt64, t3St64MovSt64, t3St64Ld64Mov, t3MovSt64Ld64,
+		t3St64AddSt64, t3Ld64MovSt64, t3St64MovISt64,
+		q4MovIStLdMov, q4MovStMovSt, q4StLdMovSt:
+		return 2
+	case cMovSt64, cSt64Mov, cLd64Mov, cMovISt64, cSt64MovI, cAddSt64, cSetSt64, cLd64Set,
+		c2MovLd64, c2MovILd64, c2Ld64Lea, c2LeaSt64, c2MovStMovI, c2MovILdMov,
+		t3MovILd64Set, t3Ld64MovMulI, t3MovLd64Mov, t3St64MovMov:
+		return 1
+	}
+	return 0
+}
+
+// combinePair encodes two adjacent steps as one combined step when the pair
+// is in the profiled hot set and its operands fit the fstep fields.
+func combinePair(a, b *fstep) (fstep, bool) {
+	switch a.op {
+	case uint8(vt.MovRR):
+		switch b.op {
+		case uStore64:
+			return fstep{op: cMovSt64, rd: a.rd, ra: a.ra, rb: b.ra, rc: b.rb, imm: b.imm, pc0: a.pc0}, true
+		case uint8(vt.Add):
+			return fstep{op: cMovAdd, rd: a.rd, ra: a.ra, rb: b.rd, rc: b.ra, re: b.rb, pc0: a.pc0}, true
+		case uint8(vt.MovRR):
+			return fstep{op: cMovMov, rd: a.rd, ra: a.ra, rb: b.rd, rc: b.ra, pc0: a.pc0}, true
+		case uint8(vt.Xor):
+			return fstep{op: c2MovXor, rd: a.rd, ra: a.ra, rb: b.rd, rc: b.ra, re: b.rb, pc0: a.pc0}, true
+		case uint8(vt.And):
+			return fstep{op: c2MovAnd, rd: a.rd, ra: a.ra, rb: b.rd, rc: b.ra, re: b.rb, pc0: a.pc0}, true
+		case uint8(vt.MulI):
+			return fstep{op: c2MovMulI, rd: a.rd, ra: a.ra, rb: b.rd, rc: b.ra, imm: b.imm, pc0: a.pc0}, true
+		case uint8(vt.AddI):
+			return fstep{op: c2MovAddI, rd: a.rd, ra: a.ra, rb: b.rd, rc: b.ra, imm: b.imm, pc0: a.pc0}, true
+		case uint8(vt.Crc32):
+			return fstep{op: c2MovCrc, rd: a.rd, ra: a.ra, rb: b.rd, rc: b.ra, re: b.rb, pc0: a.pc0}, true
+		case uLoad64:
+			return fstep{op: c2MovLd64, rd: a.rd, ra: a.ra, rb: b.rd, rc: b.ra, imm: b.imm, pc0: a.pc0}, true
+		case cLd64Mov:
+			return fstep{op: t3MovLd64Mov, rd: a.rd, ra: a.ra, rb: b.rd, rc: b.ra, imm: b.imm, re: b.rb, rf: b.rc, pc0: a.pc0}, true
+		}
+	case uint8(vt.MovRI):
+		switch b.op {
+		case uStore64:
+			return fstep{op: cMovISt64, rd: a.rd, imm: a.imm, ra: b.ra, rb: b.rb, imm2: b.imm, pc0: a.pc0}, true
+		case uint8(vt.MovRI):
+			return fstep{op: cMovIMovI, rd: a.rd, imm: a.imm, rb: b.rd, imm2: b.imm, pc0: a.pc0}, true
+		case uint8(vt.MulI):
+			return fstep{op: c2MovIMulI, rd: a.rd, imm: a.imm, rb: b.rd, rc: b.ra, imm2: b.imm, pc0: a.pc0}, true
+		case uint8(vt.MovRR):
+			return fstep{op: c2MovIMov, rd: a.rd, imm: a.imm, rb: b.rd, rc: b.ra, pc0: a.pc0}, true
+		case uint8(vt.MulWideU):
+			return fstep{op: c2MovIMulwu, rd: a.rd, imm: a.imm, ra: b.rd, rb: b.rc, rc: b.ra, re: b.rb, pc0: a.pc0}, true
+		case uLoad64:
+			return fstep{op: c2MovILd64, rd: a.rd, imm: a.imm, rb: b.rd, rc: b.ra, imm2: b.imm, pc0: a.pc0}, true
+		case cLd64Mov:
+			return fstep{op: c2MovILdMov, rd: a.rd, imm: a.imm, ra: b.rd, rb: b.ra, imm2: b.imm, rc: b.rb, re: b.rc, pc0: a.pc0}, true
+		case cLd64Set:
+			return fstep{op: t3MovILd64Set, rd: a.rd, imm: a.imm, rb: b.rd, rc: b.ra, imm2: b.imm, cond: b.cond, re: b.rb, rf: b.rc, rg: b.re, pc0: a.pc0}, true
+		}
+	case uStore64:
+		switch b.op {
+		case uint8(vt.MovRR):
+			return fstep{op: cSt64Mov, ra: a.ra, rb: a.rb, imm: a.imm, rd: b.rd, rc: b.ra, pc0: a.pc0}, true
+		case uLoad64:
+			return fstep{op: cSt64Ld64, ra: a.ra, rb: a.rb, imm: a.imm, rd: b.rd, re: b.ra, imm2: b.imm, pc0: a.pc0}, true
+		case uint8(vt.MovRI):
+			return fstep{op: cSt64MovI, ra: a.ra, rb: a.rb, imm: a.imm, rd: b.rd, imm2: b.imm, pc0: a.pc0}, true
+		case uStore64:
+			return fstep{op: cSt64St64, ra: a.ra, rb: a.rb, imm: a.imm, rc: b.ra, re: b.rb, imm2: b.imm, pc0: a.pc0}, true
+		case cAddSt64:
+			return fstep{op: t3St64AddSt64, ra: a.ra, rb: a.rb, imm: a.imm, rd: b.rd, rc: b.ra, re: b.rb, rf: b.rc, rg: b.re, imm2: b.imm, pc0: a.pc0}, true
+		}
+	case uLoad64:
+		switch b.op {
+		case uint8(vt.MovRR):
+			return fstep{op: cLd64Mov, rd: a.rd, ra: a.ra, imm: a.imm, rb: b.rd, rc: b.ra, pc0: a.pc0}, true
+		case uint8(vt.SetCC):
+			return fstep{op: cLd64Set, rd: a.rd, ra: a.ra, imm: a.imm, cond: b.cond, rb: b.rd, rc: b.ra, re: b.rb, pc0: a.pc0}, true
+		case uLoad64:
+			return fstep{op: cLd64Ld64, rd: a.rd, ra: a.ra, imm: a.imm, rb: b.rd, rc: b.ra, imm2: b.imm, pc0: a.pc0}, true
+		case uint8(vt.AddI):
+			return fstep{op: c2Ld64Lea, rd: a.rd, ra: a.ra, imm: a.imm, rb: b.rd, rc: b.ra, imm2: b.imm, pc0: a.pc0}, true
+		}
+	case uint8(vt.Add):
+		switch b.op {
+		case uStore64:
+			return fstep{op: cAddSt64, rd: a.rd, ra: a.ra, rb: a.rb, rc: b.ra, re: b.rb, imm: b.imm, pc0: a.pc0}, true
+		case uint8(vt.AddI):
+			return fstep{op: c2AddLea, rd: a.rd, ra: a.ra, rb: a.rb, rc: b.rd, re: b.ra, imm: b.imm, pc0: a.pc0}, true
+		case uint8(vt.MovRI):
+			return fstep{op: c2AddMovI, rd: a.rd, ra: a.ra, rb: a.rb, rc: b.rd, imm: b.imm, pc0: a.pc0}, true
+		}
+	case uint8(vt.SetCC):
+		switch b.op {
+		case uStore64:
+			return fstep{op: cSetSt64, cond: a.cond, rd: a.rd, ra: a.ra, rb: a.rb, rc: b.ra, re: b.rb, imm: b.imm, pc0: a.pc0}, true
+		case uint8(vt.SetCC):
+			return fstep{op: t3SetSet, cond: a.cond, rd: a.rd, ra: a.ra, rb: a.rb, rc: b.rd, re: b.ra, rf: b.rb, rg: uint8(b.cond), pc0: a.pc0}, true
+		}
+	case uint8(vt.AddI):
+		switch b.op {
+		case uint8(vt.Add):
+			return fstep{op: c2LeaAdd, rd: a.rd, ra: a.ra, imm: a.imm, rb: b.rd, rc: b.ra, re: b.rb, pc0: a.pc0}, true
+		case uint8(vt.MovRR):
+			return fstep{op: c2AddIMov, rd: a.rd, ra: a.ra, imm: a.imm, rb: b.rd, rc: b.ra, pc0: a.pc0}, true
+		case uStore64:
+			return fstep{op: c2LeaSt64, rd: a.rd, ra: a.ra, imm: a.imm, rb: b.ra, rc: b.rb, imm2: b.imm, pc0: a.pc0}, true
+		}
+	case uint8(vt.MulI):
+		switch b.op {
+		case uint8(vt.AddI):
+			return fstep{op: c2MulILea, rd: a.rd, ra: a.ra, imm: a.imm, rb: b.rd, rc: b.ra, imm2: b.imm, pc0: a.pc0}, true
+		case uint8(vt.Add):
+			return fstep{op: c2MulIAdd, rd: a.rd, ra: a.ra, imm: a.imm, rb: b.rd, rc: b.ra, re: b.rb, pc0: a.pc0}, true
+		case cMovAdd:
+			return fstep{op: t3MulIMovAdd, rd: a.rd, ra: a.ra, imm: a.imm, rb: b.rd, rc: b.ra, re: b.rb, rf: b.rc, rg: b.re, pc0: a.pc0}, true
+		}
+	case uint8(vt.Xor):
+		switch b.op {
+		case uint8(vt.MovRR):
+			return fstep{op: c2XorMov, rd: a.rd, ra: a.ra, rb: a.rb, rc: b.rd, re: b.ra, pc0: a.pc0}, true
+		case uint8(vt.And):
+			return fstep{op: t3XorAnd, rd: a.rd, ra: a.ra, rb: a.rb, rc: b.rd, re: b.ra, rf: b.rb, pc0: a.pc0}, true
+		}
+	case uint8(vt.And):
+		if b.op == uint8(vt.MovRR) {
+			return fstep{op: c2AndMov, rd: a.rd, ra: a.ra, rb: a.rb, rc: b.rd, re: b.ra, pc0: a.pc0}, true
+		}
+	case uint8(vt.Crc32):
+		if b.op == uint8(vt.MovRI) {
+			return fstep{op: c2CrcMovI, rd: a.rd, ra: a.ra, rb: a.rb, rc: b.rd, imm: b.imm, pc0: a.pc0}, true
+		}
+	case uint8(vt.MulWideU):
+		if b.op == uint8(vt.Xor) {
+			return fstep{op: t3MulwuXor, rd: a.rd, ra: a.rc, rb: a.ra, rc: a.rb, re: b.rd, rf: b.ra, rg: b.rb, pc0: a.pc0}, true
+		}
+	case cMovSt64:
+		switch b.op {
+		case uint8(vt.MovRI):
+			return fstep{op: c2MovStMovI, rd: a.rd, ra: a.ra, rb: a.rb, rc: a.rc, imm: a.imm, re: b.rd, imm2: b.imm, pc0: a.pc0}, true
+		case uLoad64:
+			return fstep{op: t3MovSt64Ld64, rd: a.rd, ra: a.ra, rb: a.rb, rc: a.rc, imm: a.imm, re: b.rd, rf: b.ra, imm2: b.imm, pc0: a.pc0}, true
+		case cMovSt64:
+			if b.rc == b.rd {
+				return fstep{op: q4MovStMovSt, rd: a.rd, ra: a.ra, rb: a.rb, rc: a.rc, imm: a.imm, re: b.rd, rf: b.ra, rg: b.rb, imm2: b.imm, pc0: a.pc0}, true
+			}
+		}
+	case cSt64Mov:
+		switch b.op {
+		case uStore64:
+			return fstep{op: t3St64MovSt64, ra: a.ra, rb: a.rb, imm: a.imm, rd: a.rd, rc: a.rc, re: b.ra, rf: b.rb, imm2: b.imm, pc0: a.pc0}, true
+		case uint8(vt.MovRR):
+			return fstep{op: t3St64MovMov, ra: a.ra, rb: a.rb, imm: a.imm, rd: a.rd, rc: a.rc, re: b.rd, rf: b.ra, pc0: a.pc0}, true
+		}
+	case cSt64Ld64:
+		switch b.op {
+		case uint8(vt.MovRR):
+			return fstep{op: t3St64Ld64Mov, ra: a.ra, rb: a.rb, imm: a.imm, rd: a.rd, re: a.re, imm2: a.imm2, rf: b.rd, rg: b.ra, pc0: a.pc0}, true
+		case cMovSt64:
+			if b.rc == b.rd {
+				return fstep{op: q4StLdMovSt, ra: a.ra, rb: a.rb, imm: a.imm, rc: a.rd, rd: a.re, imm2: a.imm2, re: b.rd, rf: b.ra, rg: b.rb, imm3: b.imm, pc0: a.pc0}, true
+			}
+		}
+	case cLd64Mov:
+		switch b.op {
+		case uint8(vt.MulI):
+			return fstep{op: t3Ld64MovMulI, rd: a.rd, ra: a.ra, imm: a.imm, rb: a.rb, rc: a.rc, re: b.rd, rf: b.ra, imm2: b.imm, pc0: a.pc0}, true
+		case uStore64:
+			return fstep{op: t3Ld64MovSt64, rd: a.rd, ra: a.ra, imm: a.imm, rb: a.rb, rc: a.rc, re: b.ra, rf: b.rb, imm2: b.imm, pc0: a.pc0}, true
+		}
+	case cLd64Set:
+		if b.op == uStore64 {
+			return fstep{op: t3Ld64SetSt64, rd: a.rd, ra: a.ra, imm: a.imm, cond: a.cond, rb: a.rb, rc: a.rc, re: a.re, rf: b.ra, rg: b.rb, imm2: b.imm, pc0: a.pc0}, true
+		}
+	case cMovISt64:
+		if b.op == cLd64Mov {
+			return fstep{op: q4MovIStLdMov, rd: a.rd, imm: a.imm, ra: a.ra, rb: a.rb, imm2: a.imm2, rc: b.rd, re: b.ra, imm3: b.imm, rf: b.rb, rg: b.rc, pc0: a.pc0}, true
+		}
+	case cSt64MovI:
+		if b.op == uStore64 {
+			return fstep{op: t3St64MovISt64, ra: a.ra, rb: a.rb, imm: a.imm, rd: a.rd, imm2: a.imm2, re: b.ra, rf: b.rb, imm3: b.imm, pc0: a.pc0}, true
+		}
+	case c2MovILd64:
+		if b.op == uint8(vt.MovRR) {
+			return fstep{op: c2MovILdMov, rd: a.rd, imm: a.imm, ra: a.rb, rb: a.rc, imm2: a.imm2, rc: b.rd, re: b.ra, pc0: a.pc0}, true
+		}
+	}
+	return fstep{}, false
+}
+
+// guardRange is one base register's static footprint within a block:
+// every guarded access off base lies in [R[base]+lo, R[base]+hi).
+type guardRange struct {
+	base uint8
+	lo   int64
+	hi   int64
+}
+
+// fprog is the fused view of a module.
+type fprog struct {
+	ins    []finstr
+	steps  []fstep
+	guards []guardRange
+	// o2f maps an original instruction index to the fused index of the
+	// block starting there, or -1 for non-leaders.
+	o2f   []int32
+	stats FuseStats
+}
+
+// SetFuse enables or disables the fused dispatch view (the -nofuse escape
+// hatch). The decoded program and code bytes are unaffected either way.
+func (mod *Module) SetFuse(on bool) { mod.noFuse = !on }
+
+// FuseEnabled reports whether fused dispatch is active for this module.
+func (mod *Module) FuseEnabled() bool { return !mod.noFuse }
+
+// FuseStats returns the fusion statistics for the module, building the
+// fused view if it does not exist yet. The zero value is returned when
+// fusion is disabled.
+func (mod *Module) FuseStats() FuseStats {
+	if fp := mod.fused(); fp != nil {
+		return fp.stats
+	}
+	return FuseStats{}
+}
+
+// fused returns the module's fused program, building it on first use, or
+// nil when fusion is disabled.
+func (mod *Module) fused() *fprog {
+	if mod.noFuse {
+		return nil
+	}
+	mod.fuseOnce.Do(func() { mod.fp = fuse(mod) })
+	return mod.fp
+}
+
+type patch struct {
+	idx  int32 // finstr to patch
+	orig int   // original instruction index the target resolves through
+}
+
+type cloneReq struct {
+	s, e     int
+	guardIdx int32
+}
+
+type fuseBuilder struct {
+	mod     *Module
+	fp      *fprog
+	guarded map[int]bool // instr index -> access covered by a block guard
+	patchB  []patch      // tgt <- o2f[orig]
+	patchC  []patch      // imm2 <- o2f[orig] (call continuations)
+	clones  []cloneReq
+}
+
+// fuse builds the fused view of a loaded module.
+func fuse(mod *Module) *fprog {
+	instrs := mod.Prog.Instrs
+	n := len(instrs)
+	fp := &fprog{o2f: make([]int32, n+1)}
+	for i := range fp.o2f {
+		fp.o2f[i] = -1
+	}
+	if n == 0 {
+		return fp
+	}
+
+	// Leaders: block entry points. Besides the usual (branch/call targets,
+	// fall-throughs after control transfers), any instruction offset
+	// materialized as a constant is a leader so indirect calls always land
+	// on a block entry.
+	leader := make([]bool, n+1)
+	leader[0] = true
+	for k := range instrs {
+		in := &instrs[k]
+		switch in.Op {
+		case vt.Br, vt.BrCC, vt.BrNZ, vt.Call:
+			leader[mod.branchIdx[k]] = true
+			leader[k+1] = true
+		case vt.CallInd, vt.CallRT, vt.Ret, vt.Trap:
+			leader[k+1] = true
+		case vt.MovRI:
+			if in.Imm >= 0 && in.Imm <= math.MaxInt32 {
+				if t := mod.indexOf(int32(in.Imm)); t >= 0 {
+					leader[t] = true
+				}
+			}
+		case vt.MovZ:
+			v := uint64(uint16(in.Imm)) << (16 * uint(in.Cond))
+			for j := k + 1; j < n && instrs[j].Op == vt.MovK && instrs[j].RD == in.RD; j++ {
+				sh := 16 * uint(instrs[j].Cond)
+				v = v&^(uint64(0xFFFF)<<sh) | uint64(uint16(instrs[j].Imm))<<sh
+			}
+			if v <= uint64(len(mod.Prog.Index)) {
+				if t := mod.indexOf(int32(v)); t >= 0 {
+					leader[t] = true
+				}
+			}
+		}
+	}
+	for i := range mod.unwind {
+		if t := mod.indexOf(mod.unwind[i].Start); t >= 0 {
+			leader[t] = true
+		}
+	}
+
+	b := &fuseBuilder{mod: mod, fp: fp, guarded: map[int]bool{}}
+
+	// Primary encoding: blocks in original order, so fall-through between
+	// consecutive blocks needs no glue.
+	for s := 0; s < n; {
+		e := s + 1
+		for e < n && !leader[e] {
+			e++
+		}
+		fp.o2f[s] = int32(len(fp.ins))
+		ranges, cands := analyzeBlock(instrs, s, e)
+		gidx := int32(-1)
+		// A guard pays for itself with two or more hoisted checks, or with a
+		// single check sitting among enough runnable instructions that the
+		// unchecked access keeps one long run intact instead of splitting it.
+		if len(cands) >= 2 {
+			for _, k := range cands {
+				b.guarded[k] = true
+			}
+			if len(ranges) == 1 {
+				// Single-footprint block (the common case): the range
+				// lives inline in the micro-op, no guard-table walk.
+				gidx = b.emit(finstr{
+					op: xGuard1, ra: ranges[0].base,
+					imm: ranges[0].lo, imm2: ranges[0].hi, pc0: int32(s),
+				})
+			} else {
+				goff := len(fp.guards)
+				fp.guards = append(fp.guards, ranges...)
+				gidx = b.emit(finstr{op: xGuard, cnt: uint8(len(ranges)), imm: int64(goff), pc0: int32(s)})
+			}
+			b.clones = append(b.clones, cloneReq{s: s, e: e, guardIdx: gidx})
+			fp.stats.GuardedBlocks++
+		}
+		b.encodeBody(s, e, true)
+		// Guard+run merge: when a single-range guard's whole block encoded
+		// to exactly one run micro-op, fold the guard and the run into one
+		// dispatch. The run slot stays behind as a dead payload holder; the
+		// merged op reads its steps and branch fields directly.
+		if gidx >= 0 && fp.ins[gidx].op == xGuard1 && int(gidx)+2 == len(fp.ins) {
+			switch fp.ins[gidx+1].op {
+			case xRun:
+				fp.ins[gidx].op = xG1Run
+			case xRunBr:
+				fp.ins[gidx].op = xG1RunBr
+			case xRunBrCC:
+				fp.ins[gidx].op = xG1RunBrCC
+			case xRunBrNZ:
+				fp.ins[gidx].op = xG1RunBrNZ
+			}
+		}
+		s = e
+	}
+	primary := len(fp.ins)
+
+	// Checked clones: guard slow paths reproducing unfused per-access
+	// checks (and therefore unfused trap attribution) exactly.
+	for _, c := range b.clones {
+		fp.ins[c.guardIdx].tgt = int32(len(fp.ins))
+		b.encodeBody(c.s, c.e, false)
+		switch instrs[c.e-1].Op {
+		case vt.Br, vt.Ret, vt.Trap, vt.Call, vt.CallInd:
+			// Block exits on its own; no glue.
+		default:
+			if c.e < n {
+				idx := b.emit(finstr{op: xJmp, pc0: int32(c.e)})
+				b.patchB = append(b.patchB, patch{idx: idx, orig: c.e})
+			}
+		}
+	}
+
+	for _, p := range b.patchB {
+		fp.ins[p.idx].tgt = fp.o2f[p.orig]
+	}
+	for _, p := range b.patchC {
+		fp.ins[p.idx].imm2 = int64(fp.o2f[p.orig])
+	}
+
+	fp.stats.Instrs = n
+	fp.stats.MicroOps = primary
+	fp.stats.CloneOps = len(fp.ins) - primary
+	cntFuseModules.Inc()
+	cntFuseInstrs.Add(int64(n))
+	cntFuseMicro.Add(int64(primary))
+	return fp
+}
+
+// intWrites returns the set of integer registers written by an instruction,
+// as a bitmap. Used to decide which accesses a block guard may cover: an
+// access is guardable only while its base register still holds its
+// block-entry value.
+func intWrites(in *vt.Instr) uint32 {
+	switch in.Op {
+	case vt.MulWideU, vt.MulWideS:
+		return 1<<in.RD | 1<<in.RC
+	case vt.Nop, vt.Store8, vt.Store16, vt.Store32, vt.Store64,
+		vt.FStore, vt.FLoad, vt.FMovRR, vt.FMovRI,
+		vt.FAdd, vt.FSub, vt.FMul, vt.FDiv, vt.CvtSI2F, vt.MovFR,
+		vt.Br, vt.BrCC, vt.BrNZ, vt.Call, vt.CallInd, vt.CallRT,
+		vt.Ret, vt.Trap, vt.TrapNZ:
+		return 0
+	}
+	return 1 << in.RD
+}
+
+// analyzeBlock computes the guardable accesses of block [s,e) and their
+// per-base-register footprint ranges. Base registers derived in-block from
+// an entry register by MovRR/Lea/AddI/SubI chains are folded back to that
+// root register plus a constant offset, so address-computation-then-load
+// sequences (the dominant compiled-code idiom) stay guardable: the guard
+// range on the root covers the derived access exactly because the chain is
+// modular arithmetic on the root's entry value.
+func analyzeBlock(instrs []vt.Instr, s, e int) ([]guardRange, []int) {
+	type span struct {
+		lo, hi int64
+		cands  []int
+	}
+	// deriv[r]: register r holds entry-value(root)+off. Registers start as
+	// their own roots; a non-foldable write invalidates the derivation.
+	type dv struct {
+		root uint8
+		off  int64
+		ok   bool
+	}
+	var deriv [32]dv
+	for i := range deriv {
+		deriv[i] = dv{root: uint8(i), ok: true}
+	}
+	const offCap = 1 << 33
+	var order []uint8
+	acc := map[uint8]*span{}
+	for k := s; k < e; k++ {
+		in := &instrs[k]
+		if sz, _, isMem := in.Op.MemRef(); isMem {
+			if d := deriv[in.RA&31]; d.ok &&
+				in.Imm > -offCap && in.Imm < offCap {
+				lo, hi := d.off+in.Imm, d.off+in.Imm+int64(sz)
+				sp := acc[d.root]
+				if sp == nil {
+					sp = &span{lo: lo, hi: hi}
+					acc[d.root] = sp
+					order = append(order, d.root)
+				} else {
+					if lo < sp.lo {
+						sp.lo = lo
+					}
+					if hi > sp.hi {
+						sp.hi = hi
+					}
+				}
+				sp.cands = append(sp.cands, k)
+			}
+		}
+		switch in.Op {
+		case vt.MovRR:
+			deriv[in.RD&31] = deriv[in.RA&31]
+		case vt.Lea, vt.AddI, vt.SubI:
+			d := deriv[in.RA&31]
+			off := in.Imm
+			if in.Op == vt.SubI {
+				off = -off
+			}
+			d.off += off
+			if d.off <= -offCap || d.off >= offCap || in.Imm <= -offCap || in.Imm >= offCap {
+				d.ok = false
+			}
+			deriv[in.RD&31] = d
+		default:
+			if w := intWrites(in); w != 0 {
+				for r := 0; r < 32; r++ {
+					if w&(1<<r) != 0 {
+						deriv[r].ok = false
+					}
+				}
+			}
+		}
+	}
+	var ranges []guardRange
+	var cands []int
+	for _, base := range order {
+		sp := acc[base]
+		// The guard's wrap reasoning requires a bounded footprint; huge or
+		// overflowing spans keep their accesses individually checked.
+		if sp.hi < sp.lo || sp.hi-sp.lo > 1<<32 {
+			continue
+		}
+		ranges = append(ranges, guardRange{base: base, lo: sp.lo, hi: sp.hi})
+		cands = append(cands, sp.cands...)
+	}
+	return ranges, cands
+}
+
+func (b *fuseBuilder) emit(fi finstr) int32 {
+	b.fp.ins = append(b.fp.ins, fi)
+	return int32(len(b.fp.ins) - 1)
+}
+
+// emitSingle emits instruction k as a checked single micro-op: the fused
+// engine's exact transliteration of one unfused dispatch.
+func (b *fuseBuilder) emitSingle(k int) {
+	in := &b.mod.Prog.Instrs[k]
+	fi := finstr{
+		op: uint8(in.Op), n: 1, cond: in.Cond,
+		rd: in.RD, ra: in.RA, rb: in.RB, rc: in.RC,
+		imm: in.Imm, pc0: int32(k),
+	}
+	idx := b.emit(fi)
+	switch in.Op {
+	case vt.Br, vt.BrCC, vt.BrNZ:
+		b.patchB = append(b.patchB, patch{idx: idx, orig: int(b.mod.branchIdx[k])})
+	case vt.Call:
+		b.patchB = append(b.patchB, patch{idx: idx, orig: int(b.mod.branchIdx[k])})
+		b.patchC = append(b.patchC, patch{idx: idx, orig: k + 1})
+	case vt.CallInd:
+		b.patchC = append(b.patchC, patch{idx: idx, orig: k + 1})
+	}
+}
+
+// isRunnable reports whether an operation may live inside an xRun
+// superinstruction: no trap, no control transfer.
+func isRunnable(op vt.Op) bool {
+	return op < vt.NumOps && !op.CanTrap() && !op.IsBranch() &&
+		!op.IsCall() && op != vt.Ret
+}
+
+// encodeBody encodes block [s,e). In fast mode it applies every fusion
+// (guarded accesses unchecked, runs, pairs, folds, compare-and-branch); in
+// clone mode it emits checked singles only, reproducing unfused semantics
+// per instruction.
+func (b *fuseBuilder) encodeBody(s, e int, fast bool) {
+	if !fast {
+		for k := s; k < e; k++ {
+			b.emitSingle(k)
+		}
+		return
+	}
+	instrs := b.mod.Prog.Instrs
+	var steps []fstep
+	runN := 0   // original instructions covered by pending steps
+	runMem := 0 // guarded (unchecked) memory steps pending
+	flush := func() {
+		if len(steps) == 0 {
+			return
+		}
+		steps = combineSteps(steps)
+		// Per-op MemOps charges of the main-stream cases. Store-to-load
+		// forwarding can hide a load's charge inside a MovRR, in which case
+		// only a run's bulk rc charge stays exact — then skip inlining.
+		exp, narrow := 0, true
+		for i := range steps {
+			if st := &steps[i]; st.op >= uLoad8 && st.op < cMovSt64 {
+				exp++
+			} else {
+				exp += int(cMemOps(st.op))
+				narrow = narrow && st.op < cWideFirst
+			}
+		}
+		if len(steps) <= 2 && exp == runMem && narrow {
+			// Short runs cost more as a run (run dispatch + stepRun call)
+			// than as direct micro-ops: emit each step into the main
+			// stream. The first carries the whole run's instruction count.
+			for i := range steps {
+				st := steps[i]
+				nn := 0
+				if i == 0 {
+					nn = runN
+				}
+				b.emit(finstr{
+					op: st.op, n: uint8(nn), cond: st.cond,
+					rd: st.rd, ra: st.ra, rb: st.rb, rc: st.rc, op1: st.re,
+					cnt: cMemOps(st.op),
+					imm: st.imm, imm2: st.imm2, pc0: st.pc0,
+				})
+			}
+		} else {
+			off := len(b.fp.steps)
+			b.fp.steps = append(b.fp.steps, steps...)
+			b.emit(finstr{
+				op: xRun, n: uint8(runN), cnt: uint8(len(steps)),
+				rc: uint8(runMem), imm: int64(off), pc0: steps[0].pc0,
+			})
+		}
+		steps = steps[:0]
+		runN, runMem = 0, 0
+	}
+	push := func(st fstep, orig int) {
+		if len(steps) >= 255 || runN+orig > 255 {
+			flush()
+		}
+		steps = append(steps, st)
+		runN += orig
+		if st.op >= uLoad8 {
+			runMem++
+		}
+	}
+	// flushBr drains the pending steps into a run that executes the
+	// block-terminating branch at instruction k inline (one dispatch for
+	// run plus branch). Returns false when there is nothing pending or no
+	// headroom, leaving the branch to emitSingle.
+	flushBr := func(xop uint8, k int) bool {
+		if len(steps) == 0 || runN >= 255 {
+			return false
+		}
+		in := &instrs[k]
+		steps = combineSteps(steps)
+		exp, narrow := 0, true
+		for i := range steps {
+			if st := &steps[i]; st.op >= uLoad8 && st.op < cMovSt64 {
+				exp++
+			} else {
+				exp += int(cMemOps(st.op))
+				narrow = narrow && st.op < cWideFirst
+			}
+		}
+		if len(steps) <= 2 && exp == runMem && narrow {
+			// A tiny run before a branch is cheaper as direct micro-ops plus
+			// a plain branch dispatch than as a run-with-branch micro-op.
+			for i := range steps {
+				st := steps[i]
+				nn := 0
+				if i == 0 {
+					nn = runN
+				}
+				b.emit(finstr{
+					op: st.op, n: uint8(nn), cond: st.cond,
+					rd: st.rd, ra: st.ra, rb: st.rb, rc: st.rc, op1: st.re,
+					cnt: cMemOps(st.op),
+					imm: st.imm, imm2: st.imm2, pc0: st.pc0,
+				})
+			}
+			steps = steps[:0]
+			runN, runMem = 0, 0
+			return false
+		}
+		off := len(b.fp.steps)
+		b.fp.steps = append(b.fp.steps, steps...)
+		idx := b.emit(finstr{
+			op: xop, n: uint8(runN + 1), cnt: uint8(len(steps)),
+			rc: uint8(runMem), cond: in.Cond, ra: in.RA, rb: in.RB,
+			imm: int64(off), pc0: steps[0].pc0,
+		})
+		b.patchB = append(b.patchB, patch{idx: idx, orig: int(b.mod.branchIdx[k])})
+		steps = steps[:0]
+		runN, runMem = 0, 0
+		return true
+	}
+
+	k := s
+	for k < e {
+		in := &instrs[k]
+		op := in.Op
+
+		// Compare-and-branch fusion: SetCC/FCmp feeding BrNZ on the
+		// result register. The 0/1 result is still written, so register
+		// state matches the unfused loop exactly.
+		if (op == vt.SetCC || op == vt.FCmp) && k+1 < e &&
+			instrs[k+1].Op == vt.BrNZ && instrs[k+1].RA == in.RD {
+			flush()
+			fop := xCmpBr
+			if op == vt.FCmp {
+				fop = xFCmpBr
+			}
+			idx := b.emit(finstr{
+				op: fop, n: 2, cond: in.Cond,
+				rd: in.RD, ra: in.RA, rb: in.RB, pc0: int32(k),
+			})
+			b.patchB = append(b.patchB, patch{idx: idx, orig: int(b.mod.branchIdx[k+1])})
+			k += 2
+			continue
+		}
+
+		// Immediate materialization: MovZ followed by MovK on the same
+		// register folds into one constant store.
+		if op == vt.MovZ && k+1 < e && instrs[k+1].Op == vt.MovK && instrs[k+1].RD == in.RD {
+			v := uint64(uint16(in.Imm)) << (16 * uint(in.Cond))
+			j := k + 1
+			for j < e && instrs[j].Op == vt.MovK && instrs[j].RD == in.RD {
+				sh := 16 * uint(instrs[j].Cond)
+				v = v&^(uint64(0xFFFF)<<sh) | uint64(uint16(instrs[j].Imm))<<sh
+				j++
+			}
+			push(fstep{op: uint8(vt.MovRI), rd: in.RD, imm: int64(v), pc0: int32(k)}, j-k)
+			k = j
+			continue
+		}
+
+		// Address chains: AddI/SubI/Lea accumulation on one register folds
+		// into a single add (modular arithmetic makes the fold exact).
+		if op == vt.AddI || op == vt.SubI || op == vt.Lea {
+			acc := in.Imm
+			if op == vt.SubI {
+				acc = -in.Imm
+			}
+			j := k + 1
+			for j < e {
+				nx := &instrs[j]
+				if (nx.Op == vt.AddI || nx.Op == vt.SubI || nx.Op == vt.Lea) &&
+					nx.RA == in.RD && nx.RD == in.RD {
+					if nx.Op == vt.SubI {
+						acc -= nx.Imm
+					} else {
+						acc += nx.Imm
+					}
+					j++
+					continue
+				}
+				break
+			}
+			if j > k+1 {
+				push(fstep{op: uint8(vt.AddI), rd: in.RD, ra: in.RA, imm: acc, pc0: int32(k)}, j-k)
+				k = j
+				continue
+			}
+		}
+
+		if _, isStore, isMem := op.MemRef(); isMem && b.guarded[k] {
+			// Store-to-load forwarding: a guarded 64-bit load from the
+			// address an adjacent guarded store just wrote reads the
+			// stored register instead of memory. Still one MemOp.
+			if !isStore && len(steps) > 0 {
+				pv := &steps[len(steps)-1]
+				if (op == vt.Load64 && pv.op == uStore64 ||
+					op == vt.FLoad && pv.op == uFStore) &&
+					pv.ra == in.RA && pv.imm == in.Imm {
+					mv := uint8(vt.MovRR)
+					if op == vt.FLoad {
+						mv = uint8(vt.FMovRR)
+					}
+					push(fstep{op: mv, rd: in.RD, ra: pv.rb, pc0: int32(k)}, 1)
+					runMem++
+					k++
+					continue
+				}
+			}
+			// Bounds hoisted into the block guard: unchecked step.
+			push(fstep{
+				op: unchecked(op), cond: in.Cond,
+				rd: in.RD, ra: in.RA, rb: in.RB, imm: in.Imm, pc0: int32(k),
+			}, 1)
+			k++
+			continue
+		}
+
+		if isRunnable(op) {
+			// op+Store fusion: a lone simple op feeding a checked store.
+			if len(steps) == 0 && k+1 < e {
+				nx := &instrs[k+1]
+				if _, isStore, isMem := nx.Op.MemRef(); isMem && isStore && !b.guarded[k+1] {
+					sz, _, _ := nx.Op.MemRef()
+					// The simple op lives as a one-step run referenced by
+					// tgt; the dispatcher executes it before the store.
+					stepIdx := int32(len(b.fp.steps))
+					b.fp.steps = append(b.fp.steps, fstep{
+						op: uint8(op), cond: in.Cond,
+						rd: in.RD, ra: in.RA, rb: in.RB, rc: in.RC,
+						imm: in.Imm, pc0: int32(k),
+					})
+					b.emit(finstr{
+						op: xOpStore, n: 2, cnt: sz,
+						op1: uint8(nx.Op), ra: nx.RA, rb: nx.RB, imm: nx.Imm,
+						pc0: int32(k), tgt: stepIdx,
+					})
+					k += 2
+					continue
+				}
+			}
+			push(fstep{
+				op: uint8(op), cond: in.Cond,
+				rd: in.RD, ra: in.RA, rb: in.RB, rc: in.RC,
+				imm: in.Imm, pc0: int32(k),
+			}, 1)
+			k++
+			continue
+		}
+
+		// A block-terminating branch executes inline at the end of the
+		// pending run: one dispatch for the body and the branch.
+		switch op {
+		case vt.Br:
+			if flushBr(xRunBr, k) {
+				k++
+				continue
+			}
+		case vt.BrCC:
+			if flushBr(xRunBrCC, k) {
+				k++
+				continue
+			}
+		case vt.BrNZ:
+			if flushBr(xRunBrNZ, k) {
+				k++
+				continue
+			}
+		}
+
+		// Non-runnable: flush the pending run, then try memory pairs.
+		flush()
+		if sz, isStore, isMem := op.MemRef(); isMem && !isStore && k+1 < e {
+			// Load+op fusion: checked load feeding a simple operation.
+			nx := &instrs[k+1]
+			if isRunnable(nx.Op) {
+				// The follow op lives as a one-step run referenced by tgt;
+				// the dispatcher executes it after the load succeeds.
+				stepIdx := int32(len(b.fp.steps))
+				b.fp.steps = append(b.fp.steps, fstep{
+					op: uint8(nx.Op), cond: nx.Cond,
+					rd: nx.RD, ra: nx.RA, rb: nx.RB, rc: nx.RC,
+					imm: nx.Imm, pc0: int32(k + 1),
+				})
+				b.emit(finstr{
+					op: xLoadOp, n: 2, cnt: sz,
+					op1: uint8(op), rd: in.RD, ra: in.RA, imm: in.Imm,
+					pc0: int32(k), tgt: stepIdx,
+				})
+				k += 2
+				continue
+			}
+		}
+		b.emitSingle(k)
+		k++
+	}
+	flush()
+}

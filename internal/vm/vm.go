@@ -11,10 +11,12 @@
 package vm
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"math"
 	"math/bits"
+	"sync"
 
 	"qcc/internal/vt"
 )
@@ -66,6 +68,12 @@ type Module struct {
 	// target; call targets are translated the same way at load time.
 	branchIdx []int32
 	unwind    []UnwindRange
+
+	// Fused-dispatch view (fuse.go), built lazily on first Call so load
+	// time is unaffected; noFuse is the -nofuse escape hatch.
+	noFuse   bool
+	fuseOnce sync.Once
+	fp       *fprog
 }
 
 // Funcs returns the registered unwind ranges (one per function).
@@ -154,6 +162,7 @@ type Machine struct {
 	mod      *Module
 	depth    int
 	callPCs  []int32 // return-address stack (instruction indices)
+	fret     []int32 // fused-engine return stack (micro-op indices), in lockstep with callPCs
 	callback func(addr uint64, args ...uint64) ([2]uint64, error)
 }
 
@@ -249,7 +258,12 @@ func (m *Machine) Call(mod *Module, entry int32, args ...uint64) ([2]uint64, err
 	prevMod := m.mod
 	m.mod = mod
 	m.depth++
-	err := m.run(mod, idx)
+	var err error
+	if fp := mod.fused(); fp != nil && int(idx) < len(fp.o2f) && fp.o2f[idx] >= 0 {
+		err = m.runFused(mod, fp, fp.o2f[idx])
+	} else {
+		err = m.run(mod, idx)
+	}
 	m.depth--
 	m.mod = prevMod
 	if t, ok := err.(*Trap); ok && len(t.Frames) == 0 {
@@ -314,7 +328,9 @@ func (m *Machine) run(mod *Module, pc int32) error {
 	mem := m.Mem
 	loadAddr := func(a uint64, n uint64) (uint64, bool) {
 		memops++
-		return a, a >= nullGuard && a+n <= uint64(len(mem))
+		// a+n >= a rejects address wraparound, which would otherwise pass
+		// the length test and panic on the slice index (cf. Machine.Bytes).
+		return a, a >= nullGuard && a+n <= uint64(len(mem)) && a+n >= a
 	}
 
 	for {
@@ -533,8 +549,14 @@ func (m *Machine) run(mod *Module, pc int32) error {
 			}
 			if err := m.RT[id](m); err != nil {
 				if t, ok := err.(*Trap); ok {
-					t.PC = offs[pc]
-					t.Frames = append(t.Frames, mod.symbolize(offs[pc]))
+					// Only attribute the trap here when it came from the
+					// runtime function itself (no frames yet); a trap
+					// re-raised through nested CallAt re-entry keeps its
+					// innermost location.
+					if len(t.Frames) == 0 {
+						t.PC = offs[pc]
+						t.Frames = append(t.Frames, mod.symbolize(offs[pc]))
+					}
 					m.callPCs = m.callPCs[:callBase]
 					return t
 				}
@@ -653,25 +675,13 @@ func crc32c8(seed, v uint64) uint64 {
 	return uint64(crc32.Update(uint32(seed), crcTable, b[:]))
 }
 
-func le32(b []byte) uint32 {
-	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
-}
-
-func le64(b []byte) uint64 {
-	return uint64(le32(b)) | uint64(le32(b[4:]))<<32
-}
-
-func put32(b []byte, v uint32) {
-	b[0] = byte(v)
-	b[1] = byte(v >> 8)
-	b[2] = byte(v >> 16)
-	b[3] = byte(v >> 24)
-}
-
-func put64(b []byte, v uint64) {
-	put32(b, uint32(v))
-	put32(b[4:], uint32(v>>32))
-}
+// The little-endian accessors use encoding/binary, which the compiler
+// recognizes and lowers to single unaligned load/store instructions — they
+// are on the hot path of both dispatch loops.
+func le32(b []byte) uint32     { return binary.LittleEndian.Uint32(b) }
+func le64(b []byte) uint64     { return binary.LittleEndian.Uint64(b) }
+func put32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+func put64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
 
 func fromBits(u uint64) float64 { return math.Float64frombits(u) }
 func toBits(f float64) uint64   { return math.Float64bits(f) }

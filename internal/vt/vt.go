@@ -302,3 +302,44 @@ func (o Op) HasSideEffects() bool {
 	}
 	return false
 }
+
+// IsCall reports whether the operation transfers control to a callee (and,
+// except for CallRT, pushes a return address).
+func (o Op) IsCall() bool {
+	switch o {
+	case Call, CallInd, CallRT:
+		return true
+	}
+	return false
+}
+
+// MemRef describes a memory-accessing operation: the access width in bytes
+// and whether it writes memory. ok is false for non-memory operations. The
+// address of every memory operation is RA+Imm.
+func (o Op) MemRef() (size uint8, store bool, ok bool) {
+	switch o {
+	case Load8, Load8S, Store8:
+		return 1, o == Store8, true
+	case Load16, Load16S, Store16:
+		return 2, o == Store16, true
+	case Load32, Load32S, Store32:
+		return 4, o == Store32, true
+	case Load64, Store64, FLoad, FStore:
+		return 8, o == Store64 || o == FStore, true
+	}
+	return 0, false, false
+}
+
+// CanTrap reports whether executing the operation may raise a trap (memory
+// bounds, division by zero, explicit traps, or call-target resolution).
+// Trap-free operations are eligible for superinstruction fusion in the vm.
+func (o Op) CanTrap() bool {
+	if _, _, mem := o.MemRef(); mem {
+		return true
+	}
+	switch o {
+	case SDiv, SRem, UDiv, URem, Trap, TrapNZ, CallInd, CallRT:
+		return true
+	}
+	return false
+}

@@ -50,6 +50,7 @@ type config struct {
 	arch   Arch
 	memMB  int
 	engine string
+	noFuse bool
 }
 
 // WithArch selects the target architecture (default VX64).
@@ -61,6 +62,11 @@ func WithMemoryMB(mb int) Option { return func(c *config) { c.memMB = mb } }
 // WithEngine selects the default execution back-end by name; see Engines.
 func WithEngine(name string) Option { return func(c *config) { c.engine = name } }
 
+// WithFusion toggles the vm's superinstruction fusion for compiled queries
+// (default on). Results are identical either way; off forces the plain
+// decoded-switch dispatch loop, for dispatch-cost measurement.
+func WithFusion(on bool) Option { return func(c *config) { c.noFuse = !on } }
+
 // DB is an in-memory analytical database instance.
 type DB struct {
 	db      *rt.DB
@@ -68,6 +74,7 @@ type DB struct {
 	arch    Arch
 	engines map[string]backend.Engine
 	def     string
+	noFuse  bool
 }
 
 // Engines lists the available back-end names.
@@ -96,7 +103,8 @@ func Open(opts ...Option) (*DB, error) {
 			"gcc":         cbe.New(),
 			"adaptive":    adaptive.New(),
 		},
-		def: cfg.engine,
+		def:    cfg.engine,
+		noFuse: cfg.noFuse,
 	}
 	if cfg.arch != VX64 && (cfg.engine == "directemit" || cfg.engine == "adaptive") {
 		d.def = "cranelift" // DirectEmit tiers are vx64-only
@@ -269,7 +277,10 @@ func (d *DB) run(eng backend.Engine, name string, node plan.Node) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	ex, stats, err := eng.Compile(c.Module, &backend.Env{DB: d.db, Arch: d.arch})
+	ex, stats, err := eng.Compile(c.Module, &backend.Env{
+		DB: d.db, Arch: d.arch,
+		Options: backend.Options{NoFuse: d.noFuse},
+	})
 	if err != nil {
 		return nil, err
 	}
