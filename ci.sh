@@ -9,6 +9,13 @@
 #      cross-backend differential) over the TPC-H suite on both targets —
 #      once sequentially per arch, once through the parallel driver (-jobs 4)
 #   6. a -nofuse smoke run, proving the unfused dispatch path stays healthy
+#   7. a qprof smoke run (one TPC-H query per arch): the profiler must
+#      produce a valid qcc.prof/v1 report attributing >= 95% of sampled VM
+#      time to named plan operators
+#   8. the profiler overhead gate: qbench prof fails the build when the
+#      geomean sampling overhead exceeds 10% (generous at CI's tiny scale
+#      factor, where per-query times are microseconds and noisy; the
+#      EXPERIMENTS.md numbers at sf 0.05 are the honest measurement)
 #
 # The fused-vs-unfused conformance gate (identical results, counters and
 # trap PCs on every TPC-H query, all back-ends, both archs) runs inside
@@ -42,5 +49,20 @@ go run ./cmd/qverify -sf 0.01 -arch va64
 
 echo "== qverify (tpch, vx64, parallel driver -jobs 4) =="
 go run ./cmd/qverify -sf 0.01 -jobs 4
+
+echo "== qprof smoke (q6, vx64 + va64) =="
+ptmp="$(mktemp -t qprof-report.XXXXXX.json)"
+trap 'rm -f "$tmp" "$ptmp"' EXIT
+for arch in vx64 va64; do
+	go run ./cmd/qprof -arch "$arch" -query q6 -sf 0.01 -runs 4 -period 4096 \
+		-format json -o "$ptmp"
+	grep -q '"schema": "qcc.prof/v1"' "$ptmp"
+	# At least 95% of samples must resolve to a named plan operator.
+	go run ./cmd/qprof -format top "$ptmp" | grep -qE '9[5-9]\.[0-9]+% attributed|100\.0+% attributed'
+	echo "qprof $arch OK"
+done
+
+echo "== qbench prof overhead gate (sf 0.01, budget 10%) =="
+go run ./cmd/qbench -sf 0.01 -runs 3 -prof-budget 10 prof
 
 echo "== ci.sh: all checks passed =="

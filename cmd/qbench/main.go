@@ -6,7 +6,13 @@
 //	       [-cache-mb 0] [-json file] [-check] [-nofuse] <experiment>...
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7
-// ablate-llvm fallbacks scaling cachewarm exec all
+// ablate-llvm fallbacks scaling cachewarm exec prof all
+//
+// The prof experiment measures the VM profiler itself: per-query sampling
+// overhead (sampler off vs on) and operator attribution over the TPC-H
+// suite. -prof-json writes its qcc.bench.prof/v1 report; -prof-budget N
+// turns the run into a CI gate that fails when the geomean sampling
+// overhead exceeds N percent.
 //
 // -json writes a machine-readable report (schema qcc.obs.report/v1) of the
 // TPC-H suite over all engines to the given file ("-" for stdout). With
@@ -46,6 +52,9 @@ func main() {
 	check := flag.Bool("check", false, "run the machine-code verifier on every compilation (adds Check.* phases to the report)")
 	noFuse := flag.Bool("nofuse", false, "disable vm superinstruction fusion (plain decoded-switch dispatch)")
 	execJSON := flag.String("exec-json", "", "write the exec experiment's dispatch-cost report (schema qcc.bench.exec/v1) to this file")
+	profJSON := flag.String("prof-json", "", "write the prof experiment's profiler report (schema qcc.bench.prof/v1) to this file")
+	profPeriod := flag.Int64("prof-period", 0, "prof experiment sampling period in VM instructions (0 = default)")
+	profBudget := flag.Float64("prof-budget", 0, "fail (exit 1) if the prof experiment's geomean sampling overhead exceeds this percentage (0 = no gate)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -129,6 +138,27 @@ func main() {
 				if err := jrep.Write(f); err != nil {
 					return nil, err
 				}
+			}
+			return rep, nil
+		}},
+		{"prof", func() (*bench.Report, error) {
+			rep, jrep, err := bench.ProfileSuite(cfg, *profPeriod)
+			if err != nil {
+				return nil, err
+			}
+			if *profJSON != "" {
+				f, err := os.Create(*profJSON)
+				if err != nil {
+					return nil, err
+				}
+				defer f.Close()
+				if err := jrep.Write(f); err != nil {
+					return nil, err
+				}
+			}
+			if *profBudget > 0 && jrep.GeomeanOverheadPct > *profBudget {
+				return nil, fmt.Errorf("sampling overhead %.2f%% exceeds budget %.2f%%",
+					jrep.GeomeanOverheadPct, *profBudget)
 			}
 			return rep, nil
 		}},

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	qtrace [-arch vx64|va64] [-workload tpch|tpcds] [-query q1] [-engine all]
-//	       [-sf 0.01] [-mem 512] [-runs 1] [-allocs] [-format chrome|prom|json]
-//	       [-o trace.json]
+//	       [-sf 0.01] [-mem 512] [-runs 1] [-allocs] [-check] [-jobs N]
+//	       [-cache-mb N] [-format chrome|prom|json] [-o trace.json]
 //
 // Example (one TPC-H query, all engines, nested per-pass spans):
 //
@@ -42,6 +42,8 @@ func main() {
 	runs := flag.Int("runs", 1, "execution repetitions (best-of)")
 	allocs := flag.Bool("allocs", false, "capture per-span heap allocation deltas (slows compilation; off by default)")
 	check := flag.Bool("check", false, "run the machine-code verifier on every compilation (adds Check.* spans)")
+	jobs := flag.Int("jobs", 1, "parallel compilation workers, like qbench/qverify (1 = sequential)")
+	cacheMB := flag.Int("cache-mb", 0, "content-addressed code cache budget in MiB (0 = disabled); hit/miss counts appear in -format prom/json output")
 	noFuse := flag.Bool("nofuse", false, "disable vm superinstruction fusion (plain decoded-switch dispatch)")
 	format := flag.String("format", "chrome", "output format: chrome, prom, or json")
 	out := flag.String("o", "-", "output file (\"-\" for stdout)")
@@ -58,6 +60,8 @@ func main() {
 	cfg.MemMB = *mem
 	cfg.Runs = *runs
 	cfg.Check = *check
+	cfg.Jobs = *jobs
+	cfg.CacheMB = *cacheMB
 	cfg.NoFuse = *noFuse
 	switch *archFlag {
 	case "vx64":
@@ -97,7 +101,9 @@ func main() {
 	var engines []backend.Engine
 	for _, e := range bench.Engines(cfg.Arch) {
 		if *engine == "all" || strings.Contains(strings.ToLower(e.Name()), strings.ToLower(*engine)) {
-			engines = append(engines, e)
+			// WrapEngine applies -jobs (parallel driver) and the code
+			// cache, so traces cover the same configurations CI runs.
+			engines = append(engines, cfg.WrapEngine(e, cfg.NewCodeCache()))
 		}
 	}
 	if len(engines) == 0 {
@@ -120,7 +126,7 @@ func main() {
 	var traces []*obs.Trace
 	report := &obs.Report{
 		Schema: obs.Schema, Arch: cfg.Arch.String(),
-		Workload: *workload, SF: cfg.SF, Engines: []obs.EngineReport{},
+		Workload: *workload, SF: cfg.SF, Jobs: *jobs, Engines: []obs.EngineReport{},
 	}
 	for _, eng := range engines {
 		w, err := bench.NewWorldLoaded(cfg, *workload)
@@ -143,11 +149,16 @@ func main() {
 			fail("%v", err)
 		}
 	case "prom":
+		labels := map[string]string{"arch": cfg.Arch.String(), "workload": *workload}
 		for _, tr := range traces {
-			labels := map[string]string{"arch": cfg.Arch.String(), "workload": *workload}
 			if err := tr.WritePrometheus(dst, labels); err != nil {
 				fail("%v", err)
 			}
+		}
+		// Process-wide counters (pcc code-cache hits/misses, tier
+		// promotions, ...) are not scoped to any tracer; export them once.
+		if err := obs.WriteGlobalPrometheus(dst, labels); err != nil {
+			fail("%v", err)
 		}
 	case "json":
 		if err := report.Write(dst); err != nil {

@@ -1,10 +1,16 @@
 // Package adaptive implements Umbra's default execution strategy described
 // in Sec. III-C of the paper: every function starts in the low-latency
-// DirectEmit tier; once it has been called a few times, a simple code-size
-// heuristic estimates whether optimized compilation pays off, and if so the
-// module is recompiled with the LLVM-optimized back-end and subsequent calls
-// use the optimized code. Morsel-driven execution makes the function-level
-// switch safe — each call processes a bounded chunk.
+// DirectEmit tier; once it has proven hot, a simple code-size heuristic
+// estimates whether optimized compilation pays off, and if so the module is
+// recompiled with the LLVM-optimized back-end and subsequent calls use the
+// optimized code. Morsel-driven execution makes the function-level switch
+// safe — each call processes a bounded chunk.
+//
+// Hotness is measured in executed VM instructions (the profiler's counting
+// signal, prof.Hotness), not raw call counts: a function called three times
+// over a million-row morsel promotes, a trivial helper called a thousand
+// times does not. This is the cheap, accurate hot-path identification that
+// Ma et al. (PAPERS.md) identify as the precondition for JIT paying off.
 package adaptive
 
 import (
@@ -12,6 +18,7 @@ import (
 	"qcc/internal/backend/direct"
 	"qcc/internal/backend/lbe"
 	"qcc/internal/obs"
+	"qcc/internal/prof"
 	"qcc/internal/qir"
 	"qcc/internal/vt"
 )
@@ -22,16 +29,16 @@ var statPromotions = obs.NewCounter("adaptive.tier_promotions")
 
 // Engine is the adaptive two-tier back-end (vx64 only, like DirectEmit).
 type Engine struct {
-	// CallThreshold is how many calls a function must receive before the
-	// promotion heuristic runs (the paper's "executed a few times").
-	CallThreshold int
+	// HotThreshold is the executed-instruction total a function must
+	// accumulate in the fast tier before the promotion heuristic runs.
+	HotThreshold int64
 	// SizeThreshold is the minimum QIR instruction count for which
 	// optimized compilation is estimated to be beneficial.
 	SizeThreshold int
 }
 
 // New returns the adaptive engine with the default thresholds.
-func New() *Engine { return &Engine{CallThreshold: 3, SizeThreshold: 40} }
+func New() *Engine { return &Engine{HotThreshold: 256, SizeThreshold: 40} }
 
 // Name implements backend.Engine.
 func (e *Engine) Name() string { return "Adaptive" }
@@ -42,9 +49,10 @@ type exec struct {
 	fast backend.Exec
 	opt  backend.Exec
 
-	// calls holds per-function call counts as an observability vector; the
-	// promotion heuristic reads the same metric a profiler would export.
-	calls     *obs.Vector
+	// hot holds per-function executed-instruction totals — the profiler's
+	// counting signal; the promotion heuristic reads the same metric the
+	// profiler exports.
+	hot       *prof.Hotness
 	threshold int64
 	sizeOK    []bool
 	// Promotions counts tier switches (observable in tests/examples).
@@ -63,9 +71,9 @@ func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *back
 	}
 	x := &exec{
 		mod: mod, env: env, fast: fast,
-		calls:     obs.NewVector("adaptive.fn_calls", len(mod.Funcs)),
+		hot:       prof.NewHotness("adaptive.fn_hotness", len(mod.Funcs)),
 		sizeOK:    make([]bool, len(mod.Funcs)),
-		threshold: int64(e.CallThreshold),
+		threshold: e.HotThreshold,
 		stats:     stats,
 	}
 	for i, f := range mod.Funcs {
@@ -74,12 +82,16 @@ func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *back
 	return x, stats, nil
 }
 
+// Hotness exposes the per-function executed-instruction counters (for
+// observability tooling and tests).
+func (x *exec) Hotness() *prof.Hotness { return x.hot }
+
 // Call implements backend.Exec with tier switching.
 func (x *exec) Call(fn int, args ...uint64) ([2]uint64, error) {
 	if x.opt != nil {
 		return x.opt.Call(fn, args...)
 	}
-	if x.calls.Inc(fn) > x.threshold && x.sizeOK[fn] {
+	if x.hot.Load(fn) >= x.threshold && x.sizeOK[fn] {
 		// Promote: compile the module with the optimizing tier. (The
 		// paper does this on a background thread; we compile inline,
 		// which only shifts when the cost is paid.)
@@ -93,5 +105,11 @@ func (x *exec) Call(fn int, args ...uint64) ([2]uint64, error) {
 			return x.opt.Call(fn, args...)
 		}
 	}
-	return x.fast.Call(fn, args...)
+	// Weight the call by its inclusive executed-instruction cost: the
+	// machine's counter advances across the call (including callees), so
+	// the delta is exactly what this invocation cost.
+	before := x.env.DB.M.Executed
+	res, err := x.fast.Call(fn, args...)
+	x.hot.Add(fn, x.env.DB.M.Executed-before)
+	return res, err
 }

@@ -47,6 +47,56 @@ func TestPromotion(t *testing.T) {
 	}
 }
 
+// TestHotnessWeightedPromotion pins the tier-promotion signal to executed
+// instructions rather than call counts: promotion fires once the function's
+// inclusive instruction total crosses HotThreshold, and the hotness counter
+// stops growing after the switch (the optimized tier is not re-measured).
+func TestHotnessWeightedPromotion(t *testing.T) {
+	mod := qir.NewModule("t")
+	bigFunc(mod, "hot", 60)
+	m := vm.New(vm.Config{Arch: vt.VX64, MemSize: 8 << 20})
+	db := rt.NewDB(m)
+	eng := New()
+	ex, _, err := eng.Compile(mod, &backend.Env{DB: db, Arch: vt.VX64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ex.(*exec)
+	if _, err := ex.Call(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	per := x.Hotness().Load(0)
+	if per < 60 {
+		t.Fatalf("one call accumulated %d instructions, want >= chain length", per)
+	}
+	calls := 1
+	for x.Promotions == 0 && calls < 100 {
+		if _, err := ex.Call(0, 5); err != nil {
+			t.Fatal(err)
+		}
+		calls++
+	}
+	if x.Promotions != 1 {
+		t.Fatalf("no promotion after %d calls (hotness %d)", calls, x.Hotness().Load(0))
+	}
+	atPromo := x.Hotness().Load(0)
+	if atPromo < eng.HotThreshold {
+		t.Fatalf("promoted at hotness %d < threshold %d", atPromo, eng.HotThreshold)
+	}
+	// The check runs before the call, so promotion fires on the first call
+	// after the threshold is crossed.
+	want := int(eng.HotThreshold/per) + 2
+	if calls != want {
+		t.Fatalf("promoted after %d calls, want %d (per-call cost %d)", calls, want, per)
+	}
+	if _, err := ex.Call(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if x.Hotness().Load(0) != atPromo {
+		t.Fatalf("hotness advanced after promotion: %d -> %d", atPromo, x.Hotness().Load(0))
+	}
+}
+
 func TestNoPromotionForSmallFunctions(t *testing.T) {
 	mod := qir.NewModule("t")
 	bigFunc(mod, "cold", 3) // below SizeThreshold

@@ -2,6 +2,7 @@ package cbe
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"qcc/internal/backend"
@@ -157,7 +158,24 @@ func (c *moduleCompiler) Link(units []*backend.Unit, ph *backend.Phaser) (backen
 			return nil, fmt.Errorf("cbe: dlsym: %s not found", f.Name)
 		}
 		fnOffsets[i] = off
-		unwind = append(unwind, vm.UnwindRange{Start: off, End: off + 1, Name: f.Name, CFI: []byte{1}})
+		unwind = append(unwind, vm.UnwindRange{Start: off, Name: f.Name, CFI: []byte{1}, Func: int32(i)})
+	}
+	// The linker does not expose symbol sizes, so extend each range to the
+	// next function's entry (or the end of the image): PC samples landing
+	// mid-function then attribute to the right function instead of falling
+	// off a degenerate one-byte range.
+	starts := make([]int32, len(unwind))
+	for i, u := range unwind {
+		starts[i] = u.Start
+	}
+	sort.Slice(starts, func(a, b int) bool { return starts[a] < starts[b] })
+	for i := range unwind {
+		end := int32(len(code))
+		j := sort.Search(len(starts), func(k int) bool { return starts[k] > unwind[i].Start })
+		if j < len(starts) {
+			end = starts[j]
+		}
+		unwind[i].End = end
 	}
 	vmod.RegisterUnwind(unwind)
 	vmod.SetFuse(!c.env.Options.NoFuse)

@@ -193,7 +193,8 @@ func (c *moduleCompiler) Link(units []*backend.Unit, ph *backend.Phaser) (backen
 		code = append(code, p.code...)
 		unwind = append(unwind, vm.UnwindRange{
 			Start: offsets[i], End: int32(len(code)), Name: u.Name,
-			CFI: []byte{0x01},
+			CFI:  []byte{0x01},
+			Func: int32(u.Index),
 		})
 	}
 	// Relocations are unit-relative; rebase copies rather than the

@@ -143,7 +143,8 @@ func (c *moduleCompiler) Link(units []*backend.Unit, ph *backend.Phaser) (backen
 		code = append(code, p.code...)
 		unwind = append(unwind, vm.UnwindRange{
 			Start: offsets[i], End: int32(len(code)), Name: u.Name,
-			CFI: encodeCFI(offsets[i], int32(len(code)), p.frameSize),
+			CFI:  encodeCFI(offsets[i], int32(len(code)), p.frameSize),
+			Func: int32(u.Index),
 		})
 	}
 	// Resolve function-address relocations (FuncAddr constants). The

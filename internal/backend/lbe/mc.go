@@ -445,11 +445,23 @@ func jitLink(objBytes []byte, arch vt.Arch, fnNames []string) (*vm.Module, []int
 		}
 		offsets[i] = int32(a)
 	}
+	// Map symbol names back to function indices so ranges carry source
+	// attribution; helper stubs and non-function symbols get -1.
+	fnIdx := make(map[string]int32, len(fnNames))
+	for i, n := range fnNames {
+		fnIdx[n] = int32(i)
+	}
 	for _, s := range syms {
+		name := string(names[s.nameOff : s.nameOff+s.nameLen])
+		fi, ok := fnIdx[name]
+		if !ok {
+			fi = -1
+		}
 		unwind = append(unwind, vm.UnwindRange{
 			Start: s.value, End: s.value + s.size,
-			Name: string(names[s.nameOff : s.nameOff+s.nameLen]),
+			Name: name,
 			CFI:  cfi,
+			Func: fi,
 		})
 	}
 	mod, err := vm.Load(arch, mem)

@@ -1,0 +1,139 @@
+package pcc_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"qcc/internal/backend"
+	"qcc/internal/backend/clift"
+	"qcc/internal/backend/pcc"
+	"qcc/internal/bench"
+	"qcc/internal/codegen"
+	"qcc/internal/obs"
+	"qcc/internal/qir"
+	"qcc/internal/rt"
+	"qcc/internal/vm"
+	"qcc/internal/vt"
+)
+
+// TestTracedParallelCompile runs the Fork/Adopt protocol through the real
+// parallel driver: a TPC-H compile on 4 workers with a session tracer
+// attached must yield one worker:N group per worker, every func: span
+// exactly once across workers, and worker thread ids starting at 2 (tid 1
+// is the main goroutine). Run with -race this doubles as the concurrency
+// check on the per-worker fork merge.
+func TestTracedParallelCompile(t *testing.T) {
+	const jobs = 4
+	cfg := benchCfg(vt.VX64)
+	w, err := bench.NewWorldLoaded(cfg, "tpch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := bench.HQueries()[0]
+	c, err := codegen.Compile(q.Name, q.Build(), w.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New(obs.Options{})
+	root := tr.Begin("compile")
+	par := pcc.Wrap(clift.New(), pcc.Config{Jobs: jobs})
+	if _, _, err := par.Compile(c.Module, &backend.Env{DB: w.DB, Arch: vt.VX64, Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	snap := tr.Snapshot("t")
+	workers := 0
+	funcSpans := map[string]int{}
+	for _, sp := range snap.Spans {
+		if strings.HasPrefix(sp.Name, "worker:") {
+			workers++
+			continue
+		}
+		if !strings.HasPrefix(sp.Name, "func:") {
+			continue
+		}
+		funcSpans[sp.Name]++
+		if sp.Tid < 2 {
+			t.Errorf("adopted span %s carries tid %d, want a worker tid >= 2", sp.Name, sp.Tid)
+		}
+	}
+	if workers != jobs {
+		t.Fatalf("got %d worker group spans, want %d", workers, jobs)
+	}
+	if len(funcSpans) != len(c.Module.Funcs) {
+		t.Fatalf("got func spans for %d functions, want %d", len(funcSpans), len(c.Module.Funcs))
+	}
+	for name, n := range funcSpans {
+		if n != 1 {
+			t.Errorf("%s compiled under %d workers, want exactly 1", name, n)
+		}
+	}
+}
+
+// misuseEngine is a FuncEngine whose CompileFunc bypasses the Fork/Adopt
+// protocol and records straight into the session tracer from the worker
+// goroutine — the exact bug the ownership check in obs.Tracer exists to
+// catch.
+type misuseEngine struct{ parent *obs.Tracer }
+
+func (e *misuseEngine) Name() string { return "misuse-stub" }
+
+func (e *misuseEngine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *backend.Stats, error) {
+	return backend.CompileUnits(e, mod, env)
+}
+
+func (e *misuseEngine) BeginModule(mod *qir.Module, env *backend.Env, ph *backend.Phaser) (backend.ModuleCompiler, error) {
+	e.parent = env.Trace
+	return &misuseMC{e: e}, nil
+}
+
+type misuseMC struct{ e *misuseEngine }
+
+func (m *misuseMC) Variant() string { return "" }
+
+func (m *misuseMC) CompileFunc(i int, ph *backend.Phaser) (*backend.Unit, error) {
+	m.e.parent.Begin("bypassing-fork").End()
+	return &backend.Unit{Index: i}, nil
+}
+
+func (m *misuseMC) Link(units []*backend.Unit, ph *backend.Phaser) (backend.Exec, error) {
+	return nil, fmt.Errorf("link should be unreachable after worker misuse")
+}
+
+// TestParallelMisuseSurfacesAsError pins the misuse-panic path end to end:
+// a back-end that records into the session tracer from a worker goroutine
+// panics in obs (ownership check), pcc's worker recovery converts the panic
+// into a compile error naming Fork/Adopt, and the session tracer stays
+// usable by its owning goroutine afterwards.
+func TestParallelMisuseSurfacesAsError(t *testing.T) {
+	mod := qir.NewModule("t")
+	for i := 0; i < 4; i++ {
+		b := qir.NewFunc(mod, fmt.Sprintf("f%d", i), qir.I64)
+		b.Ret(b.ConstInt(qir.I64, int64(i)))
+	}
+	m := vm.New(vm.Config{Arch: vt.VX64, MemSize: 8 << 20})
+	db := rt.NewDB(m)
+
+	tr := obs.New(obs.Options{})
+	root := tr.Begin("compile") // held open: the test goroutine owns the stack
+	par := pcc.Wrap(&misuseEngine{}, pcc.Config{Jobs: 4})
+	_, _, err := par.Compile(mod, &backend.Env{DB: db, Arch: vt.VX64, Trace: tr})
+	if err == nil {
+		t.Fatal("worker tracer misuse did not surface as a compile error")
+	}
+	if !strings.Contains(err.Error(), "worker panic") {
+		t.Fatalf("misuse not reported through the worker panic recovery: %v", err)
+	}
+	if !strings.Contains(err.Error(), "Fork/Adopt") {
+		t.Fatalf("error should carry the obs ownership message pointing at Fork/Adopt: %v", err)
+	}
+	// The ownership check releases the tracer lock before panicking, so the
+	// owning goroutine can keep tracing after the failed compile.
+	tr.Begin("after").End()
+	root.End()
+	if n := len(tr.Snapshot("t").Spans); n < 2 {
+		t.Fatalf("session tracer unusable after recovered misuse: %d spans", n)
+	}
+}

@@ -62,6 +62,10 @@ type Compiler struct {
 	cleanup *qir.Builder
 	pipe    *Pipeline
 	npipes  int
+
+	// ops is the operator-path stack mirroring the produce() recursion;
+	// see prov.go.
+	ops []provEntry
 }
 
 // Compile lowers a validated plan into a QIR module.
@@ -134,6 +138,9 @@ func (c *Compiler) beginPipeline(kind SourceKind) {
 	c.main = qir.NewFunc(c.mod, fmt.Sprintf("%s_p%d_main", c.name, id), qir.Void, qir.Ptr, qir.I64, qir.I64)
 	c.pipe.CleanupFn = len(c.mod.Funcs)
 	c.cleanup = qir.NewFunc(c.mod, fmt.Sprintf("%s_p%d_cleanup", c.name, id), qir.Void, qir.Ptr)
+	c.setProv(c.pipe.SetupFn, id, "setup")
+	c.setProv(c.pipe.MainFn, id, "main")
+	c.setProv(c.pipe.CleanupFn, id, "cleanup")
 }
 
 // endPipeline finishes the current pipeline's setup/cleanup functions.
@@ -195,6 +202,10 @@ func storeStateHandle(b *qir.Builder, off int64, v qir.Value) {
 // produce generates the pipelines evaluating subtree n; consume emits the
 // sink for each produced tuple.
 func (c *Compiler) produce(n plan.Node, consume consumeFn) error {
+	if e, ok := provOf(n); ok {
+		c.pushOp(e)
+		defer c.popOp()
+	}
 	switch x := n.(type) {
 	case *plan.Scan:
 		return c.produceScan(x, consume)

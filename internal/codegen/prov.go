@@ -1,0 +1,101 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"qcc/internal/plan"
+	"qcc/internal/qir"
+)
+
+// provEntry is one operator on the code generator's operator-path stack. The
+// stack mirrors the produce() recursion (root at the bottom, current leaf on
+// top), so at the moment a pipeline is opened the stack holds exactly the
+// operator chain the pipeline implements.
+type provEntry struct {
+	label string // operator label, e.g. "scan(lineitem)"
+	sql   string // best-effort SQL fragment of the operator
+	// breaker marks full pipeline breakers: a pipeline's operator path is
+	// truncated at the nearest enclosing breaker (which is its sink).
+	breaker bool
+}
+
+// provOf maps a plan node to its stack entry. HashJoin is handled inside
+// produceHashJoin because it is a breaker on the build side only.
+func provOf(n plan.Node) (provEntry, bool) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		sql := "FROM " + x.Table
+		if x.Filter != nil {
+			sql += " WHERE " + x.Filter.String()
+		}
+		return provEntry{label: "scan(" + x.Table + ")", sql: sql}, true
+	case *plan.Select:
+		return provEntry{label: "select", sql: "WHERE " + x.Pred.String()}, true
+	case *plan.Project:
+		parts := make([]string, len(x.Exprs))
+		for i, e := range x.Exprs {
+			parts[i] = e.String()
+		}
+		return provEntry{label: "project", sql: "SELECT " + strings.Join(parts, ", ")}, true
+	case *plan.GroupBy:
+		parts := make([]string, len(x.Keys))
+		for i, k := range x.Keys {
+			parts[i] = k.String()
+		}
+		return provEntry{label: "groupby", sql: "GROUP BY " + strings.Join(parts, ", "), breaker: true}, true
+	case *plan.Sort:
+		parts := make([]string, len(x.Keys))
+		for i, k := range x.Keys {
+			parts[i] = k.E.String()
+			if k.Desc {
+				parts[i] += " DESC"
+			}
+		}
+		return provEntry{label: "sort", sql: "ORDER BY " + strings.Join(parts, ", "), breaker: true}, true
+	case *plan.Limit:
+		return provEntry{label: "limit", sql: fmt.Sprintf("LIMIT %d", x.N)}, true
+	}
+	return provEntry{}, false
+}
+
+// joinProv builds the hash-join stack entries. The build side ends its
+// pipeline at the join (breaker); the probe side streams through it.
+func joinProv(j *plan.HashJoin, side string) provEntry {
+	parts := make([]string, len(j.BuildKeys))
+	for i := range j.BuildKeys {
+		parts[i] = j.BuildKeys[i].String() + " = " + j.ProbeKeys[i].String()
+	}
+	return provEntry{
+		label:   "hashjoin(" + side + ")",
+		sql:     "JOIN ON " + strings.Join(parts, " AND "),
+		breaker: side == "build",
+	}
+}
+
+func (c *Compiler) pushOp(e provEntry) { c.ops = append(c.ops, e) }
+func (c *Compiler) popOp()             { c.ops = c.ops[:len(c.ops)-1] }
+
+// provenance renders the operator path and SQL fragment for a pipeline (or
+// comparator) opened with the current stack. The path runs in data-flow
+// order — stack top (the pipeline's source) first — and is truncated after
+// the first pipeline breaker above the source, which is the pipeline's sink.
+func (c *Compiler) provenance() (op, sql string) {
+	if len(c.ops) == 0 {
+		return "", ""
+	}
+	var labels []string
+	for i := len(c.ops) - 1; i >= 0; i-- {
+		labels = append(labels, c.ops[i].label)
+		if c.ops[i].breaker && i < len(c.ops)-1 {
+			break
+		}
+	}
+	return strings.Join(labels, " > "), c.ops[len(c.ops)-1].sql
+}
+
+// setProv stamps provenance onto a generated function.
+func (c *Compiler) setProv(fn int, pipeline int, role string) {
+	op, sql := c.provenance()
+	c.mod.Funcs[fn].Prov = qir.Prov{Pipeline: pipeline, Operator: op, SQL: sql, Role: role}
+}

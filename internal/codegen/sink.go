@@ -29,6 +29,7 @@ func (c *Compiler) produceHashJoin(j *plan.HashJoin, consume consumeFn) error {
 	// Build side. The sink also emits this pipeline's setup (create the
 	// hash table) and cleanup (finalize the bucket directory) — the sink
 	// closure runs while the enclosing pipeline's builders are active.
+	c.pushOp(joinProv(j, "build"))
 	err := c.produce(j.Build, func(rc *rowCtx) error {
 		sb := c.setup
 		width := sb.ConstInt(qir.I64, layout.width)
@@ -52,11 +53,14 @@ func (c *Compiler) produceHashJoin(j *plan.HashJoin, consume consumeFn) error {
 		}
 		return nil
 	})
+	c.popOp()
 	if err != nil {
 		return err
 	}
 
 	// Probe side.
+	c.pushOp(joinProv(j, "probe"))
+	defer c.popOp()
 	return c.produce(j.Probe, func(rc *rowCtx) error {
 		b := rc.b
 		hash, keyVals, err := c.hashKeys(rc, j.ProbeKeys)
@@ -490,6 +494,7 @@ func (c *Compiler) produceSort(s *plan.Sort, consume consumeFn) error {
 func (c *Compiler) genComparator(s *plan.Sort, layout rowLayout) (int, error) {
 	idx := len(c.mod.Funcs)
 	b := qir.NewFunc(c.mod, fmt.Sprintf("%s_cmp%d", c.name, idx), qir.I64, qir.Ptr, qir.Ptr)
+	c.setProv(idx, -1, "comparator")
 	pa, pb := b.Param(0), b.Param(1)
 	for i, k := range s.Keys {
 		va := layout.load(b, pa, i)

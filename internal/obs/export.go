@@ -196,6 +196,34 @@ func (tr *Trace) WritePrometheus(w io.Writer, labels map[string]string) error {
 	return nil
 }
 
+// WriteGlobalPrometheus writes the process-wide counter registry (code-cache
+// hits/misses from pcc, IR slab growth, tier promotions, ...) in the
+// Prometheus text exposition format. Trace-scoped WritePrometheus only sees
+// the tracer's own counters, so a scrape that wants the pcc cache outcome
+// must include this section too; labels are attached to every sample.
+func WriteGlobalPrometheus(w io.Writer, labels map[string]string) error {
+	if labels == nil {
+		labels = map[string]string{}
+	}
+	counters := GlobalCounters()
+	if len(counters) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(counters))
+	for k := range counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "# HELP qcc_global_events_total Process-wide event counters (code cache, IR, tiering).")
+	fmt.Fprintln(w, "# TYPE qcc_global_events_total counter")
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "qcc_global_events_total%s %d\n", promLabels(labels, "event", n), counters[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // --------------------------------------------------------------------------
 // Stable JSON report schema ("qcc.obs.report/v1").
 // --------------------------------------------------------------------------

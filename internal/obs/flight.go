@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// FlightKind classifies a flight-recorder event.
+type FlightKind uint8
+
+const (
+	// FlightNote is a free-form annotation.
+	FlightNote FlightKind = iota
+	// FlightSpanBegin marks the opening of a tracer span.
+	FlightSpanBegin
+	// FlightSpanEnd marks the closing of a tracer span.
+	FlightSpanEnd
+	// FlightSample is a profiler PC sample (Arg holds the byte offset).
+	FlightSample
+	// FlightTrap records a VM trap surfacing to the top-level caller
+	// (Arg holds the trapping PC).
+	FlightTrap
+)
+
+func (k FlightKind) String() string {
+	switch k {
+	case FlightNote:
+		return "note"
+	case FlightSpanBegin:
+		return "begin"
+	case FlightSpanEnd:
+		return "end"
+	case FlightSample:
+		return "sample"
+	case FlightTrap:
+		return "trap"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// FlightEvent is one entry in the flight recorder. Events are immutable once
+// published; readers always observe either a complete event or none.
+type FlightEvent struct {
+	Seq  uint64     // global publication order (monotonic)
+	When time.Time  // wall-clock time of Record
+	Kind FlightKind // what happened
+	Name string     // span name, sample function, or trap description
+	Arg  int64      // kind-specific payload (PC, offset, count, ...)
+}
+
+// Flight is a fixed-size lock-free ring buffer of recent events — the
+// always-on "black box" that survives until a trap or an explicit dump asks
+// for it. Writers claim a slot with a single atomic add and publish the
+// event with an atomic pointer store, so recording costs two atomics and one
+// small allocation and never blocks: concurrent writers that lap the ring
+// simply overwrite the oldest slots. Snapshot is best-effort consistent — it
+// reads each slot once and orders by sequence number.
+type Flight struct {
+	slots []atomic.Pointer[FlightEvent]
+	seq   atomic.Uint64
+}
+
+// NewFlight creates a recorder keeping the most recent n events (minimum 16).
+func NewFlight(n int) *Flight {
+	if n < 16 {
+		n = 16
+	}
+	return &Flight{slots: make([]atomic.Pointer[FlightEvent], n)}
+}
+
+// Record publishes one event. Safe for concurrent use from any goroutine.
+func (f *Flight) Record(kind FlightKind, name string, arg int64) {
+	if f == nil {
+		return
+	}
+	seq := f.seq.Add(1) - 1
+	ev := &FlightEvent{Seq: seq, When: time.Now(), Kind: kind, Name: name, Arg: arg}
+	f.slots[seq%uint64(len(f.slots))].Store(ev)
+}
+
+// Len reports how many events have ever been recorded (not the ring size).
+func (f *Flight) Len() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.seq.Load()
+}
+
+// Snapshot returns the retained events ordered oldest-to-newest. Events
+// recorded while the snapshot is being taken may or may not be included.
+func (f *Flight) Snapshot() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(f.slots))
+	for i := range f.slots {
+		if ev := f.slots[i].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	// Insertion sort by Seq: the ring is nearly ordered already (at most one
+	// wrap point), so this is effectively linear.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Seq > out[j].Seq; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// WriteText dumps the retained events in chronological order, one per line —
+// the post-mortem rendering used when a query traps.
+func (f *Flight) WriteText(w io.Writer) error {
+	evs := f.Snapshot()
+	if len(evs) == 0 {
+		_, err := fmt.Fprintln(w, "flight recorder: no events")
+		return err
+	}
+	base := evs[0].When
+	for _, ev := range evs {
+		_, err := fmt.Fprintf(w, "%8d %+10.3fms %-7s %s (%d)\n",
+			ev.Seq, float64(ev.When.Sub(base).Microseconds())/1000.0,
+			ev.Kind.String(), ev.Name, ev.Arg)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flightRec is the process-wide always-on recorder. 4096 slots keeps the
+// steady-state footprint around a few hundred KiB while retaining enough
+// history to reconstruct the tail of a crashing TPC-H query.
+var flightRec = NewFlight(4096)
+
+// FlightRec returns the global always-on flight recorder. It is never nil.
+func FlightRec() *Flight { return flightRec }

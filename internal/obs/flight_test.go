@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecordSnapshot(t *testing.T) {
+	f := NewFlight(16)
+	for i := 0; i < 10; i++ {
+		f.Record(FlightNote, "ev", int64(i))
+	}
+	evs := f.Snapshot()
+	if len(evs) != 10 {
+		t.Fatalf("got %d events, want 10", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) || ev.Arg != int64(i) {
+			t.Fatalf("event %d out of order: seq=%d arg=%d", i, ev.Seq, ev.Arg)
+		}
+	}
+	if f.Len() != 10 {
+		t.Fatalf("Len() = %d, want 10", f.Len())
+	}
+}
+
+func TestFlightWraps(t *testing.T) {
+	f := NewFlight(16)
+	for i := 0; i < 40; i++ {
+		f.Record(FlightSample, "s", int64(i))
+	}
+	evs := f.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("ring retained %d events, want 16", len(evs))
+	}
+	// Oldest retained event is number 24 (40 recorded, 16 kept).
+	if evs[0].Arg != 24 || evs[len(evs)-1].Arg != 39 {
+		t.Fatalf("retained window [%d, %d], want [24, 39]",
+			evs[0].Arg, evs[len(evs)-1].Arg)
+	}
+}
+
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlight(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f.Record(FlightNote, "g", int64(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if f.Len() != 8000 {
+		t.Fatalf("Len() = %d, want 8000", f.Len())
+	}
+	evs := f.Snapshot()
+	if len(evs) != 64 {
+		t.Fatalf("snapshot %d events, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i-1].Seq >= evs[i].Seq {
+			t.Fatalf("snapshot not ordered at %d: %d >= %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestFlightWriteText(t *testing.T) {
+	f := NewFlight(16)
+	f.Record(FlightSpanBegin, "compile", 1)
+	f.Record(FlightTrap, "oob at q1_p0_main+0x10", 16)
+	var sb strings.Builder
+	if err := f.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "begin") || !strings.Contains(out, "compile") {
+		t.Fatalf("missing span line:\n%s", out)
+	}
+	if !strings.Contains(out, "trap") || !strings.Contains(out, "oob at q1_p0_main+0x10") {
+		t.Fatalf("missing trap line:\n%s", out)
+	}
+
+	var empty strings.Builder
+	if err := NewFlight(16).WriteText(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "no events") {
+		t.Fatalf("empty dump = %q", empty.String())
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *Flight
+	f.Record(FlightNote, "x", 0) // must not panic
+	if f.Len() != 0 || f.Snapshot() != nil {
+		t.Fatal("nil Flight should be inert")
+	}
+}
+
+func TestTracerFeedsFlight(t *testing.T) {
+	before := FlightRec().Len()
+	tr := New(Options{})
+	sp := tr.Begin("flight-hookup-span")
+	sp.End()
+	if FlightRec().Len() < before+2 {
+		t.Fatalf("global flight recorder did not observe span begin+end (len %d -> %d)",
+			before, FlightRec().Len())
+	}
+	found := false
+	for _, ev := range FlightRec().Snapshot() {
+		if ev.Kind == FlightSpanEnd && ev.Name == "flight-hookup-span" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("span end event not retained in global flight recorder")
+	}
+}

@@ -92,6 +92,11 @@ func NewVector(name string, n int) *Vector {
 // Inc increments counter i and returns the new value.
 func (v *Vector) Inc(i int) int64 { return v.v[i].Add(1) }
 
+// Add accumulates d into counter i and returns the new value — used for
+// weighted signals such as executed-instruction hotness, where one call
+// contributes many units.
+func (v *Vector) Add(i int, d int64) int64 { return v.v[i].Add(d) }
+
 // Load returns counter i.
 func (v *Vector) Load(i int) int64 { return v.v[i].Load() }
 

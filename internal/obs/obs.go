@@ -35,9 +35,9 @@ type Span struct {
 	// the main compilation goroutine; spans merged from forked per-worker
 	// tracers carry the worker's id (see Adopt). Exporters render it as
 	// the Chrome trace thread id.
-	Tid    int32
-	Start  time.Duration // offset from the tracer epoch
-	Dur    time.Duration
+	Tid   int32
+	Start time.Duration // offset from the tracer epoch
+	Dur   time.Duration
 	// AllocBytes/AllocObjs hold the heap-allocation delta over the span
 	// (self plus children) when Options.Allocs is set.
 	AllocBytes int64
@@ -121,6 +121,7 @@ func (t *Tracer) BeginCat(name, cat string) SpanRef {
 	})
 	t.stack = append(t.stack, id)
 	t.mu.Unlock()
+	flightRec.Record(FlightSpanBegin, name, int64(id))
 	return SpanRef{t: t, id: id}
 }
 
@@ -183,7 +184,9 @@ func (s SpanRef) End() {
 	if len(t.stack) == 0 {
 		t.owner = 0
 	}
+	name, dur := sp.Name, sp.Dur
 	t.mu.Unlock()
+	flightRec.Record(FlightSpanEnd, name, dur.Microseconds())
 }
 
 // Fork returns a fresh tracer for a worker goroutine that shares this

@@ -1,0 +1,85 @@
+package prof
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// WriteChrome renders the profile as a Chrome trace-event document loadable
+// in Perfetto. A sampling profile has no real timeline, so the rendering is
+// a synthetic flame bar: one complete event per operator, laid end to end,
+// with duration proportional to its sample count (1 sample = 1 µs) and the
+// contributing functions nested underneath. Relative widths — the part that
+// matters — are exact.
+func (p *Profile) WriteChrome(w io.Writer) error {
+	type ev struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat,omitempty"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  *float64       `json:"dur,omitempty"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	doc := struct {
+		TraceEvents     []ev   `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}{DisplayTimeUnit: "ms", TraceEvents: []ev{}}
+
+	proc := p.Query
+	if proc == "" {
+		proc = "profile"
+	}
+	doc.TraceEvents = append(doc.TraceEvents, ev{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 1,
+		Args: map[string]any{"name": proc + " (vm samples)"},
+	})
+
+	type opRow struct {
+		op      string
+		samples int64
+	}
+	var ops []opRow
+	for op, s := range p.ByOperator() {
+		ops = append(ops, opRow{op, s})
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].samples != ops[j].samples {
+			return ops[i].samples > ops[j].samples
+		}
+		return ops[i].op < ops[j].op
+	})
+	ts := 0.0
+	for _, o := range ops {
+		dur := float64(o.samples)
+		doc.TraceEvents = append(doc.TraceEvents, ev{
+			Name: o.op, Cat: "operator", Ph: "X", Ts: ts, Dur: &dur, Pid: 1, Tid: 1,
+			Args: map[string]any{"samples": o.samples},
+		})
+		// Nested per-function bars within the operator's interval.
+		fts := ts
+		for i := range p.Funcs {
+			f := &p.Funcs[i]
+			op := f.Operator
+			if op == "" {
+				op = "?"
+			}
+			if op != o.op || f.Samples == 0 {
+				continue
+			}
+			fdur := float64(f.Samples)
+			doc.TraceEvents = append(doc.TraceEvents, ev{
+				Name: f.Name, Cat: "func", Ph: "X", Ts: fts, Dur: &fdur, Pid: 1, Tid: 1,
+				Args: map[string]any{"samples": f.Samples, "role": f.Role},
+			})
+			fts += fdur
+		}
+		ts += dur
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false) // operator paths contain " > "
+	enc.SetIndent("", " ")
+	return enc.Encode(&doc)
+}

@@ -1,0 +1,147 @@
+package prof
+
+import (
+	"sort"
+
+	"qcc/internal/obs"
+	"qcc/internal/qir"
+	"qcc/internal/vm"
+)
+
+// Collector accumulates PC samples for one query's compiled code and
+// resolves them against the module's provenance table. It is the Hit target
+// of a vm.Sampler:
+//
+//	col := prof.NewCollector(compiled.Module)
+//	s := &vm.Sampler{Hit: col.Hit}
+//	machine.SetSampler(s)
+//	... execute ...
+//	machine.SetSampler(nil)
+//	profile := col.Profile("vx64", "q1", s)
+//
+// A Collector may observe several vm.Modules (the adaptive back-end runs a
+// baseline and an optimized image of the same qir module); samples from all
+// of them attribute through the shared function index space. Not safe for
+// concurrent use — a sampler runs on its machine's execution goroutine.
+type Collector struct {
+	prov []FuncProv
+	mods map[*vm.Module]*modIndex
+	// FlightEvery mirrors every n-th sample into the global flight
+	// recorder (0 disables mirroring).
+	FlightEvery int64
+	hits        int64
+}
+
+// modIndex is the per-vm.Module sample store: ranges sorted by start plus
+// sample counts keyed by absolute byte offset.
+type modIndex struct {
+	ranges []vm.UnwindRange // sorted by Start
+	counts map[int32]int64
+}
+
+// NewCollector builds a collector over the provenance table of qmod. A nil
+// qmod yields an empty table (all samples unattributed) — usable for
+// hand-built test modules.
+func NewCollector(qmod *qir.Module) *Collector {
+	c := &Collector{mods: map[*vm.Module]*modIndex{}, FlightEvery: 16}
+	if qmod != nil {
+		c.prov = ProvenanceOf(qmod)
+	}
+	return c
+}
+
+func (c *Collector) index(mod *vm.Module) *modIndex {
+	mi := c.mods[mod]
+	if mi == nil {
+		ranges := append([]vm.UnwindRange(nil), mod.Unwind()...)
+		sort.Slice(ranges, func(i, j int) bool { return ranges[i].Start < ranges[j].Start })
+		mi = &modIndex{ranges: ranges, counts: map[int32]int64{}}
+		c.mods[mod] = mi
+	}
+	return mi
+}
+
+// Hit records one sample; it is the vm.Sampler callback.
+func (c *Collector) Hit(mod *vm.Module, off int32) {
+	mi := c.index(mod)
+	mi.counts[off]++
+	c.hits++
+	if c.FlightEvery > 0 && c.hits%c.FlightEvery == 0 {
+		name := "?"
+		if r := mi.find(off); r != nil {
+			name = r.Name
+		}
+		obs.FlightRec().Record(obs.FlightSample, name, int64(off))
+	}
+}
+
+// find returns the range containing off, or nil.
+func (mi *modIndex) find(off int32) *vm.UnwindRange {
+	i := sort.Search(len(mi.ranges), func(k int) bool { return mi.ranges[k].Start > off })
+	if i == 0 {
+		return nil
+	}
+	r := &mi.ranges[i-1]
+	if off >= r.Start && off < r.End {
+		return r
+	}
+	return nil
+}
+
+// Profile resolves the accumulated samples into a Profile. s supplies the
+// period and total sample count (which includes samples the collector never
+// saw, e.g. if it was attached late); arch and query label the capture.
+func (c *Collector) Profile(arch, query string, s *vm.Sampler) *Profile {
+	p := &Profile{Schema: Schema, Arch: arch, Query: query}
+	if s != nil {
+		p.Period = s.Period
+		p.Samples = s.Samples
+	}
+	type agg struct {
+		prov    FuncProv
+		samples int64
+		offs    map[int32]int64 // function-relative
+	}
+	byName := map[string]*agg{}
+	var seen int64
+	for _, mi := range c.mods {
+		for off, n := range mi.counts {
+			seen += n
+			r := mi.find(off)
+			if r == nil {
+				p.Unattributed += n
+				continue
+			}
+			fp := FuncProv{Name: r.Name, Pipeline: -1}
+			if r.Func >= 0 && int(r.Func) < len(c.prov) {
+				fp = c.prov[r.Func]
+			}
+			if fp.Operator == "" {
+				p.Unattributed += n
+			}
+			a := byName[fp.Name]
+			if a == nil {
+				a = &agg{prov: fp, offs: map[int32]int64{}}
+				byName[fp.Name] = a
+			}
+			a.samples += n
+			a.offs[off-r.Start] += n
+		}
+	}
+	// Samples taken before the collector attached (or discarded by a nil
+	// Hit) are unattributed.
+	if p.Samples < seen {
+		p.Samples = seen
+	}
+	p.Unattributed += p.Samples - seen
+	for _, a := range byName {
+		fp := FuncProfile{FuncProv: a.prov, Samples: a.samples}
+		for off, n := range a.offs {
+			fp.Offsets = append(fp.Offsets, OffsetCount{Off: off, Samples: n})
+		}
+		sort.Slice(fp.Offsets, func(i, j int) bool { return fp.Offsets[i].Off < fp.Offsets[j].Off })
+		p.Funcs = append(p.Funcs, fp)
+	}
+	p.sortFuncs()
+	return p
+}

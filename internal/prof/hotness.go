@@ -1,0 +1,31 @@
+package prof
+
+import "qcc/internal/obs"
+
+// Hotness is the counting side of the profiler: per-function executed-
+// instruction totals, updated concurrently from execution and read by the
+// adaptive back-end as its tier-promotion signal. Weighting by executed
+// instructions (rather than raw call counts) makes one call into a hot loop
+// count for what it costs: a function called three times over a million rows
+// promotes, a tiny helper called a thousand times does not.
+type Hotness struct {
+	v *obs.Vector
+}
+
+// NewHotness creates hotness counters for n functions.
+func NewHotness(name string, n int) *Hotness {
+	return &Hotness{v: obs.NewVector(name, n)}
+}
+
+// Add accumulates instrs executed instructions to function fn and returns
+// the new total.
+func (h *Hotness) Add(fn int, instrs int64) int64 { return h.v.Add(fn, instrs) }
+
+// Load returns function fn's executed-instruction total.
+func (h *Hotness) Load(fn int) int64 { return h.v.Load(fn) }
+
+// Len returns the function count.
+func (h *Hotness) Len() int { return h.v.Len() }
+
+// Total sums all functions.
+func (h *Hotness) Total() int64 { return h.v.Total() }

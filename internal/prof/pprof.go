@@ -1,0 +1,159 @@
+package prof
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// WritePprof emits the profile in the pprof protobuf format (gzipped, as
+// `go tool pprof` expects on disk). The encoder is hand-rolled over the
+// subset of perftools.profiles.Profile we need — sample/location/function
+// tables plus a string table — to keep the repo dependency-free.
+//
+// Each sampled (function, offset) pair becomes one Location whose synthetic
+// address is the module byte offset; the location's line carries the
+// function name, rendered as "operator | function" when provenance is
+// available so pprof's flat view groups by plan operator.
+func (p *Profile) WritePprof(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(encodePprof(p)); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// encodePprof builds the uncompressed protobuf message.
+func encodePprof(p *Profile) []byte {
+	var b protoBuf
+	st := newStrTab()
+
+	// Field 1: sample_type = {type: "vm_instructions", unit: "count"}.
+	var vt protoBuf
+	vt.tagVarint(1, st.id("vm_instructions"))
+	vt.tagVarint(2, st.id("instructions"))
+	b.tagBytes(1, vt.buf)
+
+	// Function and location tables: one function per profiled function,
+	// one location per distinct sampled offset.
+	type locKey struct {
+		fn  string
+		off int32
+	}
+	fnID := map[string]uint64{}
+	var fnOrder []string
+	locID := map[locKey]uint64{}
+	var locOrder []locKey
+
+	addSample := func(fn string, off int32, count int64) {
+		if _, ok := fnID[fn]; !ok {
+			fnID[fn] = uint64(len(fnOrder) + 1)
+			fnOrder = append(fnOrder, fn)
+		}
+		k := locKey{fn, off}
+		if _, ok := locID[k]; !ok {
+			locID[k] = uint64(len(locOrder) + 1)
+			locOrder = append(locOrder, k)
+		}
+		// Field 2: sample = {location_id: [loc], value: [count]}.
+		var s protoBuf
+		s.tagVarint(1, locID[k])
+		s.tagVarint(2, uint64(count))
+		b.tagBytes(2, s.buf)
+	}
+	for i := range p.Funcs {
+		f := &p.Funcs[i]
+		label := f.Name
+		if f.Operator != "" {
+			label = f.Operator + " | " + f.Name
+		}
+		if len(f.Offsets) == 0 && f.Samples > 0 {
+			addSample(label, 0, f.Samples)
+		}
+		for _, oc := range f.Offsets {
+			addSample(label, oc.Off, oc.Samples)
+		}
+	}
+	if p.Unattributed > 0 {
+		addSample("?", 0, p.Unattributed)
+	}
+
+	// Field 4: location entries.
+	for _, k := range locOrder {
+		var loc protoBuf
+		loc.tagVarint(1, locID[k])
+		loc.tagVarint(3, uint64(uint32(k.off))) // address
+		var line protoBuf
+		line.tagVarint(1, fnID[k.fn])
+		loc.tagBytes(4, line.buf)
+		b.tagBytes(4, loc.buf)
+	}
+	// Field 5: function entries.
+	for _, fn := range fnOrder {
+		var f protoBuf
+		f.tagVarint(1, fnID[fn])
+		f.tagVarint(2, st.id(fn))
+		b.tagBytes(5, f.buf)
+	}
+
+	// Field 11/12: period_type + period (instructions between samples).
+	var pt protoBuf
+	pt.tagVarint(1, st.id("vm_instructions"))
+	pt.tagVarint(2, st.id("instructions"))
+	b.tagBytes(11, pt.buf)
+	b.tagVarint(12, uint64(p.Period))
+
+	// Field 6: string_table — must start with "".
+	var out protoBuf
+	for _, s := range st.strs {
+		out.tagBytes(6, []byte(s))
+	}
+	out.buf = append(out.buf, b.buf...)
+	return out.buf
+}
+
+// protoBuf is a minimal protobuf wire-format writer.
+type protoBuf struct{ buf []byte }
+
+func (b *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		b.buf = append(b.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	b.buf = append(b.buf, byte(v))
+}
+
+// tagVarint writes field `field` with wire type 0 (varint).
+func (b *protoBuf) tagVarint(field int, v uint64) {
+	if v == 0 {
+		return // proto3 default, omitted
+	}
+	b.varint(uint64(field)<<3 | 0)
+	b.varint(v)
+}
+
+// tagBytes writes field `field` with wire type 2 (length-delimited).
+func (b *protoBuf) tagBytes(field int, v []byte) {
+	b.varint(uint64(field)<<3 | 2)
+	b.varint(uint64(len(v)))
+	b.buf = append(b.buf, v...)
+}
+
+// strTab interns strings; index 0 is the mandatory empty string.
+type strTab struct {
+	strs []string
+	ids  map[string]uint64
+}
+
+func newStrTab() *strTab {
+	return &strTab{strs: []string{""}, ids: map[string]uint64{"": 0}}
+}
+
+func (t *strTab) id(s string) uint64 {
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id := uint64(len(t.strs))
+	t.strs = append(t.strs, s)
+	t.ids[s] = id
+	return id
+}

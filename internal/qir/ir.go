@@ -296,6 +296,28 @@ func (b *BasicBlock) Terminator() Value {
 	return b.List[len(b.List)-1]
 }
 
+// Prov is the provenance record attaching an IR function back to the source
+// construct it was generated from: the pipeline it belongs to, the plan
+// operator path that produced it, and a SQL-ish fragment of that operator.
+// Provenance is metadata only — it is deliberately excluded from back-end
+// cache keys (which hash the explicit code-bearing fields), so enabling it
+// cannot perturb compiled code. The zero value means "no provenance"
+// (hand-built test modules, runtime stubs).
+type Prov struct {
+	// Pipeline is the codegen pipeline index the function belongs to, or -1
+	// for functions outside any pipeline (e.g. sort comparators).
+	Pipeline int
+	// Operator is the plan-operator path, innermost last, truncated at the
+	// nearest enclosing pipeline breaker (e.g. "scan(lineitem) > select >
+	// groupby").
+	Operator string
+	// SQL is a best-effort SQL fragment for the innermost operator.
+	SQL string
+	// Role distinguishes the function's job within its pipeline: "setup",
+	// "main", "cleanup", or "comparator".
+	Role string
+}
+
 // Func is one IR function.
 type Func struct {
 	Name   string
@@ -308,6 +330,10 @@ type Func struct {
 	Extra []int32
 	// I128 holds lo/hi pairs for OpConst128.
 	I128 []uint64
+
+	// Prov records which plan operator generated this function; metadata
+	// only, never hashed into unit cache keys.
+	Prov Prov
 
 	mod *Module
 }

@@ -10,6 +10,13 @@ import (
 // debugging and golden tests.
 func (f *Func) String() string {
 	var sb strings.Builder
+	if f.Prov.Operator != "" {
+		fmt.Fprintf(&sb, "; prov: pipeline=%d role=%s op=%s", f.Prov.Pipeline, f.Prov.Role, f.Prov.Operator)
+		if f.Prov.SQL != "" {
+			fmt.Fprintf(&sb, " sql=%q", f.Prov.SQL)
+		}
+		sb.WriteByte('\n')
+	}
 	fmt.Fprintf(&sb, "define %s @%s(", f.Ret, f.Name)
 	for i, p := range f.Params {
 		if i > 0 {

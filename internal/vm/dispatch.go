@@ -470,6 +470,12 @@ func (m *Machine) runFused(mod *Module, fp *fprog, start int32) error {
 	ins := fp.ins
 	stepsAll := fp.steps
 	guardsAll := fp.guards
+	// PC sampling shares the branch micro-ops as checkpoints (cf. run): a
+	// nil test when off, a two-load compare when armed. pc0 gives the exact
+	// original instruction index, so fused and unfused execution attribute
+	// samples to identical code positions.
+	sm := m.sampler
+	offs := mod.Prog.Offsets
 	var count, branches, memops int64
 	defer func() {
 		m.Executed += count
@@ -496,11 +502,17 @@ func (m *Machine) runFused(mod *Module, fp *fprog, start int32) error {
 			stepRun(stepsAll[in.imm:in.imm+int64(in.cnt)], R, F, mem)
 			memops += int64(in.rc)
 			branches++
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[in.pc0+int32(in.n)-1], m.Executed+count)
+			}
 			fpc = in.tgt
 		case xRunBrCC:
 			stepRun(stepsAll[in.imm:in.imm+int64(in.cnt)], R, F, mem)
 			memops += int64(in.rc)
 			branches++
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[in.pc0+int32(in.n)-1], m.Executed+count)
+			}
 			if evalCond(in.cond, R[in.ra], R[in.rb]) {
 				fpc = in.tgt
 			}
@@ -508,6 +520,9 @@ func (m *Machine) runFused(mod *Module, fp *fprog, start int32) error {
 			stepRun(stepsAll[in.imm:in.imm+int64(in.cnt)], R, F, mem)
 			memops += int64(in.rc)
 			branches++
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[in.pc0+int32(in.n)-1], m.Executed+count)
+			}
 			if R[in.ra] != 0 {
 				fpc = in.tgt
 			}
@@ -539,6 +554,9 @@ func (m *Machine) runFused(mod *Module, fp *fprog, start int32) error {
 			stepRun(stepsAll[in.imm:in.imm+int64(in.cnt)], R, F, mem)
 			memops += int64(in.rc)
 			branches++
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[in.pc0+int32(in.n)-1], m.Executed+count)
+			}
 			fpc = in.tgt
 		case xG1RunBrCC:
 			a := R[in.ra]
@@ -553,6 +571,9 @@ func (m *Machine) runFused(mod *Module, fp *fprog, start int32) error {
 			stepRun(stepsAll[in.imm:in.imm+int64(in.cnt)], R, F, mem)
 			memops += int64(in.rc)
 			branches++
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[in.pc0+int32(in.n)-1], m.Executed+count)
+			}
 			if evalCond(in.cond, R[in.ra], R[in.rb]) {
 				fpc = in.tgt
 			}
@@ -569,6 +590,9 @@ func (m *Machine) runFused(mod *Module, fp *fprog, start int32) error {
 			stepRun(stepsAll[in.imm:in.imm+int64(in.cnt)], R, F, mem)
 			memops += int64(in.rc)
 			branches++
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[in.pc0+int32(in.n)-1], m.Executed+count)
+			}
 			if R[in.ra] != 0 {
 				fpc = in.tgt
 			}
@@ -596,6 +620,9 @@ func (m *Machine) runFused(mod *Module, fp *fprog, start int32) error {
 			fpc = in.tgt
 		case xCmpBr:
 			branches++
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[in.pc0+int32(in.n)-1], m.Executed+count)
+			}
 			if evalCond(in.cond, R[in.ra], R[in.rb]) {
 				R[in.rd] = 1
 				fpc = in.tgt
@@ -604,6 +631,9 @@ func (m *Machine) runFused(mod *Module, fp *fprog, start int32) error {
 			}
 		case xFCmpBr:
 			branches++
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[in.pc0+int32(in.n)-1], m.Executed+count)
+			}
 			if evalFCond(in.cond, F[in.ra], F[in.rb]) {
 				R[in.rd] = 1
 				fpc = in.tgt
@@ -665,18 +695,30 @@ func (m *Machine) runFused(mod *Module, fp *fprog, start int32) error {
 		// ---- control flow ----
 		case uint8(vt.Br):
 			branches++
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[in.pc0+int32(in.n)-1], m.Executed+count)
+			}
 			fpc = in.tgt
 		case uint8(vt.BrCC):
 			branches++
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[in.pc0+int32(in.n)-1], m.Executed+count)
+			}
 			if evalCond(in.cond, R[in.ra], R[in.rb]) {
 				fpc = in.tgt
 			}
 		case uint8(vt.BrNZ):
 			branches++
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[in.pc0+int32(in.n)-1], m.Executed+count)
+			}
 			if R[in.ra] != 0 {
 				fpc = in.tgt
 			}
 		case uint8(vt.Call):
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[in.pc0+int32(in.n)-1], m.Executed+count)
+			}
 			m.callPCs = append(m.callPCs, in.pc0)
 			m.fret = append(m.fret, int32(in.imm2))
 			fpc = in.tgt
@@ -687,6 +729,9 @@ func (m *Machine) runFused(mod *Module, fp *fprog, start int32) error {
 			fpc = st.fuCallRT(in, fpc)
 			mem = st.mem // runtime call may have grown memory
 		case uint8(vt.Ret):
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[in.pc0+int32(in.n)-1], m.Executed+count)
+			}
 			if len(m.fret) == st.fretBase {
 				return st.err
 			}

@@ -18,6 +18,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"qcc/internal/obs"
 	"qcc/internal/vt"
 )
 
@@ -54,6 +55,11 @@ type UnwindRange struct {
 	// CFI is the encoded call-frame information; the machine only needs
 	// it for symbolizing traps, but back-ends must produce it.
 	CFI []byte
+	// Func is the index of the qir function this range was compiled from,
+	// or -1 for ranges without a source function (e.g. linker-generated
+	// stubs). It lets the profiler map a sampled PC back to the provenance
+	// table without relying on symbol-name matching.
+	Func int32
 }
 
 // Module is loaded, decoded machine code.
@@ -119,6 +125,11 @@ func (mod *Module) RegisterUnwind(ranges []UnwindRange) {
 	mod.unwind = append(mod.unwind, ranges...)
 }
 
+// Unwind returns the registered PC-range table (shared slice; callers must
+// not mutate it). The profiler uses it to map sampled byte offsets back to
+// the compiled function.
+func (mod *Module) Unwind() []UnwindRange { return mod.unwind }
+
 func (mod *Module) symbolize(off int32) string {
 	for i := range mod.unwind {
 		r := &mod.unwind[i]
@@ -164,6 +175,7 @@ type Machine struct {
 	callPCs  []int32 // return-address stack (instruction indices)
 	fret     []int32 // fused-engine return stack (micro-op indices), in lockstep with callPCs
 	callback func(addr uint64, args ...uint64) ([2]uint64, error)
+	sampler  *Sampler
 }
 
 // Config controls Machine creation.
@@ -266,8 +278,20 @@ func (m *Machine) Call(mod *Module, entry int32, args ...uint64) ([2]uint64, err
 	}
 	m.depth--
 	m.mod = prevMod
-	if t, ok := err.(*Trap); ok && len(t.Frames) == 0 {
-		t.Frames = append(t.Frames, mod.symbolize(t.PC))
+	if t, ok := err.(*Trap); ok {
+		if len(t.Frames) == 0 {
+			t.Frames = append(t.Frames, mod.symbolize(t.PC))
+		}
+		// Record top-level traps in the always-on flight recorder so a
+		// crashing query leaves a post-mortem trail next to the most
+		// recent samples and spans.
+		if m.depth == 0 {
+			frame := ""
+			if len(t.Frames) > 0 {
+				frame = t.Frames[0]
+			}
+			obs.FlightRec().Record(obs.FlightTrap, t.Code.String()+" at "+frame, int64(t.PC))
+		}
 	}
 	return [2]uint64{m.R[m.target.IntRet[0]], m.R[m.target.IntRet[1]]}, err
 }
@@ -332,6 +356,10 @@ func (m *Machine) run(mod *Module, pc int32) error {
 		// the length test and panic on the slice index (cf. Machine.Bytes).
 		return a, a >= nullGuard && a+n <= uint64(len(mem)) && a+n >= a
 	}
+
+	// PC sampling is checked at branch checkpoints only (see Sampler); sm
+	// is nil on the default path, making the check one predictable test.
+	sm := m.sampler
 
 	for {
 		in := &instrs[pc]
@@ -516,21 +544,33 @@ func (m *Machine) run(mod *Module, pc int32) error {
 			}
 		case vt.Br:
 			branches++
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[pc], m.Executed+count)
+			}
 			pc = bidx[pc]
 			continue
 		case vt.BrCC:
 			branches++
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[pc], m.Executed+count)
+			}
 			if evalCond(in.Cond, R[in.RA], R[in.RB]) {
 				pc = bidx[pc]
 				continue
 			}
 		case vt.BrNZ:
 			branches++
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[pc], m.Executed+count)
+			}
 			if R[in.RA] != 0 {
 				pc = bidx[pc]
 				continue
 			}
 		case vt.Call:
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[pc], m.Executed+count)
+			}
 			m.callPCs = append(m.callPCs, pc)
 			pc = bidx[pc]
 			continue
@@ -565,6 +605,9 @@ func (m *Machine) run(mod *Module, pc int32) error {
 			}
 			mem = m.Mem // runtime call may have grown memory
 		case vt.Ret:
+			if sm != nil && m.Executed+count >= sm.next {
+				sm.take(mod, offs[pc], m.Executed+count)
+			}
 			if len(m.callPCs) == callBase {
 				return nil
 			}
