@@ -16,6 +16,17 @@
 #      geomean sampling overhead exceeds 10% (generous at CI's tiny scale
 #      factor, where per-query times are microseconds and noisy; the
 #      EXPERIMENTS.md numbers at sf 0.05 are the honest measurement)
+#   9. the static-analysis lint gate: qlint over TPC-H on both targets must
+#      report zero findings (unreachable blocks, dead stores, always-trap
+#      accesses, range contradictions) in the generated QIR
+#  10. the check-elimination gates: the strict unchecked differential (every
+#      eliminated check re-validated at runtime across all back-ends, both
+#      archs, under the race detector) plus qbench checkelim -checkelim-gate
+#      0.3, which fails when less than 30% of Q1/Q6 static checks are proven
+#      redundant
+#
+# The unchecked-conservation check (QIR marks must survive into every
+# back-end's machine code) runs inside step 5 as part of qverify.
 #
 # The fused-vs-unfused conformance gate (identical results, counters and
 # trap PCs on every TPC-H query, all back-ends, both archs) runs inside
@@ -64,5 +75,16 @@ done
 
 echo "== qbench prof overhead gate (sf 0.01, budget 10%) =="
 go run ./cmd/qbench -sf 0.01 -runs 3 -prof-budget 10 prof
+
+echo "== qlint (tpch, vx64 + va64) =="
+go run ./cmd/qlint -sf 0.01 -workload tpch
+go run ./cmd/qlint -sf 0.01 -workload tpch -arch va64
+
+echo "== strict unchecked differential (-race) =="
+go test -race ./internal/backend/conformance/ \
+	-run 'TestStrictUncheckedTPCHDifferential|TestAdversarialTrapCorpus|TestStrictCatchesBadElimination' -count=1
+
+echo "== qbench checkelim gate (sf 0.01, >= 30% on q1/q6) =="
+go run ./cmd/qbench -sf 0.01 -runs 2 -checkelim-gate 0.3 checkelim >/dev/null
 
 echo "== ci.sh: all checks passed =="

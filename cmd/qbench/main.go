@@ -6,7 +6,13 @@
 //	       [-cache-mb 0] [-json file] [-check] [-nofuse] <experiment>...
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7
-// ablate-llvm fallbacks scaling cachewarm exec prof all
+// ablate-llvm fallbacks scaling cachewarm exec prof checkelim all
+//
+// The checkelim experiment measures what the compile-time check-elimination
+// pass buys at execution time: every TPC-H query compiled with and without
+// its statically proven unchecked marks, per back-end. -checkelim-json
+// writes its qcc.bench.checkelim/v1 report; -checkelim-gate R fails the run
+// when Q1 or Q6 falls below an elimination ratio of R (the CI gate).
 //
 // The prof experiment measures the VM profiler itself: per-query sampling
 // overhead (sampler off vs on) and operator attribution over the TPC-H
@@ -55,6 +61,8 @@ func main() {
 	profJSON := flag.String("prof-json", "", "write the prof experiment's profiler report (schema qcc.bench.prof/v1) to this file")
 	profPeriod := flag.Int64("prof-period", 0, "prof experiment sampling period in VM instructions (0 = default)")
 	profBudget := flag.Float64("prof-budget", 0, "fail (exit 1) if the prof experiment's geomean sampling overhead exceeds this percentage (0 = no gate)")
+	checkElimJSON := flag.String("checkelim-json", "", "write the checkelim experiment's report (schema qcc.bench.checkelim/v1) to this file")
+	checkElimGate := flag.Float64("checkelim-gate", 0, "fail (exit 1) if the checkelim experiment eliminates less than this fraction of q1/q6 static checks (0 = no gate)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -137,6 +145,33 @@ func main() {
 				defer f.Close()
 				if err := jrep.Write(f); err != nil {
 					return nil, err
+				}
+			}
+			return rep, nil
+		}},
+		{"checkelim", func() (*bench.Report, error) {
+			rep, jrep, err := bench.CheckElimCost(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if *checkElimJSON != "" {
+				f, err := os.Create(*checkElimJSON)
+				if err != nil {
+					return nil, err
+				}
+				defer f.Close()
+				if err := jrep.Write(f); err != nil {
+					return nil, err
+				}
+			}
+			if *checkElimGate > 0 {
+				for _, eng := range jrep.Engines {
+					for _, q := range eng.Queries {
+						if (q.Name == "q1" || q.Name == "q6") && q.Ratio < *checkElimGate {
+							return nil, fmt.Errorf("%s/%s: elimination ratio %.2f below gate %.2f",
+								eng.Engine, q.Name, q.Ratio, *checkElimGate)
+						}
+					}
 				}
 			}
 			return rep, nil

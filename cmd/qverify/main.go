@@ -91,11 +91,13 @@ func main() {
 	}
 	sort.Strings(names)
 
-	// Stage 1: QIR verification of every query module.
+	// Stage 1: QIR verification of every query module, plus the static
+	// analyzer's lint — generated code must produce zero findings.
 	w, err := bench.NewWorldLoaded(cfg, *workload)
 	if err != nil {
 		fail("load %s: %v", *workload, err)
 	}
+	uncheckedQIR := map[string]int{}
 	for _, q := range queries {
 		c, err := codegen.Compile(q.Name, q.Build(), w.Cat)
 		if err != nil {
@@ -104,8 +106,17 @@ func main() {
 		if err := c.Module.VerifyModule(); err != nil {
 			fail("qir %s: %v", q.Name, err)
 		}
+		if n := len(c.Elim.Findings); n > 0 {
+			for _, f := range c.Elim.Findings {
+				fmt.Fprintf(os.Stderr, "qverify: sa %s: %s\n", q.Name, f)
+			}
+			fail("sa %s: %d lint findings in generated code", q.Name, n)
+		}
+		for _, f := range c.Module.Funcs {
+			uncheckedQIR[q.Name] += codegen.UncheckedCount(f)
+		}
 	}
-	fmt.Printf("qverify: qir: %d %s modules verified (%s)\n", len(queries), *workload, cfg.Arch)
+	fmt.Printf("qverify: qir: %d %s modules verified, sa lint clean (%s)\n", len(queries), *workload, cfg.Arch)
 
 	// Stage 2: checked compiles, collecting per-function summaries.
 	sums := map[string]map[string][]mcv.FuncSummary{}
@@ -130,8 +141,14 @@ func main() {
 				fail("%s/%s: %v", ename, q.Name, err)
 			}
 			sums[ename][q.Name] = stats.Summaries
+			if d := mcv.UncheckedConservation(ename, uncheckedQIR[q.Name], stats.Summaries); len(d) > 0 {
+				for _, diag := range d {
+					fmt.Fprintf(os.Stderr, "qverify: %s/%s: %s\n", ename, q.Name, diag)
+				}
+				os.Exit(1)
+			}
 		}
-		fmt.Printf("qverify: %s: %d queries compiled clean (regalloc check + lint)\n", ename, len(queries))
+		fmt.Printf("qverify: %s: %d queries compiled clean (regalloc check + lint + unchecked conservation)\n", ename, len(queries))
 	}
 
 	// Stage 3: cross-backend differential against the clift baseline.

@@ -128,10 +128,13 @@ var riOps = map[string]vt.Op{
 var loadOps = map[string]vt.Op{
 	"ld8": vt.Load8, "ld8s": vt.Load8S, "ld16s": vt.Load16S,
 	"ld32s": vt.Load32S, "ld64": vt.Load64,
+	"ldu8": vt.LoadU8, "ldu8s": vt.LoadU8S, "ldu16s": vt.LoadU16S,
+	"ldu32s": vt.LoadU32S, "ldu64": vt.LoadU64,
 }
 
 var storeOps = map[string]vt.Op{
 	"st8": vt.Store8, "st16": vt.Store16, "st32": vt.Store32, "st64": vt.Store64,
+	"stu8": vt.StoreU8, "stu16": vt.StoreU16, "stu32": vt.StoreU32, "stu64": vt.StoreU64,
 }
 
 var fOps = map[string]vt.Op{
@@ -251,16 +254,24 @@ func emitAsmLine(asmb vt.Assembler, f []string, label func(string) vt.Label, rel
 			return err
 		}
 		asmb.Emit(vt.Instr{Op: storeOps[op], RA: ra, RB: rb, Imm: v})
-	case op == "fld":
+	case op == "fld" || op == "fldu":
 		rd, _ := reg(1)
 		ra, _ := reg(2)
 		v, _ := imm(3)
-		asmb.Emit(vt.Instr{Op: vt.FLoad, RD: rd, RA: ra, Imm: v})
-	case op == "fst":
+		fop := vt.FLoad
+		if op == "fldu" {
+			fop = vt.FLoadU
+		}
+		asmb.Emit(vt.Instr{Op: fop, RD: rd, RA: ra, Imm: v})
+	case op == "fst" || op == "fstu":
 		ra, _ := reg(1)
 		v, _ := imm(2)
 		rb, _ := reg(3)
-		asmb.Emit(vt.Instr{Op: vt.FStore, RA: ra, RB: rb, Imm: v})
+		fop := vt.FStore
+		if op == "fstu" {
+			fop = vt.FStoreU
+		}
+		asmb.Emit(vt.Instr{Op: fop, RA: ra, RB: rb, Imm: v})
 	case fOps[op] != 0:
 		rd, _ := reg(1)
 		ra, _ := reg(2)

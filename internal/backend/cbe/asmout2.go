@@ -111,14 +111,14 @@ func (g *asmgen) inst(t *tac) error {
 		addr := g.use(t.a)
 		if t.ct == ctI128 {
 			dlo, dhi := g.defPair(t.dst)
-			g.ins("ld64 r%d, r%d, 0", dlo, addr)
-			g.ins("ld64 r%d, r%d, 8", dhi, addr)
+			g.ins("%s r%d, r%d, 0", uqMnem("ld64", t.unchecked), dlo, addr)
+			g.ins("%s r%d, r%d, 8", uqMnem("ld64", t.unchecked), dhi, addr)
 		} else if t.ct == ctF64 {
 			d := g.def(t.dst)
-			g.ins("fld f%d, r%d, 0", d, addr)
+			g.ins("%s f%d, r%d, 0", uqMnem("fld", t.unchecked), d, addr)
 		} else {
 			d := g.def(t.dst)
-			g.ins("%s r%d, r%d, 0", loadMnemonic(t.ct), d, addr)
+			g.ins("%s r%d, r%d, 0", uqMnem(loadMnemonic(t.ct), t.unchecked), d, addr)
 			if t.ct == ctI1 {
 				g.mov3i("andi", d, d, 1)
 			}
@@ -129,14 +129,14 @@ func (g *asmgen) inst(t *tac) error {
 		switch t.ct {
 		case ctI128:
 			lo, hi := g.usePair(t.b)
-			g.ins("st64 r%d, 0, r%d", addr, lo)
-			g.ins("st64 r%d, 8, r%d", addr, hi)
+			g.ins("%s r%d, 0, r%d", uqMnem("st64", t.unchecked), addr, lo)
+			g.ins("%s r%d, 8, r%d", uqMnem("st64", t.unchecked), addr, hi)
 		case ctF64:
 			f := g.useF(t.b)
-			g.ins("fst r%d, 0, f%d", addr, f)
+			g.ins("%s r%d, 0, f%d", uqMnem("fst", t.unchecked), addr, f)
 		default:
 			v := g.use(t.b)
-			g.ins("%s r%d, 0, r%d", storeMnemonic(t.ct), addr, v)
+			g.ins("%s r%d, 0, r%d", uqMnem(storeMnemonic(t.ct), t.unchecked), addr, v)
 		}
 		g.unpin()
 	case gAddrOf:
@@ -165,6 +165,22 @@ func loadMnemonic(t cType) string {
 		return "ld32s"
 	}
 	return "ld64"
+}
+
+// uqMnem rewrites a memory mnemonic to its unchecked form ("ld64" ->
+// "ldu64", "st8" -> "stu8", "fld" -> "fldu"), matching the vt op names.
+func uqMnem(m string, unchecked bool) string {
+	if !unchecked {
+		return m
+	}
+	switch m {
+	case "fld":
+		return "fldu"
+	case "fst":
+		return "fstu"
+	}
+	// ldNN[s] / stNN -> lduNN[s] / stuNN.
+	return m[:2] + "u" + m[2:]
 }
 
 func storeMnemonic(t cType) string {

@@ -73,11 +73,14 @@ type tac struct {
 	bin   gBinKind
 	pred  string
 	unsig bool
-	rtid  uint32
-	bi    builtinKind
-	sym   string
-	label int32
-	args  []int32
+	// unchecked marks gLoad/gStore whose check was statically discharged;
+	// the assembler output uses the unchecked machine ops for them.
+	unchecked bool
+	rtid      uint32
+	bi        builtinKind
+	sym       string
+	label     int32
+	args      []int32
 }
 
 type gimpleFunc struct {
@@ -172,7 +175,7 @@ func gimplify(fn *cfunc) (*gimpleFunc, error) {
 				return -1, err
 			}
 			d := newVar(loadedType(e.ct))
-			emit(tac{op: gLoad, dst: d, a: a, b: -1, ct: e.ct})
+			emit(tac{op: gLoad, dst: d, a: a, b: -1, ct: e.ct, unchecked: e.unchecked})
 			return d, nil
 		case eBin:
 			a, err := flatten(e.l, want)
@@ -238,7 +241,7 @@ func gimplify(fn *cfunc) (*gimpleFunc, error) {
 			if err != nil {
 				return nil, err
 			}
-			emit(tac{op: gStore, dst: -1, a: addr, b: val, ct: st.ct})
+			emit(tac{op: gStore, dst: -1, a: addr, b: val, ct: st.ct, unchecked: st.unchecked})
 		case sAssign:
 			lhs, ok := vars[st.name]
 			if !ok {

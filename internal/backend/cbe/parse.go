@@ -60,8 +60,11 @@ type cexpr struct {
 	name string
 	op   string
 	ct   cType
-	l, r *cexpr
-	args []*cexpr
+	// unchecked marks loads whose deref type carried the __unchecked
+	// qualifier: bounds/null checks were discharged at compile time.
+	unchecked bool
+	l, r      *cexpr
+	args      []*cexpr
 }
 
 // Statement AST.
@@ -80,11 +83,12 @@ const (
 )
 
 type cstmt struct {
-	kind skind
-	ct   cType
-	name string // var, label
-	addr *cexpr // store address
-	rhs  *cexpr
+	kind      skind
+	ct        cType
+	unchecked bool   // __unchecked-qualified store
+	name      string // var, label
+	addr      *cexpr // store address
+	rhs       *cexpr
 }
 
 type cparam struct {
@@ -316,11 +320,22 @@ func (p *parser) parseStmt() ([]cstmt, error) {
 	return nil, fmt.Errorf("cbe: parse error at %d: cannot start statement with %q", t.pos, name)
 }
 
+// eatUnchecked consumes an optional __unchecked qualifier before the type
+// in a deref cast and reports whether it was present.
+func (p *parser) eatUnchecked() bool {
+	if t := p.peek(); t.kind == tIdent && t.text == "__unchecked" {
+		p.advance()
+		return true
+	}
+	return false
+}
+
 func (p *parser) parseStore() ([]cstmt, error) {
 	p.advance() // '*'
 	if err := p.expect("("); err != nil {
 		return nil, err
 	}
+	unchecked := p.eatUnchecked()
 	ct, ok := p.isType(p.peek())
 	if !ok {
 		return nil, fmt.Errorf("cbe: parse error at %d: expected type in store", p.peek().pos)
@@ -352,7 +367,7 @@ func (p *parser) parseStore() ([]cstmt, error) {
 	if err := p.expect(";"); err != nil {
 		return nil, err
 	}
-	return []cstmt{{kind: sStore, ct: ct, addr: addr, rhs: rhs}}, nil
+	return []cstmt{{kind: sStore, ct: ct, unchecked: unchecked, addr: addr, rhs: rhs}}, nil
 }
 
 // Expression parsing by precedence climbing.
@@ -402,11 +417,12 @@ func (p *parser) parseUnary() (*cexpr, error) {
 			}
 			return &cexpr{kind: eUn, op: t.text, l: sub}, nil
 		case "*":
-			// Load: *(T*)(expr)
+			// Load: *(T*)(expr) or *(__unchecked T*)(expr)
 			p.advance()
 			if err := p.expect("("); err != nil {
 				return nil, err
 			}
+			unchecked := p.eatUnchecked()
 			ct, ok := p.isType(p.peek())
 			if !ok {
 				return nil, fmt.Errorf("cbe: parse error at %d: expected type in load", p.peek().pos)
@@ -428,7 +444,7 @@ func (p *parser) parseUnary() (*cexpr, error) {
 			if err := p.expect(")"); err != nil {
 				return nil, err
 			}
-			return &cexpr{kind: eLoad, ct: ct, l: addr}, nil
+			return &cexpr{kind: eLoad, ct: ct, unchecked: unchecked, l: addr}, nil
 		case "&":
 			p.advance()
 			name, err := p.expectIdent()

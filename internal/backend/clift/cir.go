@@ -170,9 +170,12 @@ func (o Op) hasSideEffects() bool {
 
 // Inst is one fixed-size CIR instruction.
 type Inst struct {
-	Op      Op
-	Args    [3]Val
-	Imm     int64
+	Op   Op
+	Args [3]Val
+	Imm  int64
+	// Aux is the condition code on Icmp, the callee on calls — and on
+	// memory operations the check-elimination flag (1 = lower to the
+	// unchecked vt op).
 	Aux     uint32
 	Res     [2]Val
 	ExtraAt int32

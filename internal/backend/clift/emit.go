@@ -393,7 +393,8 @@ func (e *emitter) inst(in *vinst) error {
 		e.asm.Emit(vt.Instr{Op: vt.SetCC, Cond: in.cond, RD: rd, RA: ra, RB: rb})
 		flush()
 
-	case vt.Load8, vt.Load8S, vt.Load16, vt.Load16S, vt.Load32, vt.Load32S, vt.Load64:
+	case vt.Load8, vt.Load8S, vt.Load16, vt.Load16S, vt.Load32, vt.Load32S, vt.Load64,
+		vt.LoadU8, vt.LoadU8S, vt.LoadU16, vt.LoadU16S, vt.LoadU32, vt.LoadU32S, vt.LoadU64:
 		ra, err := resolve(in.ra, ClassInt, e.s0)
 		if err != nil {
 			return err
@@ -404,7 +405,8 @@ func (e *emitter) inst(in *vinst) error {
 		}
 		e.asm.Emit(vt.Instr{Op: in.op, RD: rd, RA: ra, Imm: in.imm})
 		flush()
-	case vt.Store8, vt.Store16, vt.Store32, vt.Store64:
+	case vt.Store8, vt.Store16, vt.Store32, vt.Store64,
+		vt.StoreU8, vt.StoreU16, vt.StoreU32, vt.StoreU64:
 		ra, err := resolve(in.ra, ClassInt, e.s0)
 		if err != nil {
 			return err
@@ -414,7 +416,7 @@ func (e *emitter) inst(in *vinst) error {
 			return err
 		}
 		e.asm.Emit(vt.Instr{Op: in.op, RA: ra, RB: rb, Imm: in.imm})
-	case vt.FLoad:
+	case vt.FLoad, vt.FLoadU:
 		ra, err := resolve(in.ra, ClassInt, e.s0)
 		if err != nil {
 			return err
@@ -423,9 +425,9 @@ func (e *emitter) inst(in *vinst) error {
 		if err != nil {
 			return err
 		}
-		e.asm.Emit(vt.Instr{Op: vt.FLoad, RD: rd, RA: ra, Imm: in.imm})
+		e.asm.Emit(vt.Instr{Op: in.op, RD: rd, RA: ra, Imm: in.imm})
 		flush()
-	case vt.FStore:
+	case vt.FStore, vt.FStoreU:
 		ra, err := resolve(in.ra, ClassInt, e.s0)
 		if err != nil {
 			return err
@@ -434,7 +436,7 @@ func (e *emitter) inst(in *vinst) error {
 		if err != nil {
 			return err
 		}
-		e.asm.Emit(vt.Instr{Op: vt.FStore, RA: ra, RB: rb, Imm: in.imm})
+		e.asm.Emit(vt.Instr{Op: in.op, RA: ra, RB: rb, Imm: in.imm})
 
 	case vt.FAdd, vt.FSub, vt.FMul, vt.FDiv:
 		ra, err := resolve(in.ra, ClassFloat, e.fs0)

@@ -40,6 +40,17 @@ var vBinOpImm = map[Op]vt.Op{
 	OpIshl: vt.ShlI, OpUshr: vt.ShrI, OpSshr: vt.SarI, OpRotr: vt.RotrI,
 }
 
+// memVOp maps a memory op to its unchecked variant when the CIR instruction
+// carries the check-elimination flag (Aux 1 on memory ops).
+func memVOp(o vt.Op, in *Inst) vt.Op {
+	if in.Aux != 0 {
+		if u, ok := vt.UncheckedMemOf(o); ok {
+			return u
+		}
+	}
+	return o
+}
+
 var vLoadOp = map[Op]vt.Op{
 	OpLoad8U: vt.Load8, OpLoad8S: vt.Load8S, OpLoad16S: vt.Load16S,
 	OpLoad32S: vt.Load32S, OpLoad64: vt.Load64,
@@ -156,14 +167,14 @@ func (lo *lowerer) lowerInst(b, idx int32, in *Inst) error {
 
 	case OpLoad8U, OpLoad8S, OpLoad16S, OpLoad32S, OpLoad64:
 		base, disp := lo.amode(in.Args[0])
-		v := mk(vLoadOp[in.Op])
+		v := mk(memVOp(vLoadOp[in.Op], in))
 		v.rd = lo.val(in.Res[0])
 		v.ra = base
 		v.imm = disp
 		lo.emit(v)
 	case OpFload:
 		base, disp := lo.amode(in.Args[0])
-		v := mk(vt.FLoad)
+		v := mk(memVOp(vt.FLoad, in))
 		v.rd = lo.val(in.Res[0])
 		v.ra = base
 		v.imm = disp
@@ -171,14 +182,14 @@ func (lo *lowerer) lowerInst(b, idx int32, in *Inst) error {
 		lo.emit(v)
 	case OpStore8, OpStore16, OpStore32, OpStore64:
 		base, disp := lo.amode(in.Args[0])
-		v := mk(vStoreOp[in.Op])
+		v := mk(memVOp(vStoreOp[in.Op], in))
 		v.ra = base
 		v.rb = lo.val(in.Args[1])
 		v.imm = disp
 		lo.emit(v)
 	case OpFstore:
 		base, disp := lo.amode(in.Args[0])
-		v := mk(vt.FStore)
+		v := mk(memVOp(vt.FStore, in))
 		v.ra = base
 		v.rb = lo.val(in.Args[1])
 		v.imm = disp

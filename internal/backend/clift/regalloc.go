@@ -85,16 +85,18 @@ func visitOperands(in *vinst, fn opndFn) {
 		use(&in.ra, ClassInt)
 		use(&in.rb, ClassInt)
 		def(&in.rd, ClassInt)
-	case vt.Load8, vt.Load8S, vt.Load16, vt.Load16S, vt.Load32, vt.Load32S, vt.Load64:
+	case vt.Load8, vt.Load8S, vt.Load16, vt.Load16S, vt.Load32, vt.Load32S, vt.Load64,
+		vt.LoadU8, vt.LoadU8S, vt.LoadU16, vt.LoadU16S, vt.LoadU32, vt.LoadU32S, vt.LoadU64:
 		use(&in.ra, ClassInt)
 		def(&in.rd, ClassInt)
-	case vt.Store8, vt.Store16, vt.Store32, vt.Store64:
+	case vt.Store8, vt.Store16, vt.Store32, vt.Store64,
+		vt.StoreU8, vt.StoreU16, vt.StoreU32, vt.StoreU64:
 		use(&in.ra, ClassInt)
 		use(&in.rb, ClassInt)
-	case vt.FLoad:
+	case vt.FLoad, vt.FLoadU:
 		use(&in.ra, ClassInt)
 		def(&in.rd, ClassFloat)
-	case vt.FStore:
+	case vt.FStore, vt.FStoreU:
 		use(&in.ra, ClassInt)
 		use(&in.rb, ClassFloat)
 	case vt.FAdd, vt.FSub, vt.FMul, vt.FDiv:

@@ -148,6 +148,20 @@ func (tr *translator) op2(op Op, a, b Val) Val {
 	return tr.emit(Inst{Op: op, Args: [3]Val{a, b, noVal}}, 1, ClassInt).Res[0]
 }
 
+// memAux converts a QIR instruction's check-elimination mark into the Aux
+// flag CIR memory operations carry (Aux 1 = unchecked).
+func memAux(in *qir.Instr) uint32 {
+	if in.Unchecked() {
+		return 1
+	}
+	return 0
+}
+
+// mem1 emits a single-result memory operation with the given Aux flag.
+func (tr *translator) mem1(op Op, a Val, aux uint32) Val {
+	return tr.emit(Inst{Op: op, Args: [3]Val{a, noVal, noVal}, Aux: aux}, 1, ClassInt).Res[0]
+}
+
 func (tr *translator) fop2(op Op, a, b Val) Val {
 	return tr.emit(Inst{Op: op, Args: [3]Val{a, b, noVal}}, 1, ClassFloat).Res[0]
 }
@@ -384,43 +398,45 @@ func (tr *translator) inst(v qir.Value, in *qir.Instr) error {
 
 	case qir.OpLoad:
 		addr := tr.lo(in.A)
+		uc := memAux(in)
 		switch in.Type {
 		case qir.I128, qir.Str:
-			lo := tr.op1(OpLoad64, addr)
+			lo := tr.mem1(OpLoad64, addr, uc)
 			hiAddr := tr.op2(OpIadd, addr, tr.iconst(8))
-			tr.setPair(v, lo, tr.op1(OpLoad64, hiAddr))
+			tr.setPair(v, lo, tr.mem1(OpLoad64, hiAddr, uc))
 		case qir.F64:
-			tr.set(v, tr.fop2(OpFload, addr, noVal))
+			tr.set(v, tr.emit(Inst{Op: OpFload, Args: [3]Val{addr, noVal, noVal}, Aux: uc}, 1, ClassFloat).Res[0])
 		case qir.I1:
-			tr.set(v, tr.op2(OpBand, tr.op1(OpLoad8U, addr), tr.iconst(1)))
+			tr.set(v, tr.op2(OpBand, tr.mem1(OpLoad8U, addr, uc), tr.iconst(1)))
 		case qir.I8:
-			tr.set(v, tr.op1(OpLoad8S, addr))
+			tr.set(v, tr.mem1(OpLoad8S, addr, uc))
 		case qir.I16:
-			tr.set(v, tr.op1(OpLoad16S, addr))
+			tr.set(v, tr.mem1(OpLoad16S, addr, uc))
 		case qir.I32:
-			tr.set(v, tr.op1(OpLoad32S, addr))
+			tr.set(v, tr.mem1(OpLoad32S, addr, uc))
 		default:
-			tr.set(v, tr.op1(OpLoad64, addr))
+			tr.set(v, tr.mem1(OpLoad64, addr, uc))
 		}
 
 	case qir.OpStore:
 		addr := tr.lo(in.A)
+		uc := memAux(in)
 		switch t := f.ValueType(in.B); t {
 		case qir.I128, qir.Str:
 			lo, hi := tr.pair(in.B)
-			tr.emit(Inst{Op: OpStore64, Args: [3]Val{addr, lo, noVal}}, 0, ClassInt)
+			tr.emit(Inst{Op: OpStore64, Args: [3]Val{addr, lo, noVal}, Aux: uc}, 0, ClassInt)
 			hiAddr := tr.op2(OpIadd, addr, tr.iconst(8))
-			tr.emit(Inst{Op: OpStore64, Args: [3]Val{hiAddr, hi, noVal}}, 0, ClassInt)
+			tr.emit(Inst{Op: OpStore64, Args: [3]Val{hiAddr, hi, noVal}, Aux: uc}, 0, ClassInt)
 		case qir.F64:
-			tr.emit(Inst{Op: OpFstore, Args: [3]Val{addr, tr.lo(in.B), noVal}}, 0, ClassInt)
+			tr.emit(Inst{Op: OpFstore, Args: [3]Val{addr, tr.lo(in.B), noVal}, Aux: uc}, 0, ClassInt)
 		case qir.I1, qir.I8:
-			tr.emit(Inst{Op: OpStore8, Args: [3]Val{addr, tr.lo(in.B), noVal}}, 0, ClassInt)
+			tr.emit(Inst{Op: OpStore8, Args: [3]Val{addr, tr.lo(in.B), noVal}, Aux: uc}, 0, ClassInt)
 		case qir.I16:
-			tr.emit(Inst{Op: OpStore16, Args: [3]Val{addr, tr.lo(in.B), noVal}}, 0, ClassInt)
+			tr.emit(Inst{Op: OpStore16, Args: [3]Val{addr, tr.lo(in.B), noVal}, Aux: uc}, 0, ClassInt)
 		case qir.I32:
-			tr.emit(Inst{Op: OpStore32, Args: [3]Val{addr, tr.lo(in.B), noVal}}, 0, ClassInt)
+			tr.emit(Inst{Op: OpStore32, Args: [3]Val{addr, tr.lo(in.B), noVal}, Aux: uc}, 0, ClassInt)
 		default:
-			tr.emit(Inst{Op: OpStore64, Args: [3]Val{addr, tr.lo(in.B), noVal}}, 0, ClassInt)
+			tr.emit(Inst{Op: OpStore64, Args: [3]Val{addr, tr.lo(in.B), noVal}, Aux: uc}, 0, ClassInt)
 		}
 
 	case qir.OpAtomicAdd:

@@ -1,0 +1,214 @@
+package conformance_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"qcc/internal/backend"
+	"qcc/internal/backend/interp"
+	"qcc/internal/bench"
+	"qcc/internal/codegen"
+	"qcc/internal/qir"
+	"qcc/internal/rt"
+	"qcc/internal/sa"
+	"qcc/internal/vm"
+	"qcc/internal/vt"
+)
+
+// runSuiteStrictMode compiles and executes every TPC-H query with one engine
+// on a fresh world, optionally in StrictUnchecked mode (every eliminated
+// bounds/null check is re-verified at runtime and raises TrapElimCheck if it
+// would have fired).
+func runSuiteStrictMode(t *testing.T, arch vt.Arch, eng backend.Engine, strict bool) map[string]queryOutcome {
+	t.Helper()
+	cfg := bench.DefaultConfig()
+	cfg.Arch = arch
+	cfg.SF = 0.01
+	cfg.MemMB = 256
+	w, err := bench.NewWorldLoaded(cfg, "tpch")
+	if err != nil {
+		t.Fatalf("load tpch: %v", err)
+	}
+	w.DB.M.StrictUnchecked = strict
+	out := map[string]queryOutcome{}
+	w.DB.Checkpoint()
+	for _, q := range bench.HQueries() {
+		c, err := codegen.Compile(q.Name, q.Build(), w.Cat)
+		if err != nil {
+			t.Fatalf("codegen %s: %v", q.Name, err)
+		}
+		if c.Elim.Unchecked == 0 {
+			t.Fatalf("%s: check elimination proved nothing; the strict differential would be vacuous", q.Name)
+		}
+		ex, _, err := eng.Compile(c.Module, &backend.Env{DB: w.DB, Arch: arch})
+		if err != nil {
+			t.Fatalf("%s/%s: compile: %v", eng.Name(), q.Name, err)
+		}
+		w.DB.ResetQueryState()
+		var o queryOutcome
+		if err := codegen.Run(w.DB, w.Cat, c, ex.Call); err != nil {
+			o.Err = err.Error()
+		}
+		o.Rows = w.DB.Out.Canonical()
+		out[q.Name] = o
+		w.DB.ResetToCheckpoint()
+	}
+	return out
+}
+
+// TestStrictUncheckedTPCHDifferential is the safety differential for the
+// compile-time check-elimination pass: every TPC-H query runs on every
+// back-end with trap-on-eliminated-check instrumentation enabled. A single
+// TrapElimCheck means the static analysis discharged a check that could
+// fire — an unsoundness — so any error fails the test, and result rows must
+// be byte-identical to the uninstrumented interpreter reference.
+func TestStrictUncheckedTPCHDifferential(t *testing.T) {
+	for _, arch := range []vt.Arch{vt.VX64, vt.VA64} {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			ref := runSuiteStrictMode(t, arch, interp.New(), false)
+			for _, eng := range bench.Engines(arch) {
+				eng := eng
+				t.Run(eng.Name(), func(t *testing.T) {
+					got := runSuiteStrictMode(t, arch, eng, true)
+					for name, r := range ref {
+						g, ok := got[name]
+						if !ok {
+							t.Errorf("%s: missing from strict run", name)
+							continue
+						}
+						if g.Err != "" {
+							t.Errorf("%s: strict run trapped: %s", name, g.Err)
+							continue
+						}
+						if !reflect.DeepEqual(g.Rows, r.Rows) {
+							t.Errorf("%s: strict rows differ from reference\n strict (%d rows): %.6v\n    ref (%d rows): %.6v",
+								name, len(g.Rows), g.Rows, len(r.Rows), r.Rows)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// trapCase is one adversarial program: a hand-built QIR function whose
+// memory access must trap at runtime, with the arguments that make it trap.
+type trapCase struct {
+	name string
+	// build constructs function 0 of a fresh module.
+	build func(m *qir.Module)
+	args  []uint64
+	want  vt.TrapCode
+}
+
+const trapMem = 16 << 20
+
+func loadFunc(m *qir.Module) {
+	b := qir.NewFunc(m, "f", qir.I64, qir.Ptr)
+	b.Ret(b.Load(qir.I64, b.Param(0)))
+}
+
+func storeFunc(m *qir.Module) {
+	b := qir.NewFunc(m, "f", qir.I64, qir.Ptr)
+	b.Store(b.Param(0), b.ConstInt(qir.I64, 1))
+	b.Ret(b.ConstInt(qir.I64, 0))
+}
+
+func trapCorpus() []trapCase {
+	return []trapCase{
+		{name: "load-far-oob", build: loadFunc, args: []uint64{1 << 40}, want: vt.TrapOOB},
+		{name: "load-null-page", build: loadFunc, args: []uint64{8}, want: vt.TrapOOB},
+		{name: "load-straddles-end", build: loadFunc, args: []uint64{trapMem - 4}, want: vt.TrapOOB},
+		{name: "store-far-oob", build: storeFunc, args: []uint64{1 << 40}, want: vt.TrapOOB},
+		{name: "store-null-page", build: storeFunc, args: []uint64{0}, want: vt.TrapOOB},
+	}
+}
+
+// TestAdversarialTrapCorpus feeds every engine programs whose accesses
+// genuinely trap. The static analysis must refuse to discharge their checks
+// (the address is an unconstrained parameter), and every back-end must raise
+// the identical trap code — with and without the strict instrumentation,
+// since behavior on checked accesses may not depend on it.
+func TestAdversarialTrapCorpus(t *testing.T) {
+	for _, tc := range trapCorpus() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			// Analysis soundness: no fact justifies eliminating the check.
+			mod := qir.NewModule(tc.name)
+			tc.build(mod)
+			if err := mod.VerifyModule(); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			a := sa.Analyze(mod.Funcs[0], sa.NewFacts())
+			for _, acc := range a.Accesses() {
+				if acc.Safe {
+					t.Fatalf("analysis marked access %%%d safe; its address is an arbitrary parameter", acc.V)
+				}
+			}
+			for _, arch := range []vt.Arch{vt.VX64, vt.VA64} {
+				for _, strict := range []bool{false, true} {
+					for _, eng := range bench.Engines(arch) {
+						m := vm.New(vm.Config{Arch: arch, MemSize: trapMem})
+						m.StrictUnchecked = strict
+						db := rt.NewDB(m)
+						mod := qir.NewModule(tc.name)
+						tc.build(mod)
+						ex, _, err := eng.Compile(mod, &backend.Env{DB: db, Arch: arch})
+						if err != nil {
+							t.Fatalf("%s/%s strict=%v: compile: %v", eng.Name(), arch, strict, err)
+						}
+						_, err = ex.Call(0, tc.args...)
+						var trap *vm.Trap
+						if !errors.As(err, &trap) {
+							t.Fatalf("%s/%s strict=%v: want a trap, got %v", eng.Name(), arch, strict, err)
+						}
+						if trap.Code != tc.want {
+							t.Errorf("%s/%s strict=%v: trap %s, want %s", eng.Name(), arch, strict, trap.Code, tc.want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStrictCatchesBadElimination plants a deliberately wrong MemUnchecked
+// mark (the address is out of bounds at runtime) and verifies the strict
+// instrumentation converts it to TrapElimCheck on every back-end — this is
+// the detector the safety differential relies on.
+func TestStrictCatchesBadElimination(t *testing.T) {
+	for _, arch := range []vt.Arch{vt.VX64, vt.VA64} {
+		for _, eng := range bench.Engines(arch) {
+			m := vm.New(vm.Config{Arch: arch, MemSize: trapMem})
+			m.StrictUnchecked = true
+			db := rt.NewDB(m)
+			mod := qir.NewModule("badelim")
+			loadFunc(mod)
+			f := mod.Funcs[0]
+			marked := 0
+			for i := range f.Instrs {
+				if f.Instrs[i].Op == qir.OpLoad {
+					f.Instrs[i].SetUnchecked()
+					marked++
+				}
+			}
+			if marked != 1 {
+				t.Fatalf("marked %d loads, want 1", marked)
+			}
+			ex, _, err := eng.Compile(mod, &backend.Env{DB: db, Arch: arch})
+			if err != nil {
+				t.Fatalf("%s/%s: compile: %v", eng.Name(), arch, err)
+			}
+			_, err = ex.Call(0, uint64(1)<<40)
+			var trap *vm.Trap
+			if !errors.As(err, &trap) {
+				t.Fatalf("%s/%s: want TrapElimCheck, got %v", eng.Name(), arch, err)
+			}
+			if trap.Code != vt.TrapElimCheck {
+				t.Errorf("%s/%s: trap %s, want %s", eng.Name(), arch, trap.Code, vt.TrapElimCheck)
+			}
+		}
+	}
+}

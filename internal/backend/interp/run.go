@@ -3,6 +3,7 @@ package interp
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"qcc/internal/qir"
 	"qcc/internal/rt"
@@ -12,8 +13,23 @@ import (
 
 // Call implements backend.Exec. Narrow integer values are kept
 // sign-extended to 64 bits; I128 and Str occupy two words.
-func (x *exec) Call(fn int, args ...uint64) ([2]uint64, error) {
+//
+// The deferred guard mirrors the VM's runGuarded: accesses whose check the
+// static analysis eliminated run without a software bounds test, so if the
+// analysis was wrong the slice index faults — reported as TrapElimCheck
+// rather than crashing the host. Deliberate interpreter panics (malformed
+// bytecode) are not runtime errors and still propagate.
+func (x *exec) Call(fn int, args ...uint64) (res [2]uint64, err error) {
 	x.m.SetCallback(x.callback)
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(runtime.Error); ok {
+				res, err = [2]uint64{}, &vm.Trap{Code: vt.TrapElimCheck, Msg: re.Error()}
+				return
+			}
+			panic(r)
+		}
+	}()
 	return x.run(fn, args)
 }
 
@@ -237,20 +253,22 @@ func (x *exec) run(fn int, args []uint64) ([2]uint64, error) {
 			}
 			store(vals, in.A, addr)
 		case qir.OpLoad:
-			if err := x.load(in.Type, fetch(vals, in.S), vals[2*in.A:2*in.A+2]); err != nil {
+			if err := x.load(in.Type, fetch(vals, in.S), vals[2*in.A:2*in.A+2],
+				in.Aux&qir.MemUnchecked != 0); err != nil {
 				return [2]uint64{}, err
 			}
 		case qir.OpStore:
-			if err := x.storeRaw(in.Type, fetch(vals, in.S), fetch(vals, in.B), fetchHi(vals, in.B)); err != nil {
+			if err := x.storeRaw(in.Type, fetch(vals, in.S), fetch(vals, in.B), fetchHi(vals, in.B),
+				in.Aux&qir.MemUnchecked != 0); err != nil {
 				return [2]uint64{}, err
 			}
 		case qir.OpAtomicAdd:
 			var tmp [2]uint64
-			if err := x.load(in.Type, fetch(vals, in.S), tmp[:]); err != nil {
+			if err := x.load(in.Type, fetch(vals, in.S), tmp[:], false); err != nil {
 				return [2]uint64{}, err
 			}
 			nv := canon(in.Type, tmp[0]+fetch(vals, in.B))
-			if err := x.storeRaw(in.Type, fetch(vals, in.S), nv, 0); err != nil {
+			if err := x.storeRaw(in.Type, fetch(vals, in.S), nv, 0, false); err != nil {
 				return [2]uint64{}, err
 			}
 			store(vals, in.A, tmp[0])
@@ -280,11 +298,27 @@ func (x *exec) run(fn int, args []uint64) ([2]uint64, error) {
 	return [2]uint64{}, fmt.Errorf("interp: %s: fell off end of bytecode", f.name)
 }
 
-func (x *exec) storeRaw(t qir.Type, addr, lo, hi uint64) error {
+// memCheck validates one access; unchecked accesses skip it entirely unless
+// the machine is in StrictUnchecked differential mode, where an eliminated
+// check that would have fired raises TrapElimCheck instead of TrapOOB.
+func (x *exec) memCheck(addr, n uint64, unchecked bool, what string) error {
+	if unchecked && !x.m.StrictUnchecked {
+		return nil
+	}
+	if addr < 4096 || addr+n > uint64(len(x.m.Mem)) {
+		if unchecked {
+			return &vm.Trap{Code: vt.TrapElimCheck, Msg: what}
+		}
+		return &vm.Trap{Code: vt.TrapOOB, Msg: what}
+	}
+	return nil
+}
+
+func (x *exec) storeRaw(t qir.Type, addr, lo, hi uint64, unchecked bool) error {
 	mem := x.m.Mem
 	n := uint64(t.Size())
-	if addr < 4096 || addr+n > uint64(len(mem)) {
-		return &vm.Trap{Code: vt.TrapOOB, Msg: "store"}
+	if err := x.memCheck(addr, n, unchecked, "store"); err != nil {
+		return err
 	}
 	switch t {
 	case qir.I1, qir.I8:
@@ -305,11 +339,11 @@ func (x *exec) storeRaw(t qir.Type, addr, lo, hi uint64) error {
 	return nil
 }
 
-func (x *exec) load(t qir.Type, addr uint64, dst []uint64) error {
+func (x *exec) load(t qir.Type, addr uint64, dst []uint64, unchecked bool) error {
 	mem := x.m.Mem
 	n := uint64(t.Size())
-	if addr < 4096 || addr+n > uint64(len(mem)) {
-		return &vm.Trap{Code: vt.TrapOOB, Msg: "load"}
+	if err := x.memCheck(addr, n, unchecked, "load"); err != nil {
+		return err
 	}
 	switch t {
 	case qir.I1:

@@ -54,6 +54,9 @@ type dnode struct {
 	// legalized halves for wide nodes.
 	lo, hi *dnode
 
+	// unchecked carries the LIR check-elimination mark for loads/stores.
+	unchecked bool
+
 	// emission state.
 	visited bool
 	res     mval
@@ -101,7 +104,7 @@ func (dag *selectionDAG) lowerRange(b *Block, from, to int, mb int32) error {
 		}
 		n := &dnode{
 			op: in.Op, ty: in.Typ, pred: in.Pred, imm: in.Imm, imm2: in.Imm2,
-			scale: in.Scale, rtid: in.RTID, intr: in.Intr,
+			scale: in.Scale, rtid: in.RTID, intr: in.Intr, unchecked: in.Unchecked,
 		}
 		if in.Op == LOpFuncAddr {
 			n.sym = int32(in.Imm)

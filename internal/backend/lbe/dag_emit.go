@@ -256,7 +256,7 @@ func (dag *selectionDAG) emitNode(n *dnode) error {
 		if wideType(n.ty) {
 			mv.b = dag.temp()
 		}
-		dag.lowerLoad(n.ty, mv, addr, disp)
+		dag.lowerLoad(n.ty, mv, addr, disp, n.unchecked)
 		n.res = mv
 	case LOpStore:
 		addr, disp, err := dag.emitAddr(n.ops[0])
@@ -266,19 +266,19 @@ func (dag *selectionDAG) emitNode(n *dnode) error {
 		if err := dag.emitNode(n.ops[1]); err != nil {
 			return err
 		}
-		dag.lowerStore(n.ops[1].ty, n.ops[1].res, addr, disp)
+		dag.lowerStore(n.ops[1].ty, n.ops[1].res, addr, disp, n.unchecked)
 	case LOpAtomicRMWAdd:
 		if err := emitOps(); err != nil {
 			return err
 		}
 		addr := n.ops[0].res.a
 		old := dag.temp()
-		dag.lowerLoad(n.ty, mval{a: old, b: mnone}, addr, 0)
+		dag.lowerLoad(n.ty, mval{a: old, b: mnone}, addr, 0, false)
 		sum := dag.temp()
 		dag.emit3(vt.Add, sum, old, n.ops[1].res.a)
 		t := dag.temp()
 		dag.canonInto(n.ty.Bits, t, sum)
-		dag.lowerStore(n.ty, mval{a: t, b: mnone}, addr, 0)
+		dag.lowerStore(n.ty, mval{a: t, b: mnone}, addr, 0, false)
 		n.res = mval{a: old, b: mnone}
 
 	case LOpSelect:

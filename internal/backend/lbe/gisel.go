@@ -39,6 +39,8 @@ type ginst struct {
 	// phi incoming values.
 	phiSrcs   []gvr
 	phiBlocks []int32
+	// unchecked carries the LIR check-elimination mark for loads/stores.
+	unchecked bool
 }
 
 type gfunc struct {
@@ -119,6 +121,7 @@ func (g *gISel) irTranslate(fn *Fn) (*gfunc, error) {
 				srcs: [3]gvr{gnone, gnone, gnone},
 				imm:  in.Imm, imm2: in.Imm2, scale: in.Scale,
 				pred: in.Pred, rtid: in.RTID, intr: in.Intr, sym: -1,
+				unchecked: in.Unchecked,
 			}
 			if in.Op == LOpFuncAddr {
 				gi.sym = int32(in.Imm)
@@ -307,10 +310,10 @@ func (g *gISel) legalize(gf *gfunc) error {
 				emit(ginst{op: LOpSelect, ty: TI64, dst: dhi, dst2: gnone, srcs: [3]gvr{gi.srcs[0], xhi, yhi}, sym: -1})
 			case LOpLoad:
 				dlo, dhi := half(gi.dst)
-				emit(ginst{op: gopLoadPair, ty: TI64, dst: dlo, dst2: dhi, srcs: [3]gvr{gi.srcs[0], gnone, gnone}, sym: -1})
+				emit(ginst{op: gopLoadPair, ty: TI64, dst: dlo, dst2: dhi, srcs: [3]gvr{gi.srcs[0], gnone, gnone}, sym: -1, unchecked: gi.unchecked})
 			case LOpStore:
 				vlo, vhi := half(gi.srcs[1])
-				emit(ginst{op: gopStorePair, ty: TVoid, dst: gnone, dst2: gnone, srcs: [3]gvr{gi.srcs[0], vlo, vhi}, sym: -1})
+				emit(ginst{op: gopStorePair, ty: TVoid, dst: gnone, dst2: gnone, srcs: [3]gvr{gi.srcs[0], vlo, vhi}, sym: -1, unchecked: gi.unchecked})
 			case LOpPhi:
 				dlo, dhi := half(gi.dst)
 				plo := ginst{op: LOpPhi, ty: TI64, dst: dlo, dst2: gnone, srcs: [3]gvr{gnone, gnone, gnone}, phiBlocks: gi.phiBlocks, sym: -1}

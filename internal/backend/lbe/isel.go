@@ -368,11 +368,11 @@ func (fi *fastISel) lowerFast(in *Instr) error {
 	case LOpLoad:
 		addr := is.getVal(in.Ops[0]).a
 		mv := is.getVal(in)
-		is.lowerLoad(in.Typ, mv, addr, 0)
+		is.lowerLoad(in.Typ, mv, addr, 0, in.Unchecked)
 	case LOpStore:
 		addr := is.getVal(in.Ops[0]).a
 		val := in.Ops[1]
-		is.lowerStore(val.Typ, is.getVal(val), addr, 0)
+		is.lowerStore(val.Typ, is.getVal(val), addr, 0, in.Unchecked)
 
 	case LOpSelect:
 		is.lowerSelect(is.getVal(in), is.getVal(in.Ops[0]).a,
@@ -447,15 +447,26 @@ func (is *isel) lowerGEP(in *Instr) {
 	}
 }
 
-func (is *isel) lowerLoad(t *Type, mv mval, addr mreg, disp int64) {
+// uncheckedOp maps a checked memory op to its unchecked variant when the
+// originating LIR instruction carried the check-elimination mark.
+func uncheckedOp(op vt.Op, unchecked bool) vt.Op {
+	if unchecked {
+		if u, ok := vt.UncheckedMemOf(op); ok {
+			return u
+		}
+	}
+	return op
+}
+
+func (is *isel) lowerLoad(t *Type, mv mval, addr mreg, disp int64, unchecked bool) {
 	switch {
 	case t.Kind == KDouble:
-		m := newMinst(vt.FLoad)
+		m := newMinst(uncheckedOp(vt.FLoad, unchecked))
 		m.rd, m.ra, m.imm = mv.a, addr, disp
 		is.emit(m)
 	case wideType(t):
-		is.emitImm(vt.Load64, mv.a, addr, disp)
-		is.emitImm(vt.Load64, mv.b, addr, disp+8)
+		is.emitImm(uncheckedOp(vt.Load64, unchecked), mv.a, addr, disp)
+		is.emitImm(uncheckedOp(vt.Load64, unchecked), mv.b, addr, disp+8)
 	default:
 		var op vt.Op
 		switch t.Bits {
@@ -470,16 +481,16 @@ func (is *isel) lowerLoad(t *Type, mv mval, addr mreg, disp int64) {
 		default:
 			op = vt.Load64
 		}
-		is.emitImm(op, mv.a, addr, disp)
+		is.emitImm(uncheckedOp(op, unchecked), mv.a, addr, disp)
 		if t.Bits == 1 {
 			is.emitImm(vt.AndI, mv.a, mv.a, 1)
 		}
 	}
 }
 
-func (is *isel) lowerStore(t *Type, mv mval, addr mreg, disp int64) {
+func (is *isel) lowerStore(t *Type, mv mval, addr mreg, disp int64, unchecked bool) {
 	st := func(op vt.Op, src mreg, d int64) {
-		m := newMinst(op)
+		m := newMinst(uncheckedOp(op, unchecked))
 		m.ra, m.rb, m.imm = addr, src, d
 		is.emit(m)
 	}

@@ -70,7 +70,7 @@ func newTargetMachine(arch vt.Arch) *targetMachine {
 			pi.latency = 3
 		case vt.SDiv, vt.SRem, vt.UDiv, vt.URem, vt.FDiv:
 			pi.latency = 20
-		case vt.Load64, vt.Load32, vt.FLoad:
+		case vt.Load64, vt.Load32, vt.FLoad, vt.LoadU64, vt.LoadU32, vt.FLoadU:
 			pi.latency = 4
 		}
 		switch op {

@@ -228,8 +228,12 @@ type Instr struct {
 	Imm2  int64 // i128 constant high half
 	Pred  uint8 // comparison predicate
 	Scale int64 // GEP scale
-	RTID  uint32
-	Intr  IntrinsicID
+	// Unchecked marks loads/stores whose bounds/null check was discharged
+	// at compile time (qir.MemUnchecked); selectors emit the unchecked
+	// machine ops for them.
+	Unchecked bool
+	RTID      uint32
+	Intr      IntrinsicID
 	// Blocks for terminators: Then/Else (or single target in Then).
 	Then, Else *Block
 	// Incoming blocks for phis, parallel to Ops.

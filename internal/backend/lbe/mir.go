@@ -150,16 +150,18 @@ func visitMOperands(in *minst, fn func(r *mreg, isDef bool, cls regClass)) {
 		use(&in.ra, rcInt)
 		use(&in.rb, rcInt)
 		def(&in.rd, rcInt)
-	case vt.Load8, vt.Load8S, vt.Load16, vt.Load16S, vt.Load32, vt.Load32S, vt.Load64:
+	case vt.Load8, vt.Load8S, vt.Load16, vt.Load16S, vt.Load32, vt.Load32S, vt.Load64,
+		vt.LoadU8, vt.LoadU8S, vt.LoadU16, vt.LoadU16S, vt.LoadU32, vt.LoadU32S, vt.LoadU64:
 		use(&in.ra, rcInt)
 		def(&in.rd, rcInt)
-	case vt.Store8, vt.Store16, vt.Store32, vt.Store64:
+	case vt.Store8, vt.Store16, vt.Store32, vt.Store64,
+		vt.StoreU8, vt.StoreU16, vt.StoreU32, vt.StoreU64:
 		use(&in.ra, rcInt)
 		use(&in.rb, rcInt)
-	case vt.FLoad:
+	case vt.FLoad, vt.FLoadU:
 		use(&in.ra, rcInt)
 		def(&in.rd, rcFloat)
-	case vt.FStore:
+	case vt.FStore, vt.FStoreU:
 		use(&in.ra, rcInt)
 		use(&in.rb, rcFloat)
 	case vt.FAdd, vt.FSub, vt.FMul, vt.FDiv:

@@ -119,25 +119,27 @@ func (bld *irBuilder) inst(qb qir.BlockID, v qir.Value, in *qir.Instr) error {
 
 	case qir.OpLoad:
 		addr := bld.a(in.A)
+		uc := in.Unchecked()
 		if in.Type == qir.Str && !bld.cfg.StructPairs {
-			lo := bld.append(&Instr{Op: LOpLoad, Typ: TI64, Ops: []*Instr{addr}})
+			lo := bld.append(&Instr{Op: LOpLoad, Typ: TI64, Ops: []*Instr{addr}, Unchecked: uc})
 			hiAddr := bld.append(&Instr{Op: LOpGEP, Typ: TPtr, Imm: 8, Ops: []*Instr{addr}})
-			hi := bld.append(&Instr{Op: LOpLoad, Typ: TI64, Ops: []*Instr{hiAddr}})
+			hi := bld.append(&Instr{Op: LOpLoad, Typ: TI64, Ops: []*Instr{hiAddr}, Unchecked: uc})
 			bld.setPair(v, lo, hi)
 		} else {
-			bld.set(v, bld.append(&Instr{Op: LOpLoad, Typ: typeOf(in.Type), Ops: []*Instr{addr}}))
+			bld.set(v, bld.append(&Instr{Op: LOpLoad, Typ: typeOf(in.Type), Ops: []*Instr{addr}, Unchecked: uc}))
 		}
 
 	case qir.OpStore:
 		addr := bld.a(in.A)
 		t := qf.ValueType(in.B)
+		uc := in.Unchecked()
 		if t == qir.Str && !bld.cfg.StructPairs {
 			lo, hi := bld.vals[in.B].a, bld.vals[in.B].b
-			bld.append(&Instr{Op: LOpStore, Typ: TVoid, Ops: []*Instr{addr, lo}})
+			bld.append(&Instr{Op: LOpStore, Typ: TVoid, Ops: []*Instr{addr, lo}, Unchecked: uc})
 			hiAddr := bld.append(&Instr{Op: LOpGEP, Typ: TPtr, Imm: 8, Ops: []*Instr{addr}})
-			bld.append(&Instr{Op: LOpStore, Typ: TVoid, Ops: []*Instr{hiAddr, hi}})
+			bld.append(&Instr{Op: LOpStore, Typ: TVoid, Ops: []*Instr{hiAddr, hi}, Unchecked: uc})
 		} else {
-			bld.append(&Instr{Op: LOpStore, Typ: TVoid, Ops: []*Instr{addr, bld.a(in.B)}})
+			bld.append(&Instr{Op: LOpStore, Typ: TVoid, Ops: []*Instr{addr, bld.a(in.B)}, Unchecked: uc})
 		}
 
 	case qir.OpAtomicAdd:

@@ -36,6 +36,12 @@ type Config struct {
 	// updated afterwards. Back-ends whose ModuleCompiler reports an empty
 	// Variant are never cached.
 	Cache *Cache
+	// VariantTag, when non-empty, is appended to the back-end's variant
+	// string before key derivation. Callers use it to fold IR-pass
+	// configuration (e.g. the check-elimination pass version) into cache
+	// keys, so entries compiled under different pass semantics never
+	// collide.
+	VariantTag string
 }
 
 var (
@@ -88,6 +94,9 @@ func (e *Engine) Compile(mod *qir.Module, env *backend.Env) (backend.Exec, *back
 	// derivation reads the runtime's string-intern table, and determinism
 	// is easiest to see when the section's inputs are fixed up front).
 	variant := mc.Variant()
+	if variant != "" && e.cfg.VariantTag != "" {
+		variant += "+" + e.cfg.VariantTag
+	}
 	useCache := e.cfg.Cache != nil && variant != ""
 	var keys []string
 	var hits, misses int64

@@ -73,7 +73,10 @@ func (c Config) WrapEngine(eng backend.Engine, cache *pcc.Cache) backend.Engine 
 	if jobs == 1 && cache == nil {
 		return eng
 	}
-	return pcc.Wrap(eng, pcc.Config{Jobs: jobs, Cache: cache})
+	// The check-elimination pass version participates in cache keys:
+	// entries compiled under different elimination semantics (different
+	// unchecked marks for identical QIR inputs) must never collide.
+	return pcc.Wrap(eng, pcc.Config{Jobs: jobs, Cache: cache, VariantTag: codegen.CheckElimVersion})
 }
 
 // BackendOptions translates the config into per-compilation options.
@@ -144,6 +147,14 @@ type QueryMeasurement struct {
 	// FuseMicroOps/FuseInstrs.
 	FuseInstrs   int64
 	FuseMicroOps int64
+	// StaticMemOps/ChecksElim summarize the compile-time check-elimination
+	// pass over the query's QIR: static loads+stores vs how many had their
+	// bounds/null check discharged. LintFindings counts sa diagnostics
+	// (expected 0 for generated code); AnalysisNs is analysis+rewrite time.
+	StaticMemOps int
+	ChecksElim   int
+	LintFindings int
+	AnalysisNs   int64
 }
 
 // EngineRun is the per-engine outcome over a suite.
@@ -250,6 +261,8 @@ func RunSuiteTraced(w *World, eng backend.Engine, arch vt.Arch, queries []Query,
 			Name: q.Name, Compile: stats.WallClock(), Exec: best, Rows: rows,
 			Executed: executed, Branches: branches, MemOps: memops,
 			FuseInstrs: fuseInstrs, FuseMicroOps: fuseMicro,
+			StaticMemOps: c.Elim.MemOps, ChecksElim: c.Elim.Unchecked,
+			LintFindings: len(c.Elim.Findings), AnalysisNs: c.Elim.AnalysisNs,
 		})
 		out.Compile += stats.WallClock()
 		out.Exec += best

@@ -31,15 +31,19 @@ func EngineReportOf(run *EngineRun) obs.EngineReport {
 	}
 	for _, q := range run.Queries {
 		er.Queries = append(er.Queries, obs.QueryReport{
-			Name:         q.Name,
-			CompileNS:    q.Compile.Nanoseconds(),
-			ExecNS:       q.Exec.Nanoseconds(),
-			Rows:         q.Rows,
-			Instrs:       q.Executed,
-			Branches:     q.Branches,
-			MemOps:       q.MemOps,
-			FuseInstrs:   q.FuseInstrs,
-			FuseMicroOps: q.FuseMicroOps,
+			Name:             q.Name,
+			CompileNS:        q.Compile.Nanoseconds(),
+			ExecNS:           q.Exec.Nanoseconds(),
+			Rows:             q.Rows,
+			Instrs:           q.Executed,
+			Branches:         q.Branches,
+			MemOps:           q.MemOps,
+			FuseInstrs:       q.FuseInstrs,
+			FuseMicroOps:     q.FuseMicroOps,
+			StaticMemOps:     q.StaticMemOps,
+			ChecksEliminated: q.ChecksElim,
+			LintFindings:     q.LintFindings,
+			AnalysisNS:       q.AnalysisNs,
 		})
 	}
 	return er

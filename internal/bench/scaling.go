@@ -6,6 +6,7 @@ import (
 
 	"qcc/internal/backend"
 	"qcc/internal/backend/pcc"
+	"qcc/internal/codegen"
 )
 
 // parallelEngines is the lineup the parallel-compilation experiments sweep:
@@ -92,7 +93,7 @@ func CacheWarm(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		cache := pcc.NewCache(int64(cfg.CacheMB) << 20)
-		wrapped := pcc.Wrap(eng, pcc.Config{Jobs: jobs, Cache: cache})
+		wrapped := pcc.Wrap(eng, pcc.Config{Jobs: jobs, Cache: cache, VariantTag: codegen.CheckElimVersion})
 		cold, err := RunSuiteTraced(w, wrapped, cfg.Arch, HQueries(), 1, nil, cfg.BackendOptions())
 		if err != nil {
 			return nil, err

@@ -12,6 +12,7 @@ import (
 	"qcc/internal/plan"
 	"qcc/internal/qir"
 	"qcc/internal/rt"
+	"qcc/internal/sa"
 )
 
 // SourceKind tells the driver where a pipeline's input rows come from.
@@ -46,6 +47,14 @@ type Compiled struct {
 	// NumFuncs is the total generated function count (a headline metric
 	// in the paper's benchmark setup).
 	NumFuncs int
+	// Elim reports what the compile-time check-elimination pass proved
+	// (zero value when the pass was disabled).
+	Elim ElimStats
+	// ValFacts records, per function, the runtime pointer contracts the
+	// code generator knows about the values it emitted (hash-table entry
+	// pointers, vector slots, comparator row parameters). They feed the
+	// static analysis as trusted facts.
+	ValFacts map[*qir.Func]map[qir.Value]sa.PtrFact
 }
 
 // Compiler holds per-query code generation state.
@@ -68,8 +77,16 @@ type Compiler struct {
 	ops []provEntry
 }
 
-// Compile lowers a validated plan into a QIR module.
+// Compile lowers a validated plan into a QIR module and runs the static
+// check-elimination pass over the result.
 func Compile(name string, root plan.Node, cat *rt.Catalog) (*Compiled, error) {
+	return CompileChecked(name, root, cat, true)
+}
+
+// CompileChecked is Compile with explicit control over the check-elimination
+// pass; elim=false produces the fully-checked baseline (every load and store
+// keeps its runtime bounds/null check).
+func CompileChecked(name string, root plan.Node, cat *rt.Catalog, elim bool) (*Compiled, error) {
 	if err := plan.Validate(root); err != nil {
 		return nil, err
 	}
@@ -87,6 +104,9 @@ func Compile(name string, root plan.Node, cat *rt.Catalog) (*Compiled, error) {
 		c.out.StateSize = 8
 	}
 	c.out.NumFuncs = len(c.mod.Funcs)
+	if elim {
+		c.out.eliminateChecks(cat)
+	}
 	if err := c.mod.VerifyModule(); err != nil {
 		return nil, fmt.Errorf("codegen: generated invalid IR: %w", err)
 	}

@@ -1,0 +1,56 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"qcc/internal/codegen"
+	"qcc/internal/rt"
+	"qcc/internal/tpch"
+	"qcc/internal/vm"
+	"qcc/internal/vt"
+)
+
+// TestCheckElimRatioGate is the acceptance gate for the static
+// check-elimination pass: on Q1 and Q6 at least 30% of the static memory
+// checks must be discharged at compile time, and generated code must lint
+// clean. The suite-wide floor below catches regressions that merely shift
+// elimination work onto other queries.
+func TestCheckElimRatioGate(t *testing.T) {
+	m := vm.New(vm.Config{Arch: vt.VX64, MemSize: 128 << 20})
+	db := rt.NewDB(m)
+	cat := rt.NewCatalog(db)
+	if err := tpch.Load(cat, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	gated := map[string]float64{"q1": 0.30, "q6": 0.30}
+	totalOps, totalElim := 0, 0
+	for _, q := range tpch.Queries() {
+		c, err := codegen.Compile(q.Name, q.Build(), cat)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		e := c.Elim
+		if !e.Enabled {
+			t.Fatalf("%s: check elimination did not run", q.Name)
+		}
+		if e.MemOps == 0 {
+			t.Fatalf("%s: no memory accesses classified", q.Name)
+		}
+		for _, f := range e.Findings {
+			t.Errorf("%s: unexpected lint finding: %s", q.Name, f)
+		}
+		if min, ok := gated[q.Name]; ok && e.Ratio() < min {
+			t.Errorf("%s: eliminated %d/%d checks (%.1f%%), gate requires >= %.0f%%",
+				q.Name, e.Unchecked, e.MemOps, 100*e.Ratio(), 100*min)
+		}
+		totalOps += e.MemOps
+		totalElim += e.Unchecked
+	}
+	// Suite-wide floor: the pass currently proves ~95% of all static
+	// checks; a drop below 2/3 means a real analysis regression even if
+	// the per-query gates still pass.
+	if ratio := float64(totalElim) / float64(totalOps); ratio < 0.66 {
+		t.Errorf("suite-wide elimination %d/%d (%.1f%%) below the 66%% floor",
+			totalElim, totalOps, 100*ratio)
+	}
+}

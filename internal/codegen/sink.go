@@ -8,6 +8,11 @@ import (
 	"qcc/internal/rt"
 )
 
+// htHeaderSize is the runtime hash-table entry header: the chain-next
+// pointer at entry-16 and the stored hash at entry-8 precede every payload,
+// so entry pointers are valid over [entry-16, entry+payloadWidth).
+const htHeaderSize = 16
+
 // produceHashJoin generates the build-side pipelines (ending in hash-table
 // inserts), then the probe-side pipeline whose matches flow into consume.
 func (c *Compiler) produceHashJoin(j *plan.HashJoin, consume consumeFn) error {
@@ -45,6 +50,7 @@ func (c *Compiler) produceHashJoin(j *plan.HashJoin, consume consumeFn) error {
 		}
 		h := loadStateHandle(b, htOff)
 		p := b.Call(qir.Ptr, rt.FnHTInsert, h, hash)
+		c.notePtrFact(b, p, htHeaderSize, layout.width, false)
 		for i, kv := range keyVals {
 			layout.store(b, p, i, widen(b, j.BuildKeys[i].Type(), kv))
 		}
@@ -69,6 +75,7 @@ func (c *Compiler) produceHashJoin(j *plan.HashJoin, consume consumeFn) error {
 		}
 		h := loadStateHandle(b, htOff)
 		first := b.Call(qir.Ptr, rt.FnHTLookup, h, hash)
+		c.notePtrFact(b, first, htHeaderSize, layout.width, true)
 		startBlk := b.Block()
 
 		head := b.NewBlock()
@@ -79,6 +86,7 @@ func (c *Compiler) produceHashJoin(j *plan.HashJoin, consume consumeFn) error {
 
 		b.SetBlock(head)
 		p := b.Phi(qir.Ptr, startBlk, first)
+		c.notePtrFact(b, p, htHeaderSize, layout.width, true)
 		null := b.Null()
 		done := b.ICmp(qir.CmpEQ, p, null)
 		b.CondBr(done, rc.latch, body)
@@ -129,6 +137,7 @@ func (c *Compiler) produceHashJoin(j *plan.HashJoin, consume consumeFn) error {
 		b.SetBlock(chainLatch)
 		nxtAddr := b.GEP(p, -16, qir.NoValue, 0)
 		nxt := b.Load(qir.Ptr, nxtAddr)
+		c.notePtrFact(b, nxt, htHeaderSize, layout.width, true)
 		b.AddPhiArg(p, chainLatch, nxt)
 		b.Br(head)
 		return nil
@@ -187,6 +196,7 @@ func (c *Compiler) produceGroupBy(g *plan.GroupBy, consume consumeFn) error {
 		}
 		h := loadStateHandle(b, htOff)
 		first := b.Call(qir.Ptr, rt.FnHTLookup, h, hash)
+		c.notePtrFact(b, first, htHeaderSize, layout.width, true)
 		startBlk := b.Block()
 
 		head := b.NewBlock()
@@ -198,6 +208,7 @@ func (c *Compiler) produceGroupBy(g *plan.GroupBy, consume consumeFn) error {
 
 		b.SetBlock(head)
 		p := b.Phi(qir.Ptr, startBlk, first)
+		c.notePtrFact(b, p, htHeaderSize, layout.width, true)
 		null := b.Null()
 		done := b.ICmp(qir.CmpEQ, p, null)
 		b.CondBr(done, insert, body)
@@ -226,6 +237,7 @@ func (c *Compiler) produceGroupBy(g *plan.GroupBy, consume consumeFn) error {
 
 		b.SetBlock(chainLatch)
 		nxt := b.Load(qir.Ptr, b.GEP(p, -16, qir.NoValue, 0))
+		c.notePtrFact(b, nxt, htHeaderSize, layout.width, true)
 		b.AddPhiArg(p, chainLatch, nxt)
 		b.Br(head)
 
@@ -242,6 +254,7 @@ func (c *Compiler) produceGroupBy(g *plan.GroupBy, consume consumeFn) error {
 		// the sink finishes in a terminated block.
 		b.SetBlock(insert)
 		np := b.Call(qir.Ptr, rt.FnHTInsert, h, hash)
+		c.notePtrFact(b, np, htHeaderSize, layout.width, false)
 		for i, kv := range keyVals {
 			layout.store(b, np, i, widen(b, g.Keys[i].Type(), kv))
 		}
@@ -265,6 +278,7 @@ func (c *Compiler) produceGroupBy(g *plan.GroupBy, consume consumeFn) error {
 	err = c.emitMorselLoop(func(i qir.Value, latch qir.BlockID) error {
 		h := loadStateHandle(b, htOff)
 		p := b.Call(qir.Ptr, rt.FnHTEntry, h, i)
+		c.notePtrFact(b, p, htHeaderSize, layout.width, false)
 		cols := cachedCols(len(schema), func(ci int) qir.Value {
 			if ci < nkeys {
 				v := layout.load(b, p, ci)
@@ -452,6 +466,7 @@ func (c *Compiler) produceSort(s *plan.Sort, consume consumeFn) error {
 		b := rc.b
 		h := loadStateHandle(b, vecOff)
 		slot := b.Call(qir.Ptr, rt.FnVecAppend, h)
+		c.notePtrFact(b, slot, 0, layout.width, false)
 		for i, k := range s.Keys {
 			v, err := c.evalExpr(rc, k.E)
 			if err != nil {
@@ -496,6 +511,8 @@ func (c *Compiler) genComparator(s *plan.Sort, layout rowLayout) (int, error) {
 	b := qir.NewFunc(c.mod, fmt.Sprintf("%s_cmp%d", c.name, idx), qir.I64, qir.Ptr, qir.Ptr)
 	c.setProv(idx, -1, "comparator")
 	pa, pb := b.Param(0), b.Param(1)
+	c.notePtrFact(b, pa, 0, layout.width, false)
+	c.notePtrFact(b, pb, 0, layout.width, false)
 	for i, k := range s.Keys {
 		va := layout.load(b, pa, i)
 		vb := layout.load(b, pb, i)

@@ -21,6 +21,10 @@ type FuncSummary struct {
 	Calls []string `json:"calls,omitempty"`
 	// Traps is the sorted set of trap codes the function can raise.
 	Traps []string `json:"traps,omitempty"`
+	// Unchecked counts unchecked memory instructions in the function body.
+	// It is excluded from the cross-backend Diff (back-ends legitimately
+	// duplicate or fold accesses) and consumed by UncheckedConservation.
+	Unchecked int `json:"unchecked,omitempty"`
 }
 
 // Summarize fingerprints every function of a decoded program. Runtime calls
@@ -50,8 +54,12 @@ func Summarize(prog *vt.Program, funcs []vm.UnwindRange, rtNames []string) []Fun
 			out = append(out, FuncSummary{Name: fn.Name})
 			continue
 		}
+		unchecked := 0
 		for k := prog.Index[fn.Start]; int(k) < len(prog.Instrs) && prog.Offsets[k] < fn.End; k++ {
 			in := prog.Instrs[k]
+			if in.Op.UncheckedMem() {
+				unchecked++
+			}
 			switch in.Op {
 			case vt.CallRT:
 				calls[rtName(in.Imm)] = true
@@ -74,9 +82,35 @@ func Summarize(prog *vt.Program, funcs []vm.UnwindRange, rtNames []string) []Fun
 				traps[vt.TrapCode(in.Imm).String()] = true
 			}
 		}
-		out = append(out, FuncSummary{Name: fn.Name, Calls: sortedKeys(calls), Traps: sortedKeys(traps)})
+		out = append(out, FuncSummary{Name: fn.Name, Calls: sortedKeys(calls), Traps: sortedKeys(traps), Unchecked: unchecked})
 	}
 	return out
+}
+
+// UncheckedConservation cross-checks the static analyzer's output against
+// the code a back-end actually emitted: a module whose QIR carries no
+// MemUnchecked marks must compile to a program with no unchecked memory
+// instructions (nothing may invent an unchecked access), and a module with
+// marks must retain at least one (lowering may fold or duplicate accesses,
+// but must not silently drop the whole elimination). qirUnchecked is the
+// module's count of marked QIR loads/stores.
+func UncheckedConservation(engine string, qirUnchecked int, sums []FuncSummary) []Diag {
+	total := 0
+	var diags []Diag
+	for _, s := range sums {
+		total += s.Unchecked
+		if qirUnchecked == 0 && s.Unchecked > 0 {
+			diags = append(diags, Diag{Func: s.Name, Block: -1, Inst: -1, Off: -1,
+				Msg: fmt.Sprintf("%s emitted %d unchecked memory ops but the QIR module has no MemUnchecked marks",
+					engine, s.Unchecked)})
+		}
+	}
+	if qirUnchecked > 0 && total == 0 {
+		diags = append(diags, Diag{Func: "<module>", Block: -1, Inst: -1, Off: -1,
+			Msg: fmt.Sprintf("%s dropped all %d MemUnchecked marks: no unchecked memory op survived lowering",
+				engine, qirUnchecked)})
+	}
+	return diags
 }
 
 func sortedKeys(m map[string]bool) []string {
@@ -118,7 +152,7 @@ func CanonicalizeFailures(ss []FuncSummary) []FuncSummary {
 		if folded {
 			delete(traps, "unreachable")
 		}
-		out[i] = FuncSummary{Name: s.Name, Calls: sortedKeys(calls), Traps: sortedKeys(traps)}
+		out[i] = FuncSummary{Name: s.Name, Calls: sortedKeys(calls), Traps: sortedKeys(traps), Unchecked: s.Unchecked}
 	}
 	return out
 }

@@ -287,6 +287,14 @@ type QueryReport struct {
 	// under -nofuse; the fusion rate is fuse_micro_ops/fuse_instrs.
 	FuseInstrs   int64 `json:"fuse_instrs,omitempty"`
 	FuseMicroOps int64 `json:"fuse_micro_ops,omitempty"`
+	// StaticMemOps/ChecksEliminated report the compile-time
+	// check-elimination outcome for the query's QIR; LintFindings counts
+	// static-analysis diagnostics (expected 0 for generated code) and
+	// AnalysisNS the analysis+rewrite wall time.
+	StaticMemOps     int   `json:"static_mem_ops,omitempty"`
+	ChecksEliminated int   `json:"checks_eliminated,omitempty"`
+	LintFindings     int   `json:"lint_findings,omitempty"`
+	AnalysisNS       int64 `json:"analysis_ns,omitempty"`
 }
 
 // Write emits the report as indented JSON.

@@ -281,3 +281,73 @@ func (f *Func) LivenessAnalysis() *Liveness {
 	}
 	return lv
 }
+
+// LiveAtInstr refines block-granularity liveness to instruction granularity
+// for one block: the returned slice holds, for each position i in the
+// block's instruction list, the set of values live immediately after the
+// i-th instruction executes. Phi operands are charged to predecessor edges
+// (they are in the predecessors' LiveOut), so they do not appear in the
+// in-block sets unless also used by a non-phi instruction.
+func (f *Func) LiveAtInstr(lv *Liveness, b BlockID) []BitSet {
+	list := f.Blocks[b].List
+	n := lv.nvals
+	after := make([]BitSet, len(list))
+	cur := NewBitSet(n)
+	cur.Copy(lv.LiveOut[b])
+	var ops []Value
+	for i := len(list) - 1; i >= 0; i-- {
+		after[i] = NewBitSet(n)
+		after[i].Copy(cur)
+		v := list[i]
+		in := &f.Instrs[v]
+		if in.Type != Void || in.Op == OpPhi {
+			cur.Clear(v)
+		}
+		if in.Op != OpPhi {
+			ops = f.Operands(v, ops[:0])
+			for _, u := range ops {
+				cur.Set(u)
+			}
+		}
+	}
+	return after
+}
+
+// MaxLiveValues returns the maximum number of simultaneously live SSA values
+// at any instruction boundary — the function's register-pressure estimate,
+// computed from per-instruction liveness.
+func (f *Func) MaxLiveValues(lv *Liveness) int {
+	n := lv.nvals
+	cur := NewBitSet(n)
+	maxLive := 0
+	var ops []Value
+	for b := range f.Blocks {
+		cur.Copy(lv.LiveOut[b])
+		live := cur.Count()
+		if live > maxLive {
+			maxLive = live
+		}
+		list := f.Blocks[b].List
+		for i := len(list) - 1; i >= 0; i-- {
+			v := list[i]
+			in := &f.Instrs[v]
+			if (in.Type != Void || in.Op == OpPhi) && cur.Get(v) {
+				cur.Clear(v)
+				live--
+			}
+			if in.Op != OpPhi {
+				ops = f.Operands(v, ops[:0])
+				for _, u := range ops {
+					if !cur.Get(u) {
+						cur.Set(u)
+						live++
+					}
+				}
+			}
+			if live > maxLive {
+				maxLive = live
+			}
+		}
+	}
+	return maxLive
+}

@@ -281,6 +281,26 @@ type Instr struct {
 // Cmp returns the comparison predicate of an OpICmp/OpFCmp instruction.
 func (i *Instr) Cmp() Cmp { return Cmp(i.Aux) }
 
+// MemUnchecked is an Aux bit on OpLoad/OpStore marking an access that
+// static analysis proved in-bounds and non-null; back-ends may lower it
+// without runtime bounds or null checks. The bit participates in code-cache
+// keys automatically because cache keys hash Aux.
+const MemUnchecked uint32 = 1 << 0
+
+// Unchecked reports whether a memory instruction carries the MemUnchecked
+// safety mark.
+func (i *Instr) Unchecked() bool {
+	return (i.Op == OpLoad || i.Op == OpStore) && i.Aux&MemUnchecked != 0
+}
+
+// SetUnchecked marks a memory instruction as statically proven safe.
+func (i *Instr) SetUnchecked() {
+	if i.Op != OpLoad && i.Op != OpStore {
+		panic("qir: SetUnchecked on non-memory instruction")
+	}
+	i.Aux |= MemUnchecked
+}
+
 // BasicBlock is a list of instruction ids. The last instruction is the
 // terminator; OpPhi instructions must be a prefix of the list.
 type BasicBlock struct {

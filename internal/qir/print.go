@@ -83,9 +83,17 @@ func (f *Func) instrString(v Value) string {
 		}
 		return fmt.Sprintf("%sgetelementptr %s, %d + %s*%d", res, val(in.A), in.Imm, val(in.B), in.Aux)
 	case OpLoad:
-		return fmt.Sprintf("%sload %s %s", res, in.Type, val(in.A))
+		mark := ""
+		if in.Unchecked() {
+			mark = " !unchecked"
+		}
+		return fmt.Sprintf("%sload %s %s%s", res, in.Type, val(in.A), mark)
 	case OpStore:
-		return fmt.Sprintf("store %s %s, %s", f.ValueType(in.B), val(in.A), val(in.B))
+		mark := ""
+		if in.Unchecked() {
+			mark = " !unchecked"
+		}
+		return fmt.Sprintf("store %s %s, %s%s", f.ValueType(in.B), val(in.A), val(in.B), mark)
 	case OpCall:
 		args := f.CallArgs(v)
 		parts := make([]string, len(args))

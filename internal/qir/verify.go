@@ -18,11 +18,12 @@ func (f *Func) Verify() error {
 		return fmt.Errorf("%s: no blocks", f.Name)
 	}
 	defBlock := make([]BlockID, len(f.Instrs))
+	defPos := make([]int32, len(f.Instrs)) // position within the block list
 	for i := range defBlock {
 		defBlock[i] = -1
 	}
 	for b := range f.Blocks {
-		for _, v := range f.Blocks[b].List {
+		for i, v := range f.Blocks[b].List {
 			if v < 0 || int(v) >= len(f.Instrs) {
 				return fmt.Errorf("%s b%d: bad instruction id %d", f.Name, b, v)
 			}
@@ -30,6 +31,7 @@ func (f *Func) Verify() error {
 				return fmt.Errorf("%s: instruction %d listed twice", f.Name, v)
 			}
 			defBlock[v] = BlockID(b)
+			defPos[v] = int32(i)
 		}
 	}
 
@@ -145,6 +147,15 @@ func (f *Func) Verify() error {
 					if db == -1 {
 						return fmt.Errorf("%s: phi %d uses unlisted value %d", f.Name, v, val)
 					}
+					// A phi may name itself (or any value of its own block)
+					// only through a back edge: the phi's block must
+					// dominate the predecessor. Through an unreachable pred
+					// no dominance justification exists at all, so a
+					// self-reference there is always malformed.
+					if val == v && !dom.Dominates(BlockID(b), pred) {
+						return fmt.Errorf("%s: phi %d references itself through non-back-edge pred b%d",
+							f.Name, v, pred)
+					}
 					if dom.Num[pred] >= 0 && !dom.Dominates(db, pred) {
 						return fmt.Errorf("%s: phi %d incoming %d does not dominate pred b%d",
 							f.Name, v, val, pred)
@@ -161,14 +172,20 @@ func (f *Func) Verify() error {
 				if db == -1 {
 					return fmt.Errorf("%s: instr %d uses unlisted value %d", f.Name, v, u)
 				}
-				if dom.Num[BlockID(b)] < 0 {
-					continue // unreachable code is not dominance-checked
-				}
 				if db == BlockID(b) {
-					if u >= v {
+					// In-block ordering is a local property: it holds (or
+					// not) independent of reachability, so unreachable
+					// blocks are checked too. The operand must be listed
+					// strictly before its use.
+					if defPos[u] >= defPos[v] {
 						return fmt.Errorf("%s b%d: instr %d uses later value %d", f.Name, b, v, u)
 					}
-				} else if !dom.Dominates(db, BlockID(b)) {
+					continue
+				}
+				if dom.Num[BlockID(b)] < 0 {
+					continue // cross-block dominance is undefined in unreachable code
+				}
+				if !dom.Dominates(db, BlockID(b)) {
 					return fmt.Errorf("%s: instr %d (b%d) uses %d (b%d) without dominance",
 						f.Name, v, b, u, db)
 				}

@@ -1,0 +1,180 @@
+package qir
+
+import (
+	"strings"
+	"testing"
+)
+
+// A phi naming itself through a forward edge (here: through an unreachable
+// predecessor, which the dominance check used to skip entirely) has no
+// defining iteration to refer back to and must be rejected.
+func TestVerifyRejectsSelfReferentialPhi(t *testing.T) {
+	m := NewModule("bad")
+	b := NewFunc(m, "f", Void)
+	dead := b.NewBlock()
+	join := b.NewBlock()
+	c := b.ConstInt(I64, 7)
+	b.Br(join)
+	b.SetBlock(dead)
+	b.Br(join)
+	b.SetBlock(join)
+	ph := b.Phi(I64, 0, c)
+	b.AddPhiArg(ph, dead, ph)
+	b.Ret(NoValue)
+	err := b.Func().Verify()
+	if err == nil || !strings.Contains(err.Error(), "references itself") {
+		t.Errorf("expected self-referential phi error, got %v", err)
+	}
+}
+
+// The one legitimate self-reference: a loop-carried phi whose incoming on
+// the back edge is the phi itself (the previous iteration's value).
+func TestVerifyAllowsLoopPhiSelfReference(t *testing.T) {
+	m := NewModule("ok")
+	b := NewFunc(m, "f", I64, I64)
+	n := b.Param(0)
+	head := b.NewBlock()
+	body := b.NewBlock()
+	exit := b.NewBlock()
+	zero := b.ConstInt(I64, 0)
+	b.Br(head)
+	b.SetBlock(head)
+	ph := b.Phi(I64, 0, zero)
+	cond := b.ICmp(CmpSLT, ph, n)
+	b.CondBr(cond, body, exit)
+	b.SetBlock(body)
+	b.AddPhiArg(ph, body, ph)
+	b.Br(head)
+	b.SetBlock(exit)
+	b.Ret(ph)
+	if err := b.Func().Verify(); err != nil {
+		t.Errorf("back-edge phi self-reference should verify: %v", err)
+	}
+}
+
+// In-block ordering is a local property, so it must be enforced even inside
+// unreachable blocks (where cross-block dominance is undefined and skipped).
+func TestVerifyRejectsUseBeforeDefInUnreachableBlock(t *testing.T) {
+	m := NewModule("bad")
+	b := NewFunc(m, "f", Void)
+	b.Ret(NoValue)
+	dead := b.NewBlock()
+	f := b.Func()
+	n0 := Value(len(f.Instrs))
+	f.Instrs = append(f.Instrs,
+		Instr{Op: OpAdd, Type: I64, A: n0 + 1, B: n0 + 1, C: NoValue},
+		Instr{Op: OpConst, Type: I64, Imm: 1, A: NoValue, B: NoValue, C: NoValue},
+		Instr{Op: OpRet, Type: Void, A: NoValue, B: NoValue, C: NoValue},
+	)
+	f.Blocks[dead].List = append(f.Blocks[dead].List, n0, n0+1, n0+2)
+	err := f.Verify()
+	if err == nil || !strings.Contains(err.Error(), "uses later value") {
+		t.Errorf("expected use-before-def error in unreachable block, got %v", err)
+	}
+}
+
+// Irreducible CFG: the loop {b1, b2} has two entries (entry branches into
+// both), so neither loop block dominates the other. The iterative dominator
+// algorithm must converge with both blocks' idom at the entry.
+func TestDominatorsIrreducibleLoop(t *testing.T) {
+	m := NewModule("t")
+	b := NewFunc(m, "f", Void, I1)
+	cond := b.Param(0)
+	b1 := b.NewBlock()
+	b2 := b.NewBlock()
+	exit := b.NewBlock()
+	b.CondBr(cond, b1, b2)
+	b.SetBlock(b1)
+	b.CondBr(cond, b2, exit)
+	b.SetBlock(b2)
+	b.Br(b1)
+	b.SetBlock(exit)
+	b.Ret(NoValue)
+	f := b.Func()
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if rpo := f.RPO(); len(rpo) != 4 {
+		t.Fatalf("rpo = %v, want all 4 blocks", rpo)
+	}
+	dom := f.Dominators()
+	for blk := BlockID(0); blk < 4; blk++ {
+		if dom.Num[blk] < 0 {
+			t.Errorf("block b%d unreachable in dom tree", blk)
+		}
+	}
+	if dom.Idom[b1] != 0 || dom.Idom[b2] != 0 {
+		t.Errorf("idom(b1)=%d idom(b2)=%d, want entry for both (two-entry loop)",
+			dom.Idom[b1], dom.Idom[b2])
+	}
+	if dom.Dominates(b1, b2) || dom.Dominates(b2, b1) {
+		t.Error("no loop block may dominate the other in an irreducible loop")
+	}
+	if dom.Idom[exit] != b1 {
+		t.Errorf("idom(exit)=%d, want b1 (its only predecessor)", dom.Idom[exit])
+	}
+}
+
+// Unreachable blocks are pinned outside the dominator tree: Idom and Num
+// both -1, and RPO omits them — including chains of dead blocks.
+func TestDominatorsUnreachableIdom(t *testing.T) {
+	m := NewModule("t")
+	b := NewFunc(m, "f", Void)
+	b.Ret(NoValue)
+	d1 := b.NewBlock()
+	d2 := b.NewBlock()
+	b.SetBlock(d1)
+	b.Br(d2)
+	b.SetBlock(d2)
+	b.Ret(NoValue)
+	f := b.Func()
+	if rpo := f.RPO(); len(rpo) != 1 || rpo[0] != 0 {
+		t.Errorf("rpo = %v, want [0]", rpo)
+	}
+	dom := f.Dominators()
+	for _, d := range []BlockID{d1, d2} {
+		if dom.Idom[d] != -1 {
+			t.Errorf("Idom[b%d] = %d, want -1 for unreachable block", d, dom.Idom[d])
+		}
+		if dom.Num[d] != -1 {
+			t.Errorf("Num[b%d] = %d, want -1 for unreachable block", d, dom.Num[d])
+		}
+	}
+}
+
+func TestLiveAtInstr(t *testing.T) {
+	m := NewModule("t")
+	b := NewFunc(m, "f", I64, I64)
+	p := b.Param(0)
+	a := b.ConstInt(I64, 5)
+	s := b.Bin(OpAdd, a, p)
+	r := b.Bin(OpMul, s, s)
+	b.Ret(r)
+	f := b.Func()
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	lv := f.LivenessAnalysis()
+	after := f.LiveAtInstr(lv, 0)
+	if len(after) != len(f.Blocks[0].List) {
+		t.Fatalf("got %d positions, want %d", len(after), len(f.Blocks[0].List))
+	}
+	// After the const: both its result and the param are pending uses.
+	if !after[1].Get(a) || !after[1].Get(p) {
+		t.Error("const result and param must be live after the const")
+	}
+	// The add consumes both; only its result stays live.
+	if after[2].Get(a) || after[2].Get(p) || !after[2].Get(s) {
+		t.Error("after the add only the sum should be live")
+	}
+	if !after[3].Get(r) {
+		t.Error("product must be live after the mul")
+	}
+	// Nothing survives the return.
+	if n := after[len(after)-1].Count(); n != 0 {
+		t.Errorf("%d values live after return, want 0", n)
+	}
+	if got := f.MaxLiveValues(lv); got != 2 {
+		t.Errorf("MaxLiveValues = %d, want 2 (a+p overlap)", got)
+	}
+}

@@ -1,0 +1,1152 @@
+package sa
+
+import "qcc/internal/qir"
+
+// Region is an absolute address range [Base, Base+Size) known valid for the
+// whole function activation — e.g. a catalog column baked into the module as
+// a constant base address.
+type Region struct {
+	Base, Size int64
+}
+
+// PtrFact declares a runtime contract about one SSA pointer value: when it
+// is non-null it points into a region with Pre valid bytes before it and
+// Post valid bytes from it on ([v-Pre, v+Post) is accessible). MaybeNull
+// says whether the value can also be null — accesses through a maybe-null
+// anchor are only proven where a dominating branch established non-null.
+type PtrFact struct {
+	Pre, Post int64
+	MaybeNull bool
+}
+
+// Facts is the environment the analysis assumes about a function's inputs.
+// All entries are optional; missing facts only lose precision, never
+// soundness.
+type Facts struct {
+	// Regions are absolute valid memory ranges (catalog columns).
+	Regions []Region
+	// ParamRegion[i] > 0 declares that pointer parameter i points at a
+	// valid region of at least that many bytes (e.g. the state block).
+	ParamRegion []int64
+	// ParamRange[i] constrains integer parameter i (e.g. morsel bounds
+	// lo/hi in [0, rows]). A zero-value Interval{} entry means "no fact"
+	// (use Top explicitly if a parameter is truly unconstrained but later
+	// entries carry facts).
+	ParamRange []Interval
+	// ValFacts attaches pointer contracts to individual SSA values —
+	// typically runtime-call results (hash-table entry pointers, vector
+	// slots) whose validity the runtime guarantees but the IR cannot
+	// express. The producer of the IR is responsible for the contract
+	// being true.
+	ValFacts map[qir.Value]PtrFact
+	// MinValid is the size of the guard page: addresses below it always
+	// trap. Defaults to 4096 (the VM null guard) via NewFacts.
+	MinValid int64
+}
+
+// NewFacts returns an empty fact set with the VM's default null-guard size.
+func NewFacts() *Facts { return &Facts{MinValid: 4096} }
+
+func (ft *Facts) paramRegion(i int) int64 {
+	if ft == nil || i >= len(ft.ParamRegion) {
+		return 0
+	}
+	return ft.ParamRegion[i]
+}
+
+func (ft *Facts) valFact(v qir.Value) (PtrFact, bool) {
+	if ft == nil || ft.ValFacts == nil {
+		return PtrFact{}, false
+	}
+	f, ok := ft.ValFacts[v]
+	return f, ok
+}
+
+func (ft *Facts) paramRange(i int) (Interval, bool) {
+	if ft == nil || i >= len(ft.ParamRange) {
+		return Top(), false
+	}
+	r := ft.ParamRange[i]
+	if r == (Interval{}) {
+		return Top(), false
+	}
+	return r, true
+}
+
+// absVal is the abstract value of one SSA value: an absolute integer range
+// (doubling as the absolute address range for pointers), an optional pointer
+// derivation (anchor parameter + offset interval), and a nullness bit.
+type absVal struct {
+	r       Interval
+	off     Interval  // offset from anchor; meaningful iff anchor != NoValue
+	anchor  qir.Value // anchoring parameter value, or NoValue
+	nonNull bool
+	def     bool // visited by the fixpoint at least once
+}
+
+// undefVal is the not-yet-visited lattice bottom. Its range is Top, not the
+// zero interval, so a value that somehow escapes evaluation is treated as
+// unknown rather than as the constant zero.
+func undefVal() absVal { return absVal{r: Top(), off: Top(), anchor: qir.NoValue} }
+
+func topVal() absVal { return absVal{r: Top(), off: Top(), anchor: qir.NoValue, def: true} }
+
+// join is the lattice union used at phi/select merge points.
+func (a absVal) join(b absVal) absVal {
+	if !a.def {
+		return b
+	}
+	if !b.def {
+		return a
+	}
+	out := absVal{r: a.r.Union(b.r), def: true, anchor: qir.NoValue, off: Top()}
+	if a.anchor != qir.NoValue && a.anchor == b.anchor {
+		out.anchor = a.anchor
+		out.off = a.off.Union(b.off)
+	}
+	out.nonNull = a.nonNull && b.nonNull
+	return out
+}
+
+// widenAfter is the per-value update budget before unstable bounds are
+// widened to infinity; it bounds fixpoint iteration on loops.
+const widenAfter = 4
+
+// maxRefineDepth bounds the recursive re-evaluation performed by the
+// block-contextual queries (RangeAt and friends).
+const maxRefineDepth = 8
+
+// Analysis holds the fixpoint results for one function plus the per-block
+// branch-condition refinements, and answers contextual range, derivation,
+// and access-safety queries.
+type Analysis struct {
+	F     *qir.Func
+	Facts *Facts
+	Dom   *qir.DomTree
+
+	vals []absVal
+	// cons[b] maps a value id to the interval it is known to lie in at any
+	// point dominated by block b's entry, derived from branch conditions.
+	cons []map[qir.Value]Interval
+	// consNN[b] holds the values proven non-null at any point dominated by
+	// block b's entry (from `p == null` / `p != null` branches).
+	consNN []map[qir.Value]bool
+	// posBlock/posIdx locate each instruction for dominance queries
+	// (NoValue block for instructions not listed in any block).
+	posBlock []qir.BlockID
+	posIdx   []int32
+
+	// MaxLive is the maximum number of simultaneously live SSA values at
+	// any instruction boundary — the register-pressure statistic computed
+	// from per-instruction liveness.
+	MaxLive int
+}
+
+// Analyze runs the sparse conditional fixpoint over f under the given facts
+// (nil is allowed and means "no facts, guard page 4096").
+func Analyze(f *qir.Func, facts *Facts) *Analysis {
+	if facts == nil {
+		facts = NewFacts()
+	}
+	if facts.MinValid == 0 {
+		facts.MinValid = 4096
+	}
+	a := &Analysis{F: f, Facts: facts, Dom: f.Dominators()}
+	a.buildPositions()
+	// Two rounds in the e-SSA style: the first fixpoint is context-free
+	// (loop phis widen to infinity), the derived branch constraints then
+	// feed a second fixpoint whose operand reads are met with the
+	// constraints active at the use site — recovering finite ranges for
+	// guarded induction variables (i < hi keeps i+1 from wrapping to Top).
+	// Constraints are rebuilt once more from the tightened ranges.
+	a.fixpoint()
+	a.buildConstraints()
+	a.fixpoint()
+	a.buildConstraints()
+	a.MaxLive = f.MaxLiveValues(f.LivenessAnalysis())
+	return a
+}
+
+func (a *Analysis) buildPositions() {
+	n := len(a.F.Instrs)
+	a.posBlock = make([]qir.BlockID, n)
+	a.posIdx = make([]int32, n)
+	for i := range a.posBlock {
+		a.posBlock[i] = -1
+	}
+	for b := range a.F.Blocks {
+		for i, v := range a.F.Blocks[b].List {
+			a.posBlock[v] = qir.BlockID(b)
+			a.posIdx[v] = int32(i)
+		}
+	}
+}
+
+// fixpoint runs the global sparse worklist iteration with widening.
+func (a *Analysis) fixpoint() {
+	f := a.F
+	n := len(f.Instrs)
+	a.vals = make([]absVal, n)
+	for i := range a.vals {
+		a.vals[i] = undefVal()
+	}
+
+	// Def-use chains.
+	users := make([][]qir.Value, n)
+	var ops []qir.Value
+	for v := 0; v < n; v++ {
+		ops = f.Operands(qir.Value(v), ops[:0])
+		for _, u := range ops {
+			users[u] = append(users[u], qir.Value(v))
+		}
+	}
+
+	// Seed with every instruction of every reachable block, in RPO.
+	var work []qir.Value
+	inWork := qir.NewBitSet(n)
+	push := func(v qir.Value) {
+		if !inWork.Get(v) {
+			inWork.Set(v)
+			work = append(work, v)
+		}
+	}
+	for _, b := range a.Dom.RPO {
+		for _, v := range f.Blocks[b].List {
+			push(v)
+		}
+	}
+
+	updates := make([]uint8, n)
+	for i := 0; i < len(work); i++ {
+		v := work[i]
+		inWork.Clear(v)
+		old := a.vals[v]
+		nv := a.evalAt(v)
+		if nv == old {
+			continue
+		}
+		if updates[v] >= widenAfter {
+			nv = widen(old, nv)
+		}
+		if nv == old {
+			continue
+		}
+		if updates[v] < 255 {
+			updates[v]++
+		}
+		a.vals[v] = nv
+		for _, u := range users[v] {
+			if inWork.Get(u) {
+				continue
+			}
+			inWork.Set(u)
+			work = append(work, u)
+		}
+	}
+	// Compact the visited prefix of work away periodically is unnecessary:
+	// widening bounds total pushes to O(n * widenAfter * fanout).
+}
+
+// consVal reads the current abstract value of u as observed in block b,
+// meeting its range with the branch constraints active there (none during
+// the first fixpoint round, when cons is still nil).
+func (a *Analysis) consVal(b qir.BlockID, u qir.Value) absVal {
+	av := a.vals[u]
+	if b >= 0 && a.cons != nil {
+		if m := a.cons[b]; m != nil {
+			if c, ok := m[u]; ok {
+				av.r = av.r.Meet(c)
+			}
+		}
+	}
+	return av
+}
+
+// evalAt evaluates instruction v in its defining block's context. Phi
+// incomings are observed under the corresponding predecessor's constraints
+// (the value flows along that edge); all other operands under the
+// constraints of v's own block.
+func (a *Analysis) evalAt(v qir.Value) absVal {
+	in := &a.F.Instrs[v]
+	if ft, ok := a.Facts.valFact(v); ok {
+		return a.factVal(v, ft)
+	}
+	if in.Op == qir.OpPhi {
+		pairs := a.F.PhiPairs(v)
+		out := undefVal()
+		for i := 0; i < len(pairs); i += 2 {
+			pred := qir.BlockID(pairs[i])
+			if a.Dom.Num[pred] < 0 {
+				continue // value from an unreachable predecessor never flows
+			}
+			out = out.join(a.consVal(pred, pairs[i+1]))
+		}
+		return out
+	}
+	bb := a.posBlock[v]
+	return a.eval(v, func(u qir.Value) absVal { return a.consVal(bb, u) })
+}
+
+// widen blows unstable bounds of the new value out to infinity so loops
+// converge.
+func widen(old, nv absVal) absVal {
+	if !old.def {
+		return nv
+	}
+	if nv.r.Lo < old.r.Lo {
+		nv.r.Lo = NegInf
+	}
+	if nv.r.Hi > old.r.Hi {
+		nv.r.Hi = PosInf
+	}
+	if nv.anchor != qir.NoValue {
+		if nv.off.Lo < old.off.Lo {
+			nv.off.Lo = NegInf
+		}
+		if nv.off.Hi > old.off.Hi {
+			nv.off.Hi = PosInf
+		}
+	}
+	return nv
+}
+
+// factVal builds the abstract value of a value carrying a PtrFact: anchored
+// at itself with point offset zero. Its integer range stays unknown (VM
+// addresses are opaque); nullness comes from the contract.
+func (a *Analysis) factVal(v qir.Value, ft PtrFact) absVal {
+	out := topVal()
+	out.anchor = v
+	out.off = Point(0)
+	out.nonNull = !ft.MaybeNull
+	if !ft.MaybeNull {
+		out.r = Interval{a.Facts.MinValid, PosInf}
+	} else {
+		out.r = Interval{0, PosInf}
+	}
+	return out
+}
+
+// eval is the transfer function: the abstract value of instruction v given
+// operand values supplied by get. It is shared between the global fixpoint
+// (get = current state) and the contextual refinement queries (get =
+// branch-refined recursive evaluation).
+func (a *Analysis) eval(v qir.Value, get func(qir.Value) absVal) absVal {
+	f := a.F
+	in := &f.Instrs[v]
+	if ft, ok := a.Facts.valFact(v); ok {
+		return a.factVal(v, ft)
+	}
+	switch in.Op {
+	case qir.OpParam:
+		out := topVal()
+		idx := int(in.Aux)
+		if in.Type == qir.Ptr {
+			if sz := a.Facts.paramRegion(idx); sz > 0 {
+				out.anchor = v
+				out.off = Point(0)
+				out.nonNull = true
+			}
+		} else if r, ok := a.Facts.paramRange(idx); ok {
+			out.r = r
+		}
+		return out
+
+	case qir.OpConst:
+		out := topVal()
+		out.r = Point(in.Imm)
+		out.nonNull = in.Type == qir.Ptr && in.Imm >= a.Facts.MinValid
+		return out
+
+	case qir.OpNull:
+		out := topVal()
+		out.r = Point(0)
+		return out
+
+	case qir.OpConstF, qir.OpConst128, qir.OpConstStr, qir.OpFuncAddr,
+		qir.OpCrc32, qir.OpLMulFold, qir.OpFBits,
+		qir.OpFAdd, qir.OpFSub, qir.OpFMul, qir.OpFDiv,
+		qir.OpBitsF, qir.OpSIToFP, qir.OpAtomicAdd, qir.OpCall:
+		return topVal()
+
+	case qir.OpAdd:
+		x, y := get(in.A), get(in.B)
+		out := a.derivePtr(x, y.r)
+		out.r = x.r.Add(y.r)
+		out.def = x.def && y.def
+		return out
+
+	case qir.OpSub:
+		x, y := get(in.A), get(in.B)
+		out := a.derivePtr(x, y.r.Neg())
+		out.r = x.r.Sub(y.r)
+		out.def = x.def && y.def
+		return out
+
+	case qir.OpMul:
+		x, y := get(in.A), get(in.B)
+		out := topVal()
+		out.r = x.r.Mul(y.r)
+		out.def = x.def && y.def
+		return out
+
+	case qir.OpSAddTrap:
+		// Traps instead of wrapping, so saturating endpoints are sound.
+		x, y := get(in.A), get(in.B)
+		out := topVal()
+		out.r = x.r.AddSat(y.r)
+		out.def = x.def && y.def
+		return out
+	case qir.OpSSubTrap:
+		x, y := get(in.A), get(in.B)
+		out := topVal()
+		out.r = x.r.SubSat(y.r)
+		out.def = x.def && y.def
+		return out
+	case qir.OpSMulTrap:
+		x, y := get(in.A), get(in.B)
+		out := topVal()
+		out.r = x.r.MulSat(y.r)
+		out.def = x.def && y.def
+		return out
+
+	case qir.OpSDiv, qir.OpUDiv:
+		x, y := get(in.A), get(in.B)
+		out := topVal()
+		out.def = x.def && y.def
+		// Only the easy, common shape: positive divisor, non-negative (or
+		// any finite, for sdiv) dividend. Division truncates toward zero
+		// and is monotone in the dividend for fixed positive divisor.
+		if y.r.Lo >= 1 && !x.r.IsTop() && x.r.Lo != NegInf && x.r.Hi != PosInf && y.r.Hi != PosInf {
+			c := [4]int64{x.r.Lo / y.r.Lo, x.r.Lo / y.r.Hi, x.r.Hi / y.r.Lo, x.r.Hi / y.r.Hi}
+			lo, hi := c[0], c[0]
+			for _, q := range c[1:] {
+				lo, hi = min64(lo, q), max64(hi, q)
+			}
+			if in.Op == qir.OpUDiv && x.r.Lo < 0 {
+				// Negative dividend reinterpreted unsigned: give up.
+				return out
+			}
+			out.r = Interval{lo, hi}
+		}
+		return out
+
+	case qir.OpSRem, qir.OpURem:
+		x, y := get(in.A), get(in.B)
+		out := topVal()
+		out.def = x.def && y.def
+		if y.r.Lo >= 1 && y.r.Hi != PosInf {
+			if x.r.Lo >= 0 {
+				out.r = Interval{0, y.r.Hi - 1}
+			} else if in.Op == qir.OpSRem {
+				out.r = Interval{-(y.r.Hi - 1), y.r.Hi - 1}
+			}
+		}
+		return out
+
+	case qir.OpAnd:
+		x, y := get(in.A), get(in.B)
+		out := topVal()
+		out.def = x.def && y.def
+		if x.r.Lo >= 0 || y.r.Lo >= 0 {
+			// A non-negative operand bounds the AND: 0 <= x&y <= x.
+			hi := int64(PosInf)
+			if x.r.Lo >= 0 {
+				hi = x.r.Hi
+			}
+			if y.r.Lo >= 0 {
+				hi = min64(hi, y.r.Hi)
+			}
+			out.r = Interval{0, hi}
+		}
+		return out
+
+	case qir.OpOr, qir.OpXor:
+		x, y := get(in.A), get(in.B)
+		out := topVal()
+		out.def = x.def && y.def
+		if x.r.Lo >= 0 && y.r.Lo >= 0 && x.r.Hi != PosInf && y.r.Hi != PosInf {
+			out.r = Interval{0, nextPow2Minus1(max64(x.r.Hi, y.r.Hi))}
+		}
+		return out
+
+	case qir.OpShl:
+		x, y := get(in.A), get(in.B)
+		out := topVal()
+		out.def = x.def && y.def
+		if y.r.IsPoint() && y.r.Lo >= 0 && y.r.Lo < 63 {
+			out.r = x.r.Mul(Point(int64(1) << uint(y.r.Lo)))
+		}
+		return out
+
+	case qir.OpShr:
+		x, y := get(in.A), get(in.B)
+		out := topVal()
+		out.def = x.def && y.def
+		if x.r.Lo >= 0 && y.r.Lo >= 0 {
+			sh := min64(y.r.Lo, 63)
+			hi := x.r.Hi
+			if hi != PosInf {
+				hi >>= uint(sh)
+			}
+			out.r = Interval{0, hi}
+		}
+		return out
+
+	case qir.OpSar:
+		x, y := get(in.A), get(in.B)
+		out := topVal()
+		out.def = x.def && y.def
+		if y.r.Lo >= 0 && y.r.Hi <= 63 {
+			c := [4]int64{
+				sar(x.r.Lo, y.r.Lo), sar(x.r.Lo, y.r.Hi),
+				sar(x.r.Hi, y.r.Lo), sar(x.r.Hi, y.r.Hi),
+			}
+			lo, hi := c[0], c[0]
+			for _, q := range c[1:] {
+				lo, hi = min64(lo, q), max64(hi, q)
+			}
+			out.r = Interval{lo, hi}
+		}
+		return out
+
+	case qir.OpNeg:
+		x := get(in.A)
+		out := topVal()
+		out.r = x.r.Neg()
+		out.def = x.def
+		return out
+
+	case qir.OpNot:
+		// ^x == -x-1.
+		x := get(in.A)
+		out := topVal()
+		out.r = x.r.Neg().Sub(Point(1))
+		out.def = x.def
+		return out
+
+	case qir.OpICmp, qir.OpFCmp:
+		out := topVal()
+		out.r = Interval{0, 1}
+		if in.Op == qir.OpICmp {
+			x, y := get(in.A), get(in.B)
+			out.def = x.def && y.def
+			if val, known := cmpEval(in.Cmp(), x.r, y.r); known {
+				if val {
+					out.r = Point(1)
+				} else {
+					out.r = Point(0)
+				}
+			}
+		}
+		return out
+
+	case qir.OpZExt:
+		// Result is the low source-width bits zero-extended; if the operand
+		// is already a canonical unsigned value of that width the range
+		// passes through unchanged.
+		x := get(in.A)
+		out := topVal()
+		out.def = x.def
+		ub := unsignedBounds(f.ValueType(in.A))
+		if x.r.Lo >= 0 && x.r.Hi <= ub.Hi {
+			out.r = x.r
+		} else {
+			out.r = ub
+		}
+		return out
+
+	case qir.OpSExt:
+		x := get(in.A)
+		out := topVal()
+		out.def = x.def
+		st := f.ValueType(in.A)
+		if st == qir.I1 {
+			// Back-ends differ on whether i1 sign-extends the low bit
+			// (0/-1) or passes 0/1; cover both.
+			out.r = Interval{-1, 1}
+			if x.r.Hi <= 0 && x.r.Lo >= 0 {
+				out.r = Point(0)
+			}
+			return out
+		}
+		tb := TypeBounds(st.Size())
+		if tb.IsTop() || (x.r.Lo >= tb.Lo && x.r.Hi <= tb.Hi) {
+			out.r = x.r
+		} else {
+			out.r = tb
+		}
+		return out
+
+	case qir.OpTrunc:
+		x := get(in.A)
+		out := topVal()
+		out.def = x.def
+		if in.Type.Size() >= 8 {
+			out.r = x.r
+		} else if x.r.Lo >= 0 && x.r.Hi <= TypeBounds(in.Type.Size()).Hi {
+			// Fits the narrow width with the sign bit clear: identical
+			// under both truncation conventions.
+			out.r = x.r
+		} else {
+			out.r = loadBounds(in.Type)
+		}
+		return out
+
+	case qir.OpFPToSI:
+		out := topVal()
+		out.r = TypeBounds(in.Type.Size())
+		return out
+
+	case qir.OpGEP:
+		x := get(in.A)
+		delta := Point(in.Imm)
+		var idxDef = true
+		if in.B != qir.NoValue {
+			y := get(in.B)
+			idxDef = y.def
+			delta = delta.Add(y.r.Mul(Point(int64(in.Aux))))
+		}
+		out := a.derivePtr(x, delta)
+		out.r = x.r.Add(delta)
+		out.def = x.def && idxDef
+		return out
+
+	case qir.OpLoad:
+		out := topVal()
+		// Width-limited result; loads may zero- or sign-extend depending
+		// on the back-end, so cover both interpretations.
+		out.r = loadBounds(in.Type)
+		return out
+
+	case qir.OpSelect:
+		c, x, y := get(in.A), get(in.B), get(in.C)
+		out := x.join(y)
+		out.def = out.def && c.def
+		return out
+
+	case qir.OpPhi:
+		// Handled by evalAt (incomings need per-predecessor context) and
+		// deliberately not re-evaluated by the contextual queries.
+		return a.vals[v]
+
+	default:
+		// Terminators, stores and anything unhandled produce no value.
+		return topVal()
+	}
+}
+
+// derivePtr propagates a pointer derivation through an offset adjustment.
+func (a *Analysis) derivePtr(base absVal, delta Interval) absVal {
+	out := topVal()
+	if base.anchor != qir.NoValue {
+		out.anchor = base.anchor
+		out.off = base.off.Add(delta)
+		out.nonNull = base.nonNull
+	}
+	return out
+}
+
+func sar(v, sh int64) int64 {
+	if v == NegInf || v == PosInf {
+		return v
+	}
+	return v >> uint(sh)
+}
+
+func nextPow2Minus1(v int64) int64 {
+	if v <= 0 {
+		return 0
+	}
+	r := int64(1)
+	for r-1 < v {
+		if r > PosInf/2 {
+			return PosInf
+		}
+		r <<= 1
+	}
+	return r - 1
+}
+
+// unsignedBounds is the value range of a zero-extended t-typed quantity.
+func unsignedBounds(t qir.Type) Interval {
+	switch t {
+	case qir.I1:
+		return Interval{0, 1}
+	case qir.I8:
+		return Interval{0, 0xFF}
+	case qir.I16:
+		return Interval{0, 0xFFFF}
+	case qir.I32:
+		return Interval{0, 0xFFFFFFFF}
+	}
+	return Top()
+}
+
+// loadBounds covers both sign- and zero-extending interpretations of a load.
+func loadBounds(t qir.Type) Interval {
+	switch t {
+	case qir.I1:
+		return Interval{0, 1}
+	case qir.I8:
+		return Interval{-0x80, 0xFF}
+	case qir.I16:
+		return Interval{-0x8000, 0xFFFF}
+	case qir.I32:
+		return Interval{-0x80000000, 0xFFFFFFFF}
+	}
+	return Top()
+}
+
+// cmpEval decides an integer comparison over intervals when possible.
+func cmpEval(p qir.Cmp, x, y Interval) (val, known bool) {
+	if x.Empty() || y.Empty() {
+		return false, false
+	}
+	unsignedOK := x.Lo >= 0 && y.Lo >= 0
+	switch p {
+	case qir.CmpEQ:
+		if x.IsPoint() && y.IsPoint() && x.Lo == y.Lo {
+			return true, true
+		}
+		if x.Meet(y).Empty() {
+			return false, true
+		}
+	case qir.CmpNE:
+		if v, k := cmpEval(qir.CmpEQ, x, y); k {
+			return !v, true
+		}
+	case qir.CmpSLT:
+		if x.Hi < y.Lo {
+			return true, true
+		}
+		if x.Lo >= y.Hi {
+			return false, true
+		}
+	case qir.CmpSLE:
+		if x.Hi <= y.Lo {
+			return true, true
+		}
+		if x.Lo > y.Hi {
+			return false, true
+		}
+	case qir.CmpSGT:
+		return cmpEval(qir.CmpSLT, y, x)
+	case qir.CmpSGE:
+		return cmpEval(qir.CmpSLE, y, x)
+	case qir.CmpULT:
+		if unsignedOK {
+			return cmpEval(qir.CmpSLT, x, y)
+		}
+	case qir.CmpULE:
+		if unsignedOK {
+			return cmpEval(qir.CmpSLE, x, y)
+		}
+	case qir.CmpUGT:
+		if unsignedOK {
+			return cmpEval(qir.CmpSGT, x, y)
+		}
+	case qir.CmpUGE:
+		if unsignedOK {
+			return cmpEval(qir.CmpSGE, x, y)
+		}
+	}
+	return false, false
+}
+
+// buildConstraints derives the per-block branch-condition refinements: for
+// every conditional edge p->b where b has p as its only predecessor, the
+// branch condition (or its negation) holds throughout the region b
+// dominates. Constraints compose down the dominator tree; processing in RPO
+// guarantees the unique predecessor (== idom) is finished first.
+func (a *Analysis) buildConstraints() {
+	f := a.F
+	a.cons = make([]map[qir.Value]Interval, len(f.Blocks))
+	a.consNN = make([]map[qir.Value]bool, len(f.Blocks))
+	for _, b := range a.Dom.RPO {
+		var m map[qir.Value]Interval
+		var nn map[qir.Value]bool
+		owned, nnOwned := false, false
+		if idom := a.Dom.Idom[b]; idom != b && idom >= 0 {
+			m = a.cons[idom] // shared until a local constraint forces a copy
+			nn = a.consNN[idom]
+		}
+		add := func(v qir.Value, iv Interval) {
+			if iv.IsTop() {
+				return
+			}
+			if !owned {
+				nm := make(map[qir.Value]Interval, len(m)+2)
+				for k, val := range m {
+					nm[k] = val
+				}
+				m, owned = nm, true
+			}
+			if old, ok := m[v]; ok {
+				iv = iv.Meet(old)
+			}
+			m[v] = iv
+			a.cons[b] = m
+		}
+		addNN := func(v qir.Value) {
+			if !nnOwned {
+				nm := make(map[qir.Value]bool, len(nn)+1)
+				for k := range nn {
+					nm[k] = true
+				}
+				nn, nnOwned = nm, true
+			}
+			nn[v] = true
+			a.consNN[b] = nn
+		}
+		a.cons[b] = m
+		a.consNN[b] = nn
+		preds := f.Blocks[b].Preds
+		if len(preds) != 1 {
+			continue
+		}
+		p := preds[0]
+		if a.Dom.Num[p] < 0 || a.Dom.Num[p] > a.Dom.Num[b] {
+			continue // unreachable pred or back edge
+		}
+		t := f.Blocks[p].Terminator()
+		if t == qir.NoValue {
+			continue
+		}
+		term := &f.Instrs[t]
+		if term.Op != qir.OpCondBr {
+			continue
+		}
+		tTgt, fTgt := qir.BlockID(term.Aux), term.B
+		if tTgt == fTgt {
+			continue // both arms reach b: the condition tells us nothing
+		}
+		taken := tTgt == qir.BlockID(b)
+		cond := term.A
+		// The condition value itself is pinned on each arm.
+		if taken {
+			add(cond, Point(1))
+		} else {
+			add(cond, Point(0))
+		}
+		ci := &f.Instrs[cond]
+		if ci.Op != qir.OpICmp {
+			continue
+		}
+		pred := ci.Cmp()
+		if !taken {
+			pred = negateCmp(pred)
+		}
+		xr := a.rangeWithCons(p, ci.A)
+		yr := a.rangeWithCons(p, ci.B)
+		nx, ny := refineByCmp(pred, xr, yr)
+		add(ci.A, nx)
+		add(ci.B, ny)
+		// `p != null` (the negation of an `p == null` guard) proves
+		// non-nullness for the region b dominates.
+		if pred == qir.CmpNE {
+			if yr.IsPoint() && yr.Lo == 0 {
+				addNN(ci.A)
+			}
+			if xr.IsPoint() && xr.Lo == 0 {
+				addNN(ci.B)
+			}
+		}
+	}
+}
+
+// rangeWithCons is the global range of v met with the constraints active at
+// block b (no recursive refinement; used while constraints are being built).
+func (a *Analysis) rangeWithCons(b qir.BlockID, v qir.Value) Interval {
+	r := a.vals[v].r
+	if m := a.cons[b]; m != nil {
+		if c, ok := m[v]; ok {
+			r = r.Meet(c)
+		}
+	}
+	return r
+}
+
+func negateCmp(p qir.Cmp) qir.Cmp {
+	switch p {
+	case qir.CmpEQ:
+		return qir.CmpNE
+	case qir.CmpNE:
+		return qir.CmpEQ
+	case qir.CmpSLT:
+		return qir.CmpSGE
+	case qir.CmpSLE:
+		return qir.CmpSGT
+	case qir.CmpSGT:
+		return qir.CmpSLE
+	case qir.CmpSGE:
+		return qir.CmpSLT
+	case qir.CmpULT:
+		return qir.CmpUGE
+	case qir.CmpULE:
+		return qir.CmpUGT
+	case qir.CmpUGT:
+		return qir.CmpULE
+	case qir.CmpUGE:
+		return qir.CmpULT
+	}
+	return p
+}
+
+// refineByCmp narrows both operand ranges under the assumption "x p y".
+func refineByCmp(p qir.Cmp, x, y Interval) (nx, ny Interval) {
+	nx, ny = x, y
+	switch p {
+	case qir.CmpEQ:
+		nx = x.Meet(y)
+		ny = nx
+	case qir.CmpNE:
+		if y.IsPoint() {
+			if x.Lo == y.Lo {
+				nx.Lo = SatAdd(nx.Lo, 1)
+			}
+			if x.Hi == y.Lo {
+				nx.Hi = SatAdd(nx.Hi, -1)
+			}
+		}
+		if x.IsPoint() {
+			if y.Lo == x.Lo {
+				ny.Lo = SatAdd(ny.Lo, 1)
+			}
+			if y.Hi == x.Lo {
+				ny.Hi = SatAdd(ny.Hi, -1)
+			}
+		}
+	case qir.CmpSLT:
+		nx.Hi = min64(nx.Hi, SatAdd(y.Hi, -1))
+		ny.Lo = max64(ny.Lo, SatAdd(x.Lo, 1))
+	case qir.CmpSLE:
+		nx.Hi = min64(nx.Hi, y.Hi)
+		ny.Lo = max64(ny.Lo, x.Lo)
+	case qir.CmpSGT:
+		ny, nx = refineByCmp(qir.CmpSLT, y, x)
+	case qir.CmpSGE:
+		ny, nx = refineByCmp(qir.CmpSLE, y, x)
+	case qir.CmpULT:
+		// x u< y with y >= 0 pins x into [0, y.Hi-1] — the canonical
+		// bounds-check shape. Refining y upward requires knowing x >= 0.
+		if y.Lo >= 0 {
+			nx = nx.Meet(Interval{0, SatAdd(y.Hi, -1)})
+		}
+		if x.Lo >= 0 {
+			ny.Lo = max64(ny.Lo, SatAdd(x.Lo, 1))
+		}
+	case qir.CmpULE:
+		if y.Lo >= 0 {
+			nx = nx.Meet(Interval{0, y.Hi})
+		}
+		if x.Lo >= 0 {
+			ny.Lo = max64(ny.Lo, x.Lo)
+		}
+	case qir.CmpUGT:
+		ny, nx = refineByCmp(qir.CmpULT, y, x)
+	case qir.CmpUGE:
+		ny, nx = refineByCmp(qir.CmpULE, y, x)
+	}
+	return nx, ny
+}
+
+// valAt is the block-contextual abstract value: the global result met with
+// branch constraints, sharpened by depth-bounded re-evaluation through the
+// operand chain. Phi nodes are deliberately not re-evaluated recursively —
+// their precision comes from constraints attached to the phi value itself —
+// which keeps the refinement sound without iteration.
+func (a *Analysis) valAt(b qir.BlockID, v qir.Value, depth int) absVal {
+	av := a.vals[v]
+	if m := a.cons[b]; m != nil {
+		if c, ok := m[v]; ok {
+			av.r = av.r.Meet(c)
+		}
+	}
+	if m := a.consNN[b]; m != nil && m[v] {
+		av.nonNull = true
+	}
+	if depth <= 0 || !av.def {
+		return av
+	}
+	in := &a.F.Instrs[v]
+	if in.Op == qir.OpPhi || in.Op == qir.OpParam || in.Op.IsConst() {
+		return av
+	}
+	re := a.eval(v, func(u qir.Value) absVal { return a.valAt(b, u, depth-1) })
+	av.r = av.r.Meet(re.r)
+	if av.anchor == qir.NoValue && re.anchor != qir.NoValue {
+		av.anchor, av.off = re.anchor, re.off
+	} else if av.anchor != qir.NoValue && av.anchor == re.anchor {
+		av.off = av.off.Meet(re.off)
+	}
+	av.nonNull = av.nonNull || re.nonNull
+	return av
+}
+
+// Range returns the context-free value range of v.
+func (a *Analysis) Range(v qir.Value) Interval { return a.vals[v].r }
+
+// RangeAt returns the value range of v at any point dominated by block b's
+// entry, refined by the branch conditions proven on the path to b.
+func (a *Analysis) RangeAt(b qir.BlockID, v qir.Value) Interval {
+	return a.valAt(b, v, maxRefineDepth).r
+}
+
+// NonNull reports whether v is proven non-null.
+func (a *Analysis) NonNull(v qir.Value) bool { return a.vals[v].nonNull }
+
+// Derivation returns the pointer derivation of v: the anchoring parameter
+// and the byte-offset interval from it. ok is false for unanchored values.
+func (a *Analysis) Derivation(v qir.Value) (anchor qir.Value, off Interval, ok bool) {
+	av := a.vals[v]
+	return av.anchor, av.off, av.anchor != qir.NoValue
+}
+
+// AccessSafe reports whether a size-byte access through addr, executed in
+// block b, is statically proven in-bounds. reason describes the proof.
+func (a *Analysis) AccessSafe(b qir.BlockID, addr qir.Value, size int64) (bool, string) {
+	if size <= 0 {
+		return false, ""
+	}
+	av := a.valAt(b, addr, maxRefineDepth)
+	if av.anchor != qir.NoValue {
+		if lo, hi, ok := a.anchorRegion(av.anchor); ok &&
+			av.off.Lo >= lo && av.off.Hi != PosInf && av.off.Hi <= hi-size &&
+			a.nonNullAt(b, av.anchor) {
+			return true, "region"
+		}
+	}
+	if av.r.Lo > 0 && av.r.Hi != PosInf {
+		for _, reg := range a.Facts.Regions {
+			if av.r.Lo >= reg.Base && av.r.Hi+size <= reg.Base+reg.Size {
+				return true, "absolute"
+			}
+		}
+	}
+	return false, ""
+}
+
+// anchorRegion returns the valid byte range [lo, hi) around an anchor value
+// (relative to the anchor itself): [0, size) for parameters with a declared
+// region, [-Pre, Post) for values carrying a PtrFact.
+func (a *Analysis) anchorRegion(anchor qir.Value) (lo, hi int64, ok bool) {
+	if ft, have := a.Facts.valFact(anchor); have {
+		return -ft.Pre, ft.Post, true
+	}
+	in := &a.F.Instrs[anchor]
+	if in.Op == qir.OpParam {
+		if sz := a.Facts.paramRegion(int(in.Aux)); sz > 0 {
+			return 0, sz, true
+		}
+	}
+	return 0, 0, false
+}
+
+// nonNullAt reports whether v is proven non-null at any point dominated by
+// block b's entry (globally, or by a dominating null-check branch).
+func (a *Analysis) nonNullAt(b qir.BlockID, v qir.Value) bool {
+	if a.vals[v].nonNull {
+		return true
+	}
+	if m := a.consNN[b]; m != nil && m[v] {
+		return true
+	}
+	return false
+}
+
+// Access describes one memory instruction and the analysis verdict on it.
+type Access struct {
+	V     qir.Value
+	Block qir.BlockID
+	Size  int64
+	Store bool
+	// Safe means the runtime bounds/null check is provably redundant.
+	Safe bool
+	// Reason is "region", "absolute" or "redundant" when Safe.
+	Reason string
+}
+
+// Accesses classifies every load and store in reachable blocks. Beyond the
+// range/region proofs it applies a dominance-based redundancy tier: an
+// access whose bytes are covered by a dominating access at the same
+// activation-invariant address needs no check, because VM memory validity is
+// monotone (the arena never shrinks) and the dominating access either
+// checked or proved the same bytes.
+func (a *Analysis) Accesses() []Access {
+	f := a.F
+	var out []Access
+	type key struct {
+		anchor qir.Value // NoValue for absolute or ssa-value keys
+		base   int64     // offset (anchored), address (absolute), value id (ssa)
+		kind   uint8     // 0 anchored-point, 1 absolute-point, 2 same-ssa-addr
+	}
+	type site struct {
+		idx       int // index in out
+		invariant bool
+	}
+	sites := make(map[key][]site)
+	for _, b := range a.Dom.RPO {
+		for _, v := range f.Blocks[b].List {
+			in := &f.Instrs[v]
+			if in.Op != qir.OpLoad && in.Op != qir.OpStore {
+				continue
+			}
+			acc := Access{V: v, Block: b, Store: in.Op == qir.OpStore}
+			if acc.Store {
+				acc.Size = f.ValueType(in.B).Size()
+			} else {
+				acc.Size = in.Type.Size()
+			}
+			acc.Safe, acc.Reason = a.AccessSafe(b, in.A, acc.Size)
+			av := a.valAt(b, in.A, maxRefineDepth)
+			k := key{anchor: qir.NoValue, base: int64(in.A), kind: 2}
+			invariant := false
+			if av.anchor != qir.NoValue && av.off.IsPoint() {
+				k = key{anchor: av.anchor, base: av.off.Lo, kind: 0}
+				// Only parameter anchors are activation-invariant: a
+				// call-result or phi anchor (PtrFact) can take a new
+				// value on every loop iteration.
+				invariant = f.Instrs[av.anchor].Op == qir.OpParam
+			} else if av.r.IsPoint() {
+				k = key{anchor: qir.NoValue, base: av.r.Lo, kind: 1}
+				invariant = true
+			}
+			sites[k] = append(sites[k], site{idx: len(out), invariant: invariant})
+			out = append(out, acc)
+		}
+	}
+	// Redundancy tier. Within a key the sites are in RPO/program order for
+	// same-block entries, so earlier sites can cover later ones.
+	for _, list := range sites {
+		for i, y := range list {
+			ya := &out[y.idx]
+			if ya.Safe {
+				continue
+			}
+			for j, x := range list {
+				if j == i {
+					continue
+				}
+				xa := &out[x.idx]
+				if xa.Size < ya.Size {
+					continue // must cover all accessed bytes
+				}
+				if xa.Block == ya.Block {
+					if a.posIdx[xa.V] < a.posIdx[ya.V] {
+						ya.Safe, ya.Reason = true, "redundant"
+						break
+					}
+					continue
+				}
+				// Cross-block coverage needs an activation-invariant
+				// address: same-SSA keys may be loop-variant.
+				if y.invariant && x.invariant &&
+					a.Dom.Dominates(xa.Block, ya.Block) {
+					ya.Safe, ya.Reason = true, "redundant"
+					break
+				}
+			}
+		}
+	}
+	return out
+}

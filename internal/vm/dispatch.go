@@ -200,36 +200,36 @@ func stepRun(steps []fstep, R *[32]uint64, F *[16]float64, mem []byte) {
 			F[s.rd] = fromBits(R[s.ra])
 		// Guard-covered memory accesses (bounds established at block
 		// entry by xGuard — no per-access check).
-		case uLoad8:
+		case uLoad8, uint8(vt.LoadU8):
 			R[s.rd] = uint64(mem[R[s.ra]+uint64(s.imm)])
-		case uLoad8S:
+		case uLoad8S, uint8(vt.LoadU8S):
 			R[s.rd] = uint64(int64(int8(mem[R[s.ra]+uint64(s.imm)])))
-		case uLoad16:
+		case uLoad16, uint8(vt.LoadU16):
 			a := R[s.ra] + uint64(s.imm)
 			R[s.rd] = uint64(mem[a]) | uint64(mem[a+1])<<8
-		case uLoad16S:
+		case uLoad16S, uint8(vt.LoadU16S):
 			a := R[s.ra] + uint64(s.imm)
 			R[s.rd] = uint64(int64(int16(uint16(mem[a]) | uint16(mem[a+1])<<8)))
-		case uLoad32:
+		case uLoad32, uint8(vt.LoadU32):
 			R[s.rd] = uint64(le32(mem[R[s.ra]+uint64(s.imm):]))
-		case uLoad32S:
+		case uLoad32S, uint8(vt.LoadU32S):
 			R[s.rd] = uint64(int64(int32(le32(mem[R[s.ra]+uint64(s.imm):]))))
-		case uLoad64:
+		case uLoad64, uint8(vt.LoadU64):
 			R[s.rd] = le64(mem[R[s.ra]+uint64(s.imm):])
-		case uStore8:
+		case uStore8, uint8(vt.StoreU8):
 			mem[R[s.ra]+uint64(s.imm)] = byte(R[s.rb])
-		case uStore16:
+		case uStore16, uint8(vt.StoreU16):
 			a := R[s.ra] + uint64(s.imm)
 			v := R[s.rb]
 			mem[a] = byte(v)
 			mem[a+1] = byte(v >> 8)
-		case uStore32:
+		case uStore32, uint8(vt.StoreU32):
 			put32(mem[R[s.ra]+uint64(s.imm):], uint32(R[s.rb]))
-		case uStore64:
+		case uStore64, uint8(vt.StoreU64):
 			put64(mem[R[s.ra]+uint64(s.imm):], R[s.rb])
-		case uFLoad:
+		case uFLoad, uint8(vt.FLoadU):
 			F[s.rd] = fromBits(le64(mem[R[s.ra]+uint64(s.imm):]))
-		case uFStore:
+		case uFStore, uint8(vt.FStoreU):
 			put64(mem[R[s.ra]+uint64(s.imm):], toBits(F[s.rb]))
 		// Combined steps: two operations per dispatch, executed in original
 		// order (see combineSteps). All constituents are trap-free, so the
@@ -841,48 +841,48 @@ func (m *Machine) runFused(mod *Module, fp *fprog, start int32) error {
 			put64(mem[a:], toBits(F[in.rb]))
 
 		// ---- guard-covered memory singles (flushed runs of one step) ----
-		case uLoad8:
+		case uLoad8, uint8(vt.LoadU8):
 			memops++
 			R[in.rd] = uint64(mem[R[in.ra]+uint64(in.imm)])
-		case uLoad8S:
+		case uLoad8S, uint8(vt.LoadU8S):
 			memops++
 			R[in.rd] = uint64(int64(int8(mem[R[in.ra]+uint64(in.imm)])))
-		case uLoad16:
+		case uLoad16, uint8(vt.LoadU16):
 			memops++
 			a := R[in.ra] + uint64(in.imm)
 			R[in.rd] = uint64(mem[a]) | uint64(mem[a+1])<<8
-		case uLoad16S:
+		case uLoad16S, uint8(vt.LoadU16S):
 			memops++
 			a := R[in.ra] + uint64(in.imm)
 			R[in.rd] = uint64(int64(int16(uint16(mem[a]) | uint16(mem[a+1])<<8)))
-		case uLoad32:
+		case uLoad32, uint8(vt.LoadU32):
 			memops++
 			R[in.rd] = uint64(le32(mem[R[in.ra]+uint64(in.imm):]))
-		case uLoad32S:
+		case uLoad32S, uint8(vt.LoadU32S):
 			memops++
 			R[in.rd] = uint64(int64(int32(le32(mem[R[in.ra]+uint64(in.imm):]))))
-		case uLoad64:
+		case uLoad64, uint8(vt.LoadU64):
 			memops++
 			R[in.rd] = le64(mem[R[in.ra]+uint64(in.imm):])
-		case uStore8:
+		case uStore8, uint8(vt.StoreU8):
 			memops++
 			mem[R[in.ra]+uint64(in.imm)] = byte(R[in.rb])
-		case uStore16:
+		case uStore16, uint8(vt.StoreU16):
 			memops++
 			a := R[in.ra] + uint64(in.imm)
 			v := R[in.rb]
 			mem[a] = byte(v)
 			mem[a+1] = byte(v >> 8)
-		case uStore32:
+		case uStore32, uint8(vt.StoreU32):
 			memops++
 			put32(mem[R[in.ra]+uint64(in.imm):], uint32(R[in.rb]))
-		case uStore64:
+		case uStore64, uint8(vt.StoreU64):
 			memops++
 			put64(mem[R[in.ra]+uint64(in.imm):], R[in.rb])
-		case uFLoad:
+		case uFLoad, uint8(vt.FLoadU):
 			memops++
 			F[in.rd] = fromBits(le64(mem[R[in.ra]+uint64(in.imm):]))
-		case uFStore:
+		case uFStore, uint8(vt.FStoreU):
 			memops++
 			put64(mem[R[in.ra]+uint64(in.imm):], toBits(F[in.rb]))
 

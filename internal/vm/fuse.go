@@ -102,29 +102,29 @@ const (
 	// encoding and may be inlined as direct micro-ops; the wide group
 	// (cWideFirst onward) uses the rf/rg/imm3 step fields and only ever
 	// executes inside runs.
-	c2MovXor     // MovRR + Xor:          rd←ra;         rb←rc^re
-	c2MovAnd     // MovRR + And:          rd←ra;         rb←rc&re
-	c2XorMov     // Xor + MovRR:          rd←ra^rb;      rc←re
-	c2AndMov     // And + MovRR:          rd←ra&rb;      rc←re
-	c2MovMulI    // MovRR + MulI:         rd←ra;         rb←rc*imm
-	c2MulILea    // MulI + AddI:          rd←ra*imm;     rb←rc+imm2
-	c2LeaAdd     // AddI + Add:           rd←ra+imm;     rb←rc+re
-	c2AddLea     // Add + AddI:           rd←ra+rb;      rc←re+imm
-	c2MulIAdd    // MulI + Add:           rd←ra*imm;     rb←rc+re
-	c2MovIMulI   // MovRI + MulI:         rd←imm;        rb←rc*imm2
-	c2AddMovI    // Add + MovRI:          rd←ra+rb;      rc←imm
-	c2MovAddI    // MovRR + AddI:         rd←ra;         rb←rc+imm
-	c2AddIMov    // AddI + MovRR:         rd←ra+imm;     rb←rc
-	c2MovIMov    // MovRI + MovRR:        rd←imm;        rb←rc
-	c2MovIMulwu  // MovRI + MulWideU:     rd←imm;        ra,rb←lo,hi(rc*re)
-	c2CrcMovI    // Crc32 + MovRI:        rd←crc(ra,rb); rc←imm
-	c2MovCrc     // MovRR + Crc32:        rd←ra;         rb←crc(rc,re)
-	c2MovLd64    // MovRR + Load64u:      rd←ra;         rb←[rc+imm]
-	c2MovILd64   // MovRI + Load64u:      rd←imm;        rb←[rc+imm2]
-	c2Ld64Lea    // Load64u + AddI:       rd←[ra+imm];   rb←rc+imm2
-	c2LeaSt64    // AddI + Store64u:      rd←ra+imm;     [rb+imm2]←rc
-	c2MovStMovI  // cMovSt64 + MovRI:     rd←ra; [rb+imm]←rc; re←imm2
-	c2MovILdMov  // MovRI + cLd64Mov:     rd←imm; ra←[rb+imm2]; rc←re
+	c2MovXor       // MovRR + Xor:          rd←ra;         rb←rc^re
+	c2MovAnd       // MovRR + And:          rd←ra;         rb←rc&re
+	c2XorMov       // Xor + MovRR:          rd←ra^rb;      rc←re
+	c2AndMov       // And + MovRR:          rd←ra&rb;      rc←re
+	c2MovMulI      // MovRR + MulI:         rd←ra;         rb←rc*imm
+	c2MulILea      // MulI + AddI:          rd←ra*imm;     rb←rc+imm2
+	c2LeaAdd       // AddI + Add:           rd←ra+imm;     rb←rc+re
+	c2AddLea       // Add + AddI:           rd←ra+rb;      rc←re+imm
+	c2MulIAdd      // MulI + Add:           rd←ra*imm;     rb←rc+re
+	c2MovIMulI     // MovRI + MulI:         rd←imm;        rb←rc*imm2
+	c2AddMovI      // Add + MovRI:          rd←ra+rb;      rc←imm
+	c2MovAddI      // MovRR + AddI:         rd←ra;         rb←rc+imm
+	c2AddIMov      // AddI + MovRR:         rd←ra+imm;     rb←rc
+	c2MovIMov      // MovRI + MovRR:        rd←imm;        rb←rc
+	c2MovIMulwu    // MovRI + MulWideU:     rd←imm;        ra,rb←lo,hi(rc*re)
+	c2CrcMovI      // Crc32 + MovRI:        rd←crc(ra,rb); rc←imm
+	c2MovCrc       // MovRR + Crc32:        rd←ra;         rb←crc(rc,re)
+	c2MovLd64      // MovRR + Load64u:      rd←ra;         rb←[rc+imm]
+	c2MovILd64     // MovRI + Load64u:      rd←imm;        rb←[rc+imm2]
+	c2Ld64Lea      // Load64u + AddI:       rd←[ra+imm];   rb←rc+imm2
+	c2LeaSt64      // AddI + Store64u:      rd←ra+imm;     [rb+imm2]←rc
+	c2MovStMovI    // cMovSt64 + MovRI:     rd←ra; [rb+imm]←rc; re←imm2
+	c2MovILdMov    // MovRI + cLd64Mov:     rd←imm; ra←[rb+imm2]; rc←re
 	t3Ld64SetSt64  // cLd64Set + Store64u:  rd←[ra+imm]; set rb←rc?re; [rf+imm2]←rg
 	t3St64MovSt64  // cSt64Mov + Store64u:  [ra+imm]←rb; rd←rc; [re+imm2]←rf
 	t3MovILd64Set  // MovRI + cLd64Set:     rd←imm; rb←[rc+imm2]; set re←rf?rg
@@ -144,12 +144,12 @@ const (
 	q4MovStMovSt   // cMovSt64 + cMovSt64(v=dst): rd←ra; [rb+imm]←rc; re←rf; [rg+imm2]←re
 	q4StLdMovSt    // cSt64Ld64 + cMovSt64(v=dst): [ra+imm]←rb; rc←[rd+imm2]; re←rf; [rg+imm3]←re
 	xGuard         // hoisted block bounds check (cnt ranges at guards[imm])
-	xGuard1  // hoisted single-range bounds check (base ra, [imm, imm2))
-	xJmp     // stream glue (clone fall-through), charges nothing
-	xRun     // superinstruction: cnt steps at steps[imm]
-	xRunBr   // run whose block ends in Br: steps, then jump tgt
-	xRunBrCC // run whose block ends in BrCC
-	xRunBrNZ // run whose block ends in BrNZ
+	xGuard1        // hoisted single-range bounds check (base ra, [imm, imm2))
+	xJmp           // stream glue (clone fall-through), charges nothing
+	xRun           // superinstruction: cnt steps at steps[imm]
+	xRunBr         // run whose block ends in Br: steps, then jump tgt
+	xRunBrCC       // run whose block ends in BrCC
+	xRunBrNZ       // run whose block ends in BrNZ
 	// Guard+run merges: a single-range guard whose block encoded to exactly
 	// one following run micro-op. One dispatch checks bounds and executes
 	// the whole block (the absorbed run micro-op stays in the stream as a
@@ -158,18 +158,21 @@ const (
 	xG1RunBr   // xGuard1 + xRunBr
 	xG1RunBrCC // xGuard1 + xRunBrCC
 	xG1RunBrNZ // xGuard1 + xRunBrNZ
-	xCmpBr   // SetCC + BrNZ
-	xFCmpBr  // FCmp + BrNZ
-	xLoadOp  // checked load + simple op
-	xOpStore // simple op + checked store
+	xCmpBr     // SetCC + BrNZ
+	xFCmpBr    // FCmp + BrNZ
+	xLoadOp    // checked load + simple op
+	xOpStore   // simple op + checked store
 )
 
-// unchecked maps a memory operation to its guard-covered step opcode.
+// unchecked maps a memory operation (checked or statically unchecked) to its
+// guard-covered step opcode.
 func unchecked(op vt.Op) uint8 {
 	switch {
 	case op >= vt.Load8 && op <= vt.Store64:
 		return uLoad8 + uint8(op-vt.Load8)
-	case op == vt.FLoad:
+	case op >= vt.LoadU8 && op <= vt.StoreU64:
+		return uLoad8 + uint8(op-vt.LoadU8)
+	case op == vt.FLoad, op == vt.FLoadU:
 		return uFLoad
 	default:
 		return uFStore
@@ -658,7 +661,8 @@ func intWrites(in *vt.Instr) uint32 {
 	case vt.MulWideU, vt.MulWideS:
 		return 1<<in.RD | 1<<in.RC
 	case vt.Nop, vt.Store8, vt.Store16, vt.Store32, vt.Store64,
-		vt.FStore, vt.FLoad, vt.FMovRR, vt.FMovRI,
+		vt.StoreU8, vt.StoreU16, vt.StoreU32, vt.StoreU64,
+		vt.FStore, vt.FStoreU, vt.FLoad, vt.FLoadU, vt.FMovRR, vt.FMovRI,
 		vt.FAdd, vt.FSub, vt.FMul, vt.FDiv, vt.CvtSI2F, vt.MovFR,
 		vt.Br, vt.BrCC, vt.BrNZ, vt.Call, vt.CallInd, vt.CallRT,
 		vt.Ret, vt.Trap, vt.TrapNZ:
@@ -977,17 +981,19 @@ func (b *fuseBuilder) encodeBody(s, e int, fast bool) {
 			}
 		}
 
-		if _, isStore, isMem := op.MemRef(); isMem && b.guarded[k] {
+		// Statically unchecked accesses take the same unchecked-step path
+		// as guard-covered ones: the compile-time proof replaces the guard.
+		if _, isStore, isMem := op.MemRef(); isMem && (b.guarded[k] || op.UncheckedMem()) {
 			// Store-to-load forwarding: a guarded 64-bit load from the
 			// address an adjacent guarded store just wrote reads the
 			// stored register instead of memory. Still one MemOp.
 			if !isStore && len(steps) > 0 {
 				pv := &steps[len(steps)-1]
-				if (op == vt.Load64 && pv.op == uStore64 ||
-					op == vt.FLoad && pv.op == uFStore) &&
+				if (op.CheckedMem() == vt.Load64 && pv.op == uStore64 ||
+					op.CheckedMem() == vt.FLoad && pv.op == uFStore) &&
 					pv.ra == in.RA && pv.imm == in.Imm {
 					mv := uint8(vt.MovRR)
-					if op == vt.FLoad {
+					if op.CheckedMem() == vt.FLoad {
 						mv = uint8(vt.FMovRR)
 					}
 					push(fstep{op: mv, rd: in.RD, ra: pv.rb, pc0: int32(k)}, 1)
@@ -1009,7 +1015,8 @@ func (b *fuseBuilder) encodeBody(s, e int, fast bool) {
 			// op+Store fusion: a lone simple op feeding a checked store.
 			if len(steps) == 0 && k+1 < e {
 				nx := &instrs[k+1]
-				if _, isStore, isMem := nx.Op.MemRef(); isMem && isStore && !b.guarded[k+1] {
+				if _, isStore, isMem := nx.Op.MemRef(); isMem && isStore &&
+					!b.guarded[k+1] && !nx.Op.UncheckedMem() {
 					sz, _, _ := nx.Op.MemRef()
 					// The simple op lives as a one-step run referenced by
 					// tgt; the dispatcher executes it before the store.
@@ -1060,9 +1067,11 @@ func (b *fuseBuilder) encodeBody(s, e int, fast bool) {
 		// Non-runnable: flush the pending run, then try memory pairs.
 		flush()
 		if sz, isStore, isMem := op.MemRef(); isMem && !isStore && k+1 < e {
-			// Load+op fusion: checked load feeding a simple operation.
+			// Load+op fusion: checked load feeding a simple operation. An
+			// unchecked memory op is runnable but must not ride along as the
+			// follow step: its access would bypass the MemOps charge.
 			nx := &instrs[k+1]
-			if isRunnable(nx.Op) {
+			if isRunnable(nx.Op) && !nx.Op.UncheckedMem() {
 				// The follow op lives as a one-step run referenced by tgt;
 				// the dispatcher executes it after the load succeeds.
 				stepIdx := int32(len(b.fp.steps))

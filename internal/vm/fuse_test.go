@@ -251,8 +251,8 @@ func TestCallRTNestedTrapPC(t *testing.T) {
 	both(t, func(t *testing.T, arch vt.Arch) {
 		for _, fuse := range []bool{true, false} {
 			code := build(t, arch, func(a vt.Assembler) {
-				a.Emit(vt.Instr{Op: vt.CallRT, Imm: 0}) // 0: re-enters aux below
-				a.Emit(vt.Instr{Op: vt.Ret})            // 1
+				a.Emit(vt.Instr{Op: vt.CallRT, Imm: 0})                    // 0: re-enters aux below
+				a.Emit(vt.Instr{Op: vt.Ret})                               // 1
 				a.Emit(vt.Instr{Op: vt.Trap, Imm: int64(vt.TrapOverflow)}) // 2: aux
 			})
 			mod, err := Load(arch, code)

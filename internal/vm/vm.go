@@ -16,6 +16,7 @@ import (
 	"hash/crc32"
 	"math"
 	"math/bits"
+	"runtime"
 	"sync"
 
 	"qcc/internal/obs"
@@ -166,6 +167,12 @@ type Machine struct {
 	MemOps   int64
 	// RT is the runtime function table.
 	RT []RTFunc
+	// StrictUnchecked enables the safety-differential verification mode:
+	// unchecked memory operations (vt.LoadU*/StoreU*/FLoadU/FStoreU) re-run
+	// the full bounds/null check and raise TrapElimCheck when it would have
+	// fired. It also disables fused dispatch so every unchecked access is
+	// individually verified rather than covered by run guards.
+	StrictUnchecked bool
 
 	target   *vt.Target
 	heapTop  uint64
@@ -271,10 +278,10 @@ func (m *Machine) Call(mod *Module, entry int32, args ...uint64) ([2]uint64, err
 	m.mod = mod
 	m.depth++
 	var err error
-	if fp := mod.fused(); fp != nil && int(idx) < len(fp.o2f) && fp.o2f[idx] >= 0 {
-		err = m.runFused(mod, fp, fp.o2f[idx])
+	if fp := mod.fused(); fp != nil && !m.StrictUnchecked && int(idx) < len(fp.o2f) && fp.o2f[idx] >= 0 {
+		err = m.runGuarded(func() error { return m.runFused(mod, fp, fp.o2f[idx]) })
 	} else {
-		err = m.run(mod, idx)
+		err = m.runGuarded(func() error { return m.run(mod, idx) })
 	}
 	m.depth--
 	m.mod = prevMod
@@ -323,6 +330,27 @@ func (m *Machine) CallAt(addr uint64, args ...uint64) ([2]uint64, error) {
 	return res, err
 }
 
+// runGuarded executes one dispatch-loop invocation, converting host runtime
+// faults (out-of-range slice accesses from unchecked memory operations whose
+// eliminated check would have fired) into TrapElimCheck traps so a
+// static-analysis bug surfaces as a diagnosable trap instead of crashing the
+// host. Non-runtime panics — e.g. Alloc's deliberate out-of-memory panic —
+// propagate unchanged.
+func (m *Machine) runGuarded(f func() error) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		re, ok := r.(runtime.Error)
+		if !ok {
+			panic(r)
+		}
+		err = &Trap{Code: vt.TrapElimCheck, Msg: re.Error()}
+	}()
+	return f()
+}
+
 func (m *Machine) run(mod *Module, pc int32) error {
 	instrs := mod.Prog.Instrs
 	offs := mod.Prog.Offsets
@@ -355,6 +383,18 @@ func (m *Machine) run(mod *Module, pc int32) error {
 		// a+n >= a rejects address wraparound, which would otherwise pass
 		// the length test and panic on the slice index (cf. Machine.Bytes).
 		return a, a >= nullGuard && a+n <= uint64(len(mem)) && a+n >= a
+	}
+	// uncheckedAddr is the unchecked-access path: static analysis proved the
+	// access safe, so the software check is skipped (a genuinely bad address
+	// faults on the slice index and runGuarded reports TrapElimCheck).
+	// StrictUnchecked re-runs the full check to catch analysis bugs eagerly.
+	strict := m.StrictUnchecked
+	uncheckedAddr := func(a uint64, n uint64) (uint64, bool) {
+		memops++
+		if strict {
+			return a, a >= nullGuard && a+n <= uint64(len(mem)) && a+n >= a
+		}
+		return a, true
 	}
 
 	// PC sampling is checked at branch checkpoints only (see Sampler); sm
@@ -443,6 +483,86 @@ func (m *Machine) run(mod *Module, pc int32) error {
 				return trap(vt.TrapOOB, "store64")
 			}
 			put64(mem[a:], R[in.RB])
+		case vt.LoadU8:
+			a, ok := uncheckedAddr(R[in.RA]+uint64(in.Imm), 1)
+			if !ok {
+				return trap(vt.TrapElimCheck, "ldu8")
+			}
+			R[in.RD] = uint64(mem[a])
+		case vt.LoadU8S:
+			a, ok := uncheckedAddr(R[in.RA]+uint64(in.Imm), 1)
+			if !ok {
+				return trap(vt.TrapElimCheck, "ldu8s")
+			}
+			R[in.RD] = uint64(int64(int8(mem[a])))
+		case vt.LoadU16:
+			a, ok := uncheckedAddr(R[in.RA]+uint64(in.Imm), 2)
+			if !ok {
+				return trap(vt.TrapElimCheck, "ldu16")
+			}
+			R[in.RD] = uint64(mem[a]) | uint64(mem[a+1])<<8
+		case vt.LoadU16S:
+			a, ok := uncheckedAddr(R[in.RA]+uint64(in.Imm), 2)
+			if !ok {
+				return trap(vt.TrapElimCheck, "ldu16s")
+			}
+			R[in.RD] = uint64(int64(int16(uint16(mem[a]) | uint16(mem[a+1])<<8)))
+		case vt.LoadU32:
+			a, ok := uncheckedAddr(R[in.RA]+uint64(in.Imm), 4)
+			if !ok {
+				return trap(vt.TrapElimCheck, "ldu32")
+			}
+			R[in.RD] = uint64(le32(mem[a:]))
+		case vt.LoadU32S:
+			a, ok := uncheckedAddr(R[in.RA]+uint64(in.Imm), 4)
+			if !ok {
+				return trap(vt.TrapElimCheck, "ldu32s")
+			}
+			R[in.RD] = uint64(int64(int32(le32(mem[a:]))))
+		case vt.LoadU64:
+			a, ok := uncheckedAddr(R[in.RA]+uint64(in.Imm), 8)
+			if !ok {
+				return trap(vt.TrapElimCheck, "ldu64")
+			}
+			R[in.RD] = le64(mem[a:])
+		case vt.StoreU8:
+			a, ok := uncheckedAddr(R[in.RA]+uint64(in.Imm), 1)
+			if !ok {
+				return trap(vt.TrapElimCheck, "stu8")
+			}
+			mem[a] = byte(R[in.RB])
+		case vt.StoreU16:
+			a, ok := uncheckedAddr(R[in.RA]+uint64(in.Imm), 2)
+			if !ok {
+				return trap(vt.TrapElimCheck, "stu16")
+			}
+			v := R[in.RB]
+			mem[a] = byte(v)
+			mem[a+1] = byte(v >> 8)
+		case vt.StoreU32:
+			a, ok := uncheckedAddr(R[in.RA]+uint64(in.Imm), 4)
+			if !ok {
+				return trap(vt.TrapElimCheck, "stu32")
+			}
+			put32(mem[a:], uint32(R[in.RB]))
+		case vt.StoreU64:
+			a, ok := uncheckedAddr(R[in.RA]+uint64(in.Imm), 8)
+			if !ok {
+				return trap(vt.TrapElimCheck, "stu64")
+			}
+			put64(mem[a:], R[in.RB])
+		case vt.FLoadU:
+			a, ok := uncheckedAddr(R[in.RA]+uint64(in.Imm), 8)
+			if !ok {
+				return trap(vt.TrapElimCheck, "fldu")
+			}
+			F[in.RD] = fromBits(le64(mem[a:]))
+		case vt.FStoreU:
+			a, ok := uncheckedAddr(R[in.RA]+uint64(in.Imm), 8)
+			if !ok {
+				return trap(vt.TrapElimCheck, "fstu")
+			}
+			put64(mem[a:], toBits(F[in.RB]))
 		case vt.Lea:
 			R[in.RD] = R[in.RA] + uint64(in.Imm)
 		case vt.Add:

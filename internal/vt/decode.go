@@ -154,7 +154,8 @@ func (p *Program) decodeX64() error {
 			}
 			i.Imm = v
 		case AddI, SubI, MulI, AndI, OrI, XorI, ShlI, ShrI, SarI, RotrI, Lea,
-			Load8, Load8S, Load16, Load16S, Load32, Load32S, Load64, FLoad:
+			Load8, Load8S, Load16, Load16S, Load32, Load32S, Load64, FLoad,
+			LoadU8, LoadU8S, LoadU16, LoadU16S, LoadU32, LoadU32S, LoadU64, FLoadU:
 			if !need(1) {
 				return bad()
 			}
@@ -164,7 +165,8 @@ func (p *Program) decodeX64() error {
 				return bad()
 			}
 			i.Imm = v
-		case Store8, Store16, Store32, Store64, FStore:
+		case Store8, Store16, Store32, Store64, FStore,
+			StoreU8, StoreU16, StoreU32, StoreU64, FStoreU:
 			if !need(1) {
 				return bad()
 			}
@@ -274,7 +276,8 @@ func (p *Program) decodeA64() error {
 		switch op {
 		case MovRR, Neg, Not,
 			AddI, SubI, MulI, AndI, OrI, XorI, ShlI, ShrI, SarI, RotrI, Lea,
-			Load8, Load8S, Load16, Load16S, Load32, Load32S, Load64:
+			Load8, Load8S, Load16, Load16S, Load32, Load32S, Load64,
+			LoadU8, LoadU8S, LoadU16, LoadU16S, LoadU32, LoadU32S, LoadU64:
 			ck(rd, false, "rd")
 			ck(ra, false, "ra")
 		case FMovRR:
@@ -283,7 +286,7 @@ func (p *Program) decodeA64() error {
 		case MovRF, CvtF2SI:
 			ck(rd, false, "rd")
 			ck(ra, true, "ra")
-		case MovFR, CvtSI2F, FLoad:
+		case MovFR, CvtSI2F, FLoad, FLoadU:
 			ck(rd, true, "rd")
 			ck(ra, false, "ra")
 		case Add, Sub, Mul, And, Or, Xor, Shl, Shr, Sar, Rotr, SDiv, SRem, UDiv, URem,
@@ -306,10 +309,11 @@ func (p *Program) decodeA64() error {
 			ck(x, false, "rc")
 		case MovZ, MovK:
 			ck(rd, false, "rd")
-		case Store8, Store16, Store32, Store64:
+		case Store8, Store16, Store32, Store64,
+			StoreU8, StoreU16, StoreU32, StoreU64:
 			ck(rd, false, "rb") // value field, encoded in the rd slot
 			ck(ra, false, "ra")
-		case FStore:
+		case FStore, FStoreU:
 			ck(rd, true, "rb")
 			ck(ra, false, "ra")
 		case BrNZ:
@@ -339,10 +343,12 @@ func (p *Program) decodeA64() error {
 			i.Cond = Cond(w >> 14 & 3)
 			i.Imm = int64(w >> 16 & 0xFFFF)
 		case AddI, SubI, MulI, AndI, OrI, XorI, ShlI, ShrI, SarI, RotrI, Lea,
-			Load8, Load8S, Load16, Load16S, Load32, Load32S, Load64, FLoad:
+			Load8, Load8S, Load16, Load16S, Load32, Load32S, Load64, FLoad,
+			LoadU8, LoadU8S, LoadU16, LoadU16S, LoadU32, LoadU32S, LoadU64, FLoadU:
 			i.RD, i.RA = rd, ra
 			i.Imm = int64(int32(w) >> 20)
-		case Store8, Store16, Store32, Store64, FStore:
+		case Store8, Store16, Store32, Store64, FStore,
+			StoreU8, StoreU16, StoreU32, StoreU64, FStoreU:
 			i.RB, i.RA = rd, ra
 			i.Imm = int64(int32(w) >> 20)
 		case Br:
@@ -403,14 +409,16 @@ func Disasm(i Instr) string {
 		return fmt.Sprintf("%s %s", i.Op, r(i.RD))
 	case AddI, SubI, MulI, AndI, OrI, XorI, ShlI, ShrI, SarI, RotrI, Lea:
 		return fmt.Sprintf("%s %s, %s, %d", i.Op, r(i.RD), r(i.RA), i.Imm)
-	case Load8, Load8S, Load16, Load16S, Load32, Load32S, Load64:
+	case Load8, Load8S, Load16, Load16S, Load32, Load32S, Load64,
+		LoadU8, LoadU8S, LoadU16, LoadU16S, LoadU32, LoadU32S, LoadU64:
 		return fmt.Sprintf("%s %s, [%s%+d]", i.Op, r(i.RD), r(i.RA), i.Imm)
-	case FLoad:
-		return fmt.Sprintf("fld %s, [%s%+d]", f(i.RD), r(i.RA), i.Imm)
-	case Store8, Store16, Store32, Store64:
+	case FLoad, FLoadU:
+		return fmt.Sprintf("%s %s, [%s%+d]", i.Op, f(i.RD), r(i.RA), i.Imm)
+	case Store8, Store16, Store32, Store64,
+		StoreU8, StoreU16, StoreU32, StoreU64:
 		return fmt.Sprintf("%s [%s%+d], %s", i.Op, r(i.RA), i.Imm, r(i.RB))
-	case FStore:
-		return fmt.Sprintf("fst [%s%+d], %s", r(i.RA), i.Imm, f(i.RB))
+	case FStore, FStoreU:
+		return fmt.Sprintf("%s [%s%+d], %s", i.Op, r(i.RA), i.Imm, f(i.RB))
 	case SetCC:
 		return fmt.Sprintf("set.%s %s, %s, %s", i.Cond, r(i.RD), r(i.RA), r(i.RB))
 	case FCmp:

@@ -263,13 +263,15 @@ func (a *x64Asm) Emit(i Instr) {
 		}
 		a.regs(i.RD, i.RA)
 		a.imm(i.Imm)
-	case Load8, Load8S, Load16, Load16S, Load32, Load32S, Load64, FLoad:
+	case Load8, Load8S, Load16, Load16S, Load32, Load32S, Load64, FLoad,
+		LoadU8, LoadU8S, LoadU16, LoadU16S, LoadU32, LoadU32S, LoadU64, FLoadU:
 		a.regs(i.RD, i.RA)
 		a.imm(i.Imm)
-	case Store8, Store16, Store32, Store64:
+	case Store8, Store16, Store32, Store64,
+		StoreU8, StoreU16, StoreU32, StoreU64:
 		a.regs(i.RA, i.RB)
 		a.imm(i.Imm)
-	case FStore:
+	case FStore, FStoreU:
 		a.regs(i.RA, i.RB)
 		a.imm(i.Imm)
 	case Br:
@@ -450,7 +452,8 @@ func (a *a64Asm) Emit(i Instr) {
 		a.movConst(sc, i.Imm)
 		rr := op.immToRR()
 		a.rrWord(rr, i.RD, i.RA, sc, 0)
-	case Load8, Load8S, Load16, Load16S, Load32, Load32S, Load64, FLoad:
+	case Load8, Load8S, Load16, Load16S, Load32, Load32S, Load64, FLoad,
+		LoadU8, LoadU8S, LoadU16, LoadU16S, LoadU32, LoadU32S, LoadU64, FLoadU:
 		if fitsImm12(i.Imm) {
 			a.riWord(op, i.RD, i.RA, i.Imm)
 			return
@@ -458,7 +461,8 @@ func (a *a64Asm) Emit(i Instr) {
 		a.movConst(sc, i.Imm)
 		a.rrWord(Add, sc, sc, i.RA, 0)
 		a.riWord(op, i.RD, sc, 0)
-	case Store8, Store16, Store32, Store64, FStore:
+	case Store8, Store16, Store32, Store64, FStore,
+		StoreU8, StoreU16, StoreU32, StoreU64, FStoreU:
 		if fitsImm12(i.Imm) {
 			a.riWord(op, i.RB, i.RA, i.Imm)
 			return

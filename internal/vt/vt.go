@@ -129,6 +129,30 @@ const (
 	MovRF   // RD = bit pattern of FA
 	MovFR   // FD = bit pattern of RA
 
+	// Unchecked memory operations. Operands and semantics match the
+	// checked counterparts, but the null/bounds check was discharged at
+	// compile time by the static analysis (internal/sa): the producing
+	// back-end asserts the address is valid whenever the instruction is
+	// reached. The vm executes them without the per-access software
+	// check; under its eliminated-check instrumentation mode it instead
+	// re-checks and reports a distinguished verification failure, which
+	// is how the safety differential falsifies wrong analysis facts.
+	// The block is contiguous (LoadU8..FStoreU) and mirrors the checked
+	// op order so the two families convert by arithmetic (CheckedMem).
+	LoadU8
+	LoadU8S
+	LoadU16
+	LoadU16S
+	LoadU32
+	LoadU32S
+	LoadU64
+	StoreU8  // mem[RA+Imm] = RB
+	StoreU16 // mem[RA+Imm] = RB
+	StoreU32 // mem[RA+Imm] = RB
+	StoreU64 // mem[RA+Imm] = RB
+	FLoadU   // FD = mem[RA+Imm] as float64
+	FStoreU  // mem[RA+Imm] = FB
+
 	NumOps // sentinel
 )
 
@@ -221,9 +245,14 @@ const (
 	TrapDivZero
 	TrapNull
 	TrapOOB
+	// TrapElimCheck reports an unchecked memory access whose eliminated
+	// bounds/null check would have fired. It can only be raised by the vm's
+	// strict verification mode (or a host fault on the fast path) and always
+	// indicates a static-analysis or lowering bug, never program behavior.
+	TrapElimCheck
 )
 
-var trapNames = [...]string{"unreachable", "overflow", "divzero", "null", "oob"}
+var trapNames = [...]string{"unreachable", "overflow", "divzero", "null", "oob", "elimcheck"}
 
 func (t TrapCode) String() string {
 	if int(t) < len(trapNames) {
@@ -264,6 +293,10 @@ var opNames = [NumOps]string{
 	FMovRR: "fmov", FMovRI: "fmovi", FLoad: "fld", FStore: "fst",
 	FAdd: "fadd", FSub: "fsub", FMul: "fmul", FDiv: "fdiv", FCmp: "fcmp",
 	CvtSI2F: "si2f", CvtF2SI: "f2si", MovRF: "movrf", MovFR: "movfr",
+	LoadU8: "ldu8", LoadU8S: "ldu8s", LoadU16: "ldu16", LoadU16S: "ldu16s",
+	LoadU32: "ldu32", LoadU32S: "ldu32s", LoadU64: "ldu64",
+	StoreU8: "stu8", StoreU16: "stu16", StoreU32: "stu32", StoreU64: "stu64",
+	FLoadU: "fldu", FStoreU: "fstu",
 }
 
 func (o Op) String() string {
@@ -296,11 +329,46 @@ func (o Op) IsTerminator() bool {
 func (o Op) HasSideEffects() bool {
 	switch o {
 	case Store8, Store16, Store32, Store64, FStore,
+		StoreU8, StoreU16, StoreU32, StoreU64, FStoreU,
 		Call, CallInd, CallRT, Ret, Trap, TrapNZ,
 		Br, BrCC, BrNZ, SDiv, SRem, UDiv, URem:
 		return true
 	}
 	return false
+}
+
+// UncheckedMem reports whether the operation is an unchecked memory access.
+func (o Op) UncheckedMem() bool { return o >= LoadU8 && o <= FStoreU }
+
+// CheckedMem maps an unchecked memory operation to its checked counterpart
+// and leaves every other operation unchanged. Code that classifies
+// operations structurally (encoders, decoders, fusion) switches on
+// o.CheckedMem() so the unchecked family inherits the checked family's
+// operand layout.
+func (o Op) CheckedMem() Op {
+	switch {
+	case o >= LoadU8 && o <= StoreU64:
+		return Load8 + (o - LoadU8)
+	case o == FLoadU:
+		return FLoad
+	case o == FStoreU:
+		return FStore
+	}
+	return o
+}
+
+// UncheckedMemOf maps a checked memory operation to its unchecked variant;
+// ok is false for operations without one.
+func UncheckedMemOf(o Op) (Op, bool) {
+	switch {
+	case o >= Load8 && o <= Store64:
+		return LoadU8 + (o - Load8), true
+	case o == FLoad:
+		return FLoadU, true
+	case o == FStore:
+		return FStoreU, true
+	}
+	return o, false
 }
 
 // IsCall reports whether the operation transfers control to a callee (and,
@@ -317,15 +385,15 @@ func (o Op) IsCall() bool {
 // and whether it writes memory. ok is false for non-memory operations. The
 // address of every memory operation is RA+Imm.
 func (o Op) MemRef() (size uint8, store bool, ok bool) {
-	switch o {
+	switch c := o.CheckedMem(); c {
 	case Load8, Load8S, Store8:
-		return 1, o == Store8, true
+		return 1, c == Store8, true
 	case Load16, Load16S, Store16:
-		return 2, o == Store16, true
+		return 2, c == Store16, true
 	case Load32, Load32S, Store32:
-		return 4, o == Store32, true
+		return 4, c == Store32, true
 	case Load64, Store64, FLoad, FStore:
-		return 8, o == Store64 || o == FStore, true
+		return 8, c == Store64 || c == FStore, true
 	}
 	return 0, false, false
 }
@@ -333,7 +401,13 @@ func (o Op) MemRef() (size uint8, store bool, ok bool) {
 // CanTrap reports whether executing the operation may raise a trap (memory
 // bounds, division by zero, explicit traps, or call-target resolution).
 // Trap-free operations are eligible for superinstruction fusion in the vm.
+// Unchecked memory operations carry a compile-time proof of validity and do
+// not trap on the primary path (the instrumentation mode re-checks them,
+// but a failure there is an analysis bug, not program behavior).
 func (o Op) CanTrap() bool {
+	if o.UncheckedMem() {
+		return false
+	}
 	if _, _, mem := o.MemRef(); mem {
 		return true
 	}
