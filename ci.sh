@@ -24,6 +24,15 @@
 #      archs, under the race detector) plus qbench checkelim -checkelim-gate
 #      0.3, which fails when less than 30% of Q1/Q6 static checks are proven
 #      redundant
+#  11. the parallel-executor differential under the race detector: every
+#      TPC-H query, both archs, batch kernels off and on, at 1/2/4/8 workers
+#      must produce byte-identical ordered output to the sequential
+#      tuple-at-a-time reference (and the actually-parallel guard proves the
+#      workers really ran — no silent sequential fallback)
+#  12. the batch/parallel exec gate: qbench batch -batch-gate 1.3 fails when
+#      q1 or q6 falls below a 1.3x parallel speedup at 4 workers, or when
+#      the single-worker batch path regresses the tuple baseline by more
+#      than 25% on any query
 #
 # The unchecked-conservation check (QIR marks must survive into every
 # back-end's machine code) runs inside step 5 as part of qverify.
@@ -48,7 +57,7 @@ echo "== qbench smoke (-sf 0.01 -json) =="
 tmp="$(mktemp -t qbench-report.XXXXXX.json)"
 trap 'rm -f "$tmp"' EXIT
 go run ./cmd/qbench -sf 0.01 -json "$tmp"
-grep -q '"schema": "qcc.obs.report/v1"' "$tmp"
+grep -q '"schema": "qcc.obs.report/v2"' "$tmp"
 echo "report OK: $tmp"
 
 echo "== qbench smoke (-sf 0.01 -nofuse) =="
@@ -86,5 +95,12 @@ go test -race ./internal/backend/conformance/ \
 
 echo "== qbench checkelim gate (sf 0.01, >= 30% on q1/q6) =="
 go run ./cmd/qbench -sf 0.01 -runs 2 -checkelim-gate 0.3 checkelim >/dev/null
+
+echo "== parallel executor differential (-race) =="
+go test -race ./internal/backend/conformance/ \
+	-run 'TestParallelDifferential|TestParallelActuallyParallel' -count=1
+
+echo "== qbench batch exec gate (sf 0.05, >= 1.3x on q1/q6 at 4 workers) =="
+go run ./cmd/qbench -sf 0.05 -runs 3 -exec-jobs 4 -batch-gate 1.3 batch >/dev/null
 
 echo "== ci.sh: all checks passed =="

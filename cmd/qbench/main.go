@@ -3,10 +3,27 @@
 // Usage:
 //
 //	qbench [-arch vx64|va64] [-sf 0.05] [-runs 1] [-mem 1024] [-jobs N]
-//	       [-cache-mb 0] [-json file] [-check] [-nofuse] <experiment>...
+//	       [-cache-mb 0] [-json file] [-check] [-nofuse]
+//	       [-exec-jobs N] [-batch|-nobatch] <experiment>...
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7
-// ablate-llvm fallbacks scaling cachewarm exec prof checkelim all
+// ablate-llvm fallbacks scaling cachewarm exec prof checkelim batch all
+//
+// The batch experiment measures what batch-at-a-time kernels and the
+// morsel-parallel executor buy at execution time: every TPC-H query runs
+// sequentially tuple-at-a-time (the seed path), sequentially with batch
+// kernels, and in parallel at -exec-jobs workers (default 4), per back-end.
+// -batch-json writes its qcc.bench.batch/v1 report (BENCH_batch.json);
+// -batch-gate R fails the run when q1 or q6 falls below a parallel speedup
+// of R or the single-worker batch path regresses the tuple baseline by
+// more than 25% (the CI exec gate).
+//
+// -exec-jobs and -batch/-nobatch also apply to the -json report's suite
+// runs: -exec-jobs N executes table pipelines through the morsel-parallel
+// executor and -batch compiles eligible scan pipelines to batch kernels
+// (default on when -exec-jobs > 1; -nobatch forces tuple code). The
+// exec_workers/exec_morsels and rt_batch_* global counters in the report
+// then reflect those configurations.
 //
 // The checkelim experiment measures what the compile-time check-elimination
 // pass buys at execution time: every TPC-H query compiled with and without
@@ -20,7 +37,7 @@
 // turns the run into a CI gate that fails when the geomean sampling
 // overhead exceeds N percent.
 //
-// -json writes a machine-readable report (schema qcc.obs.report/v1) of the
+// -json writes a machine-readable report (schema qcc.obs.report/v2) of the
 // TPC-H suite over all engines to the given file ("-" for stdout). With
 // -json and no experiment arguments, only the JSON report is produced.
 // -check runs the machine-code verifier inside every compilation; its cost
@@ -54,7 +71,7 @@ func main() {
 	sfLarge := flag.Float64("sf-large", 0.2, "large scale factor for fig7")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel compilation workers (1 = sequential)")
 	cacheMB := flag.Int("cache-mb", 0, "content-addressed code cache budget in MiB (0 = disabled)")
-	jsonOut := flag.String("json", "", "write a qcc.obs.report/v1 JSON report of the TPC-H suite to this file (\"-\" for stdout)")
+	jsonOut := flag.String("json", "", "write a qcc.obs.report/v2 JSON report of the TPC-H suite to this file (\"-\" for stdout)")
 	check := flag.Bool("check", false, "run the machine-code verifier on every compilation (adds Check.* phases to the report)")
 	noFuse := flag.Bool("nofuse", false, "disable vm superinstruction fusion (plain decoded-switch dispatch)")
 	execJSON := flag.String("exec-json", "", "write the exec experiment's dispatch-cost report (schema qcc.bench.exec/v1) to this file")
@@ -63,6 +80,11 @@ func main() {
 	profBudget := flag.Float64("prof-budget", 0, "fail (exit 1) if the prof experiment's geomean sampling overhead exceeds this percentage (0 = no gate)")
 	checkElimJSON := flag.String("checkelim-json", "", "write the checkelim experiment's report (schema qcc.bench.checkelim/v1) to this file")
 	checkElimGate := flag.Float64("checkelim-gate", 0, "fail (exit 1) if the checkelim experiment eliminates less than this fraction of q1/q6 static checks (0 = no gate)")
+	execJobs := flag.Int("exec-jobs", 1, "morsel-parallel executor workers for suite runs and the batch experiment (1 = sequential; the batch experiment defaults to 4)")
+	batchOn := flag.Bool("batch", false, "compile eligible scan pipelines to batch-at-a-time kernels (default on when -exec-jobs > 1)")
+	noBatch := flag.Bool("nobatch", false, "force tuple-at-a-time execution even with -exec-jobs > 1")
+	batchJSON := flag.String("batch-json", "", "write the batch experiment's report (schema qcc.bench.batch/v1) to this file")
+	batchGate := flag.Float64("batch-gate", 0, "fail (exit 1) if the batch experiment's q1/q6 parallel speedup falls below this factor (0 = no gate)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -73,6 +95,14 @@ func main() {
 	cfg.Jobs = *jobs
 	cfg.CacheMB = *cacheMB
 	cfg.NoFuse = *noFuse
+	cfg.ExecJobs = *execJobs
+	cfg.Batch = *execJobs > 1
+	if *batchOn {
+		cfg.Batch = true
+	}
+	if *noBatch {
+		cfg.Batch = false
+	}
 	switch *archFlag {
 	case "vx64":
 		cfg.Arch = vt.VX64
@@ -172,6 +202,28 @@ func main() {
 								eng.Engine, q.Name, q.Ratio, *checkElimGate)
 						}
 					}
+				}
+			}
+			return rep, nil
+		}},
+		{"batch", func() (*bench.Report, error) {
+			rep, jrep, err := bench.BatchCost(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if *batchJSON != "" {
+				f, err := os.Create(*batchJSON)
+				if err != nil {
+					return nil, err
+				}
+				defer f.Close()
+				if err := jrep.Write(f); err != nil {
+					return nil, err
+				}
+			}
+			if *batchGate > 0 {
+				if err := bench.GateBatch(jrep, *batchGate, 1.25); err != nil {
+					return nil, err
 				}
 			}
 			return rep, nil

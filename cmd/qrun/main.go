@@ -3,7 +3,14 @@
 //
 // Usage:
 //
-//	qrun [-engine adaptive] [-workload tpch|tpcds] [-sf 0.05] [-arch vx64] "SELECT ..."
+//	qrun [-engine adaptive] [-workload tpch|tpcds] [-sf 0.05] [-arch vx64]
+//	     [-mem 512] [-nofuse] [-exec-jobs N] [-batch|-nobatch] "SELECT ..."
+//
+// -exec-jobs N executes table pipelines through the morsel-parallel
+// executor with N workers; -batch compiles eligible scan pipelines to
+// batch-at-a-time kernels. Batch kernels default on when -exec-jobs > 1;
+// -nobatch forces tuple-at-a-time code either way. Results are identical
+// under every combination.
 package main
 
 import (
@@ -23,17 +30,28 @@ func main() {
 	archFlag := flag.String("arch", "vx64", "target architecture")
 	mem := flag.Int("mem", 512, "VM memory in MiB")
 	noFuse := flag.Bool("nofuse", false, "disable vm superinstruction fusion (plain decoded-switch dispatch)")
+	execJobs := flag.Int("exec-jobs", 1, "morsel-parallel executor workers (1 = sequential)")
+	batchOn := flag.Bool("batch", false, "compile eligible scan pipelines to batch-at-a-time kernels (default on when -exec-jobs > 1)")
+	noBatch := flag.Bool("nobatch", false, "force tuple-at-a-time execution even with -exec-jobs > 1")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: qrun [flags] \"SELECT ...\"")
 		os.Exit(2)
+	}
+	batch := *execJobs > 1
+	if *batchOn {
+		batch = true
+	}
+	if *noBatch {
+		batch = false
 	}
 
 	arch := qc.VX64
 	if *archFlag == "va64" {
 		arch = qc.VA64
 	}
-	db, err := qc.Open(qc.WithArch(arch), qc.WithMemoryMB(*mem), qc.WithEngine(*engine), qc.WithFusion(!*noFuse))
+	db, err := qc.Open(qc.WithArch(arch), qc.WithMemoryMB(*mem), qc.WithEngine(*engine),
+		qc.WithFusion(!*noFuse), qc.WithExecJobs(*execJobs), qc.WithBatch(batch))
 	if err != nil {
 		fatal(err)
 	}

@@ -1,13 +1,20 @@
 // Command qtrace captures a compile-time trace of one (or every) query on
 // one (or every) back-end and exports it as a Chrome trace-event JSON file
 // (loadable in Perfetto or chrome://tracing), Prometheus text exposition,
-// or the stable qcc.obs.report/v1 JSON schema.
+// or the stable qcc.obs.report/v2 JSON schema.
 //
 // Usage:
 //
 //	qtrace [-arch vx64|va64] [-workload tpch|tpcds] [-query q1] [-engine all]
 //	       [-sf 0.01] [-mem 512] [-runs 1] [-allocs] [-check] [-jobs N]
-//	       [-cache-mb N] [-format chrome|prom|json] [-o trace.json]
+//	       [-cache-mb N] [-nofuse] [-exec-jobs N] [-batch|-nobatch]
+//	       [-format chrome|prom|json] [-o trace.json]
+//
+// -exec-jobs N executes table pipelines through the morsel-parallel
+// executor with N workers and -batch compiles eligible scan pipelines to
+// batch kernels (default on when -exec-jobs > 1; -nobatch forces tuple
+// code), so exec spans and the exec_*/rt_batch_* counters cover those
+// configurations too.
 //
 // Example (one TPC-H query, all engines, nested per-pass spans):
 //
@@ -45,6 +52,9 @@ func main() {
 	jobs := flag.Int("jobs", 1, "parallel compilation workers, like qbench/qverify (1 = sequential)")
 	cacheMB := flag.Int("cache-mb", 0, "content-addressed code cache budget in MiB (0 = disabled); hit/miss counts appear in -format prom/json output")
 	noFuse := flag.Bool("nofuse", false, "disable vm superinstruction fusion (plain decoded-switch dispatch)")
+	execJobs := flag.Int("exec-jobs", 1, "morsel-parallel executor workers (1 = sequential)")
+	batchOn := flag.Bool("batch", false, "compile eligible scan pipelines to batch-at-a-time kernels (default on when -exec-jobs > 1)")
+	noBatch := flag.Bool("nobatch", false, "force tuple-at-a-time execution even with -exec-jobs > 1")
 	format := flag.String("format", "chrome", "output format: chrome, prom, or json")
 	out := flag.String("o", "-", "output file (\"-\" for stdout)")
 	flag.Parse()
@@ -63,6 +73,14 @@ func main() {
 	cfg.Jobs = *jobs
 	cfg.CacheMB = *cacheMB
 	cfg.NoFuse = *noFuse
+	cfg.ExecJobs = *execJobs
+	cfg.Batch = *execJobs > 1
+	if *batchOn {
+		cfg.Batch = true
+	}
+	if *noBatch {
+		cfg.Batch = false
+	}
 	switch *archFlag {
 	case "vx64":
 		cfg.Arch = vt.VX64
@@ -134,7 +152,7 @@ func main() {
 			fail("load %s: %v", *workload, err)
 		}
 		tr := obs.New(obs.Options{Allocs: *allocs})
-		run, err := bench.RunSuiteTraced(w, eng, cfg.Arch, queries, cfg.Runs, tr, cfg.BackendOptions())
+		run, err := bench.RunSuiteExec(w, eng, cfg.Arch, queries, cfg.Runs, tr, cfg.BackendOptions(), cfg.ExecSettings())
 		if err != nil {
 			fail("%v", err)
 		}

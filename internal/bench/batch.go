@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"qcc/internal/backend"
+	"qcc/internal/codegen"
+	"qcc/internal/obs"
+	"qcc/internal/vm"
+)
+
+// BatchSchema identifies the batch/parallel execution report format
+// (BENCH_batch.json).
+const BatchSchema = "qcc.bench.batch/v1"
+
+// ScanHeavy lists the scan-dominated TPC-H queries the batch kernels target
+// (single-pipeline aggregations over lineitem); the executor gate measures
+// these.
+var ScanHeavy = map[string]bool{"q1": true, "q6": true}
+
+// BatchQuery is one query measured under three execution regimes on the
+// same engine: sequential tuple-at-a-time (the seed path and PR-6
+// baseline), sequential with batch kernels, and the morsel-parallel
+// executor with batch kernels at the report's worker count.
+type BatchQuery struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+	// TupleNS is the sequential tuple-at-a-time baseline.
+	TupleNS int64 `json:"tuple_ns"`
+	// BatchNS is sequential (1 worker) with batch kernels.
+	BatchNS int64 `json:"batch_ns"`
+	// ParNS is the morsel-parallel executor with batch kernels.
+	ParNS int64 `json:"par_ns"`
+	// BatchMode reports whether the compiler actually lowered a pipeline
+	// of this query to batch kernels (ineligible queries run tuple code
+	// under every regime, so their ratios measure executor overhead only).
+	BatchMode bool `json:"batch_mode"`
+	// ParallelRan reports whether the executor actually dispatched morsels
+	// to workers (guards against silently-sequential "speedups").
+	ParallelRan bool `json:"parallel_ran"`
+}
+
+// BatchSpeedup is tuple/batch at one worker (>1: batch kernels win).
+func (q BatchQuery) BatchSpeedup() float64 {
+	if q.BatchNS <= 0 {
+		return 0
+	}
+	return float64(q.TupleNS) / float64(q.BatchNS)
+}
+
+// ParSpeedup is tuple/parallel (>1: the full batch+morsel stack wins).
+func (q BatchQuery) ParSpeedup() float64 {
+	if q.ParNS <= 0 {
+		return 0
+	}
+	return float64(q.TupleNS) / float64(q.ParNS)
+}
+
+// BatchEngine aggregates one engine's measurements.
+type BatchEngine struct {
+	Engine  string       `json:"engine"`
+	Queries []BatchQuery `json:"queries"`
+	// GeomeanBatch pools BatchSpeedup over all queries; GeomeanPar pools
+	// ParSpeedup; ScanHeavyPar pools ParSpeedup over the scan-heavy subset
+	// (q1/q6) — the headline number and the CI gate's input.
+	GeomeanBatch float64 `json:"geomean_batch_speedup"`
+	GeomeanPar   float64 `json:"geomean_par_speedup"`
+	ScanHeavyPar float64 `json:"scan_heavy_par_speedup"`
+}
+
+// BatchReport is the full batch/parallel execution experiment
+// (BENCH_batch.json).
+type BatchReport struct {
+	Schema  string        `json:"schema"`
+	Arch    string        `json:"arch"`
+	SF      float64       `json:"sf"`
+	Runs    int           `json:"runs"`
+	Jobs    int           `json:"jobs"`
+	Engines []BatchEngine `json:"engines"`
+	// Pooled geomeans across engines.
+	GeomeanPar   float64 `json:"geomean_par_speedup"`
+	ScanHeavyPar float64 `json:"scan_heavy_par_speedup"`
+}
+
+// Write emits the report as indented JSON.
+func (r *BatchReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// BatchCost measures what batch-at-a-time kernels and the morsel-parallel
+// executor buy at execution time over the TPC-H suite. Per engine and
+// query, three regimes run best-of-cfg.Runs on the same world: the
+// sequential tuple path (identical to the seed benchmarks), batch kernels
+// at one worker, and batch kernels under the parallel executor at
+// cfg.ExecJobs workers (default 4). The parallel differential guarantees
+// all three produce identical results, so the ratios isolate execution
+// cost. Engines without a vm module (the interpreter) are skipped — the
+// executor's workers replay generated code on worker machines.
+func BatchCost(cfg Config) (*Report, *BatchReport, error) {
+	runs := cfg.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	jobs := cfg.ExecJobs
+	if jobs <= 1 {
+		jobs = 4
+	}
+	rep := &Report{Title: fmt.Sprintf("Batch kernels + morsel parallelism (TPC-H, %s, sf=%g, %d workers, best of %d)",
+		cfg.Arch, cfg.SF, jobs, runs)}
+	jrep := &BatchReport{Schema: BatchSchema, Arch: cfg.Arch.String(), SF: cfg.SF, Runs: runs, Jobs: jobs}
+	var allPar, allScanHeavy []float64
+	for _, eng := range Engines(cfg.Arch) {
+		w, err := loadH(cfg, cfg.SF)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: load tpch: %w", err)
+		}
+		er := BatchEngine{Engine: eng.Name()}
+		var batchRatios, parRatios, scanHeavy []float64
+		w.DB.Checkpoint()
+		skipped := false
+		for _, q := range HQueries() {
+			// One tuple-mode compile (the baseline) and one batch+parallel
+			// compile per query; both modules stay live until the final
+			// checkpoint reset.
+			ct, err := codegen.Compile(q.Name, q.Build(), w.Cat)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s/%s: %w", eng.Name(), q.Name, err)
+			}
+			ext, _, err := eng.Compile(ct.Module, &backend.Env{DB: w.DB, Arch: cfg.Arch, Options: cfg.BackendOptions()})
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s/%s: %w", eng.Name(), q.Name, err)
+			}
+			if _, ok := ext.(interface{ Module() *vm.Module }); !ok {
+				skipped = true
+				break
+			}
+			cb, err := codegen.CompileOpts(q.Name, q.Build(), w.Cat,
+				codegen.Options{Elim: true, Batch: true, Parallel: true})
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s/%s: %w", eng.Name(), q.Name, err)
+			}
+			exb, _, err := eng.Compile(cb.Module, &backend.Env{DB: w.DB, Arch: cfg.Arch, Options: cfg.BackendOptions()})
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s/%s: %w", eng.Name(), q.Name, err)
+			}
+			mod := exb.(interface{ Module() *vm.Module }).Module()
+
+			bq := BatchQuery{Name: q.Name}
+			for _, f := range cb.Module.Funcs {
+				if f.Prov.Mode == "batch" {
+					bq.BatchMode = true
+				}
+			}
+
+			// Worker arenas and sink state unwind to this mark between
+			// repetitions; interned strings from both compiles stay below.
+			mark := w.DB.M.HeapMark()
+			measure := func(run func() error) (time.Duration, error) {
+				var best time.Duration
+				for r := 0; r < runs+1; r++ {
+					w.DB.ResetQueryState()
+					w.DB.M.ResetHeapTo(mark)
+					start := time.Now()
+					if err := run(); err != nil {
+						return 0, fmt.Errorf("%s/%s: run: %w", eng.Name(), q.Name, err)
+					}
+					d := time.Since(start)
+					// r == 0 warms caches; timing starts at r == 1.
+					if r == 1 || (r > 1 && d < best) {
+						best = d
+					}
+					bq.Rows = w.DB.Out.NumRows()
+				}
+				return best, nil
+			}
+			// Engine compilation binds its module's runtime-call table onto
+			// the shared machine; with two live modules per query, re-bind
+			// before switching between them.
+			if err := w.DB.Bind(ct.Module.RTNames); err != nil {
+				return nil, nil, fmt.Errorf("%s/%s: %w", eng.Name(), q.Name, err)
+			}
+			tuple, err := measure(func() error { return codegen.Run(w.DB, w.Cat, ct, ext.Call) })
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := w.DB.Bind(cb.Module.RTNames); err != nil {
+				return nil, nil, fmt.Errorf("%s/%s: %w", eng.Name(), q.Name, err)
+			}
+			batch1, err := measure(func() error {
+				return codegen.RunParallel(w.DB, w.Cat, cb, exb.Call,
+					codegen.ExecOptions{Jobs: 1, Module: mod})
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			workersBefore := obs.NewCounter("exec_workers").Load()
+			par, err := measure(func() error {
+				return codegen.RunParallel(w.DB, w.Cat, cb, exb.Call,
+					codegen.ExecOptions{Jobs: jobs, Module: mod})
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			bq.ParallelRan = obs.NewCounter("exec_workers").Load() > workersBefore
+			bq.TupleNS = tuple.Nanoseconds()
+			bq.BatchNS = batch1.Nanoseconds()
+			bq.ParNS = par.Nanoseconds()
+			er.Queries = append(er.Queries, bq)
+			if bq.BatchSpeedup() > 0 {
+				batchRatios = append(batchRatios, bq.BatchSpeedup())
+			}
+			if bq.ParSpeedup() > 0 {
+				parRatios = append(parRatios, bq.ParSpeedup())
+				if ScanHeavy[bq.Name] {
+					scanHeavy = append(scanHeavy, bq.ParSpeedup())
+				}
+			}
+			w.DB.ResetToCheckpoint()
+		}
+		if skipped || len(er.Queries) == 0 {
+			continue // no vm module for workers to execute (interpreter)
+		}
+		er.GeomeanBatch = geomean(batchRatios)
+		er.GeomeanPar = geomean(parRatios)
+		er.ScanHeavyPar = geomean(scanHeavy)
+		allPar = append(allPar, parRatios...)
+		allScanHeavy = append(allScanHeavy, scanHeavy...)
+		jrep.Engines = append(jrep.Engines, er)
+
+		rep.addf("")
+		rep.addf("%s", er.Engine)
+		rep.addf("  %-6s %12s %12s %12s %8s %8s %6s %4s", "query",
+			"tuple", "batch", fmt.Sprintf("par(%d)", jobs), "batch-x", "par-x", "mode", "par?")
+		for _, q := range er.Queries {
+			mode := "tuple"
+			if q.BatchMode {
+				mode = "batch"
+			}
+			ran := "-"
+			if q.ParallelRan {
+				ran = "y"
+			}
+			rep.addf("  %-6s %9.3f ms %9.3f ms %9.3f ms %7.2fx %7.2fx %6s %4s",
+				q.Name, float64(q.TupleNS)/1e6, float64(q.BatchNS)/1e6, float64(q.ParNS)/1e6,
+				q.BatchSpeedup(), q.ParSpeedup(), mode, ran)
+		}
+		rep.addf("  geomean: batch %.2fx, parallel %.2fx, scan-heavy (q1/q6) parallel %.2fx",
+			er.GeomeanBatch, er.GeomeanPar, er.ScanHeavyPar)
+	}
+	jrep.GeomeanPar = geomean(allPar)
+	jrep.ScanHeavyPar = geomean(allScanHeavy)
+	rep.addf("")
+	rep.addf("overall: parallel geomean %.2fx, scan-heavy (q1/q6) geomean %.2fx",
+		jrep.GeomeanPar, jrep.ScanHeavyPar)
+	return rep, jrep, nil
+}
+
+// GateBatch enforces the executor CI gate on a report: every engine's q1
+// and q6 must reach at least minPar parallel speedup, and the sequential
+// batch path must not regress the tuple baseline by more than slack (e.g.
+// slack 1.25 tolerates a 25% single-worker regression before failing).
+func GateBatch(r *BatchReport, minPar, slack float64) error {
+	for _, eng := range r.Engines {
+		for _, q := range eng.Queries {
+			if ScanHeavy[q.Name] && q.ParSpeedup() < minPar {
+				return fmt.Errorf("%s/%s: parallel speedup %.2fx below gate %.2fx",
+					eng.Engine, q.Name, q.ParSpeedup(), minPar)
+			}
+			if ScanHeavy[q.Name] && !q.ParallelRan {
+				return fmt.Errorf("%s/%s: parallel executor never dispatched to workers", eng.Engine, q.Name)
+			}
+			if q.TupleNS > 0 && float64(q.BatchNS) > float64(q.TupleNS)*slack {
+				return fmt.Errorf("%s/%s: single-worker batch run %.2f ms regresses tuple baseline %.2f ms beyond %.2fx slack",
+					eng.Engine, q.Name, float64(q.BatchNS)/1e6, float64(q.TupleNS)/1e6, slack)
+			}
+		}
+	}
+	return nil
+}

@@ -52,7 +52,31 @@ type Config struct {
 	// architecture-neutral counters are identical either way; only
 	// dispatch cost changes.
 	NoFuse bool
+	// ExecJobs is the morsel-parallel executor's worker count. 0 or 1
+	// executes every pipeline sequentially — the seed execution path.
+	ExecJobs int
+	// Batch compiles eligible scan pipelines to batch-at-a-time kernel
+	// calls instead of tuple-at-a-time loops. Results are identical
+	// (enforced by the parallel differential); only execution cost and the
+	// rt_batch_* counters change.
+	Batch bool
 }
+
+// ExecSettings returns the executor configuration for suite runs.
+func (c Config) ExecSettings() ExecSettings {
+	return ExecSettings{Jobs: c.ExecJobs, Batch: c.Batch}
+}
+
+// ExecSettings selects how compiled queries execute: tuple-at-a-time
+// sequential (zero value, the seed path), batch kernels, and/or the
+// morsel-parallel executor.
+type ExecSettings struct {
+	Jobs  int
+	Batch bool
+}
+
+// active reports whether the settings deviate from the seed execution path.
+func (e ExecSettings) active() bool { return e.Jobs > 1 || e.Batch }
 
 // NewCodeCache returns the configured code cache (nil when disabled).
 func (c Config) NewCodeCache() *pcc.Cache {
@@ -202,6 +226,15 @@ func RunSuite(w *World, eng backend.Engine, arch vt.Arch, queries []Query, runs 
 // span. A nil tracer and zero options is RunSuite. opts.Check makes every
 // compilation run the machine-code verifier.
 func RunSuiteTraced(w *World, eng backend.Engine, arch vt.Arch, queries []Query, runs int, tr *obs.Tracer, opts backend.Options) (*EngineRun, error) {
+	return RunSuiteExec(w, eng, arch, queries, runs, tr, opts, ExecSettings{})
+}
+
+// RunSuiteExec is RunSuiteTraced with executor settings: es.Batch compiles
+// eligible pipelines to batch kernels and es.Jobs > 1 executes table
+// pipelines through the morsel-parallel executor (falling back to
+// sequential where a pipeline is ineligible or the engine produces no vm
+// module). The zero ExecSettings is exactly RunSuiteTraced.
+func RunSuiteExec(w *World, eng backend.Engine, arch vt.Arch, queries []Query, runs int, tr *obs.Tracer, opts backend.Options, es ExecSettings) (*EngineRun, error) {
 	if runs < 1 {
 		runs = 1
 	}
@@ -209,7 +242,14 @@ func RunSuiteTraced(w *World, eng backend.Engine, arch vt.Arch, queries []Query,
 	w.DB.Checkpoint()
 	for _, q := range queries {
 		qsp := tr.BeginCat("query:"+q.Name, "query")
-		c, err := codegen.Compile(q.Name, q.Build(), w.Cat)
+		var c *codegen.Compiled
+		var err error
+		if es.active() {
+			c, err = codegen.CompileOpts(q.Name, q.Build(), w.Cat,
+				codegen.Options{Elim: true, Batch: es.Batch, Parallel: es.Jobs > 1})
+		} else {
+			c, err = codegen.Compile(q.Name, q.Build(), w.Cat)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", eng.Name(), q.Name, err)
 		}
@@ -223,17 +263,32 @@ func RunSuiteTraced(w *World, eng backend.Engine, arch vt.Arch, queries []Query,
 			tr.Add(name, v)
 		}
 		out.Stats.Merge(stats)
+		execute := func() error { return codegen.Run(w.DB, w.Cat, c, ex.Call) }
+		if es.active() {
+			var mod *vm.Module
+			if mh, ok := ex.(interface{ Module() *vm.Module }); ok {
+				mod = mh.Module()
+			}
+			execute = func() error {
+				return codegen.RunParallel(w.DB, w.Cat, c, ex.Call,
+					codegen.ExecOptions{Jobs: es.Jobs, Module: mod})
+			}
+		}
 		var best time.Duration
 		var rows int
 		var executed, branches, memops int64
+		// Worker arenas allocated by the parallel executor unwind with this
+		// mark between repetitions (ResetQueryState alone keeps the heap).
+		mark := w.DB.M.HeapMark()
 		for r := 0; r < runs; r++ {
 			w.DB.ResetQueryState()
+			w.DB.M.ResetHeapTo(mark)
 			startInstr := w.DB.M.Executed
 			startBranch := w.DB.M.Branches
 			startMem := w.DB.M.MemOps
 			esp := tr.BeginCat("exec", "exec")
 			start := time.Now()
-			if err := codegen.Run(w.DB, w.Cat, c, ex.Call); err != nil {
+			if err := execute(); err != nil {
 				return nil, fmt.Errorf("%s/%s: run: %w", eng.Name(), q.Name, err)
 			}
 			d := time.Since(start)

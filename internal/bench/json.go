@@ -73,7 +73,7 @@ func JSONReport(cfg Config) (*obs.Report, error) {
 		}
 		// Each engine gets its own cache (comparability) and fresh world.
 		wrapped := cfg.WrapEngine(eng, cfg.NewCodeCache())
-		run, err := RunSuiteTraced(w, wrapped, cfg.Arch, HQueries(), cfg.Runs, nil, cfg.BackendOptions())
+		run, err := RunSuiteExec(w, wrapped, cfg.Arch, HQueries(), cfg.Runs, nil, cfg.BackendOptions(), cfg.ExecSettings())
 		if err != nil {
 			return nil, err
 		}

@@ -25,6 +25,19 @@ const (
 	SrcVector
 )
 
+// SinkKind tells the parallel executor what partition-local state a
+// pipeline accumulates, and therefore how to merge it.
+type SinkKind uint8
+
+// Pipeline sink kinds. SinkNone covers pipelines whose only side effect is
+// the output buffer (merged by morsel order regardless).
+const (
+	SinkNone SinkKind = iota
+	SinkAgg
+	SinkBuild
+	SinkVec
+)
+
 // Pipeline is driver metadata for one generated pipeline.
 type Pipeline struct {
 	// SetupFn, MainFn, CleanupFn are function indices in the module;
@@ -36,6 +49,19 @@ type Pipeline struct {
 	// SourceOff is the state offset holding the source handle for
 	// SrcGroups/SrcVector pipelines.
 	SourceOff int64
+	// Sink and SinkOff describe the pipeline's partition-local sink state
+	// (the state offset holding its handle) for the parallel executor.
+	Sink    SinkKind
+	SinkOff int64
+	// MergeFn is the generated aggregation-merge function index for
+	// SinkAgg pipelines compiled with Options.Parallel, else -1.
+	MergeFn int
+	// NoParallel marks pipelines with cross-morsel sequential semantics
+	// (LIMIT counters, float running sums) that must execute sequentially.
+	NoParallel bool
+	// Batch marks pipelines whose main function drives the vectorized
+	// batch kernels instead of a tuple-at-a-time loop.
+	Batch bool
 }
 
 // Compiled is the result of query compilation: a QIR module plus the
@@ -57,11 +83,27 @@ type Compiled struct {
 	ValFacts map[*qir.Func]map[qir.Value]sa.PtrFact
 }
 
+// Options controls optional code-generation strategies.
+type Options struct {
+	// Elim runs the static check-elimination pass (on in Compile).
+	Elim bool
+	// Batch lowers batch-eligible SrcTable pipelines to vectorized kernel
+	// calls (filters, hash build, aggregation evaluated per-morsel in the
+	// runtime); ineligible pipelines keep the tuple-at-a-time loop.
+	Batch bool
+	// Parallel emits the per-pipeline aggregation merge functions the
+	// morsel-parallel executor needs. Off by default so sequential
+	// compilations stay byte-identical with and without the executor
+	// built in.
+	Parallel bool
+}
+
 // Compiler holds per-query code generation state.
 type Compiler struct {
 	mod   *qir.Module
 	cat   *rt.Catalog
 	name  string
+	opts  Options
 	out   *Compiled
 	state int64 // next free state offset
 
@@ -80,13 +122,18 @@ type Compiler struct {
 // Compile lowers a validated plan into a QIR module and runs the static
 // check-elimination pass over the result.
 func Compile(name string, root plan.Node, cat *rt.Catalog) (*Compiled, error) {
-	return CompileChecked(name, root, cat, true)
+	return CompileOpts(name, root, cat, Options{Elim: true})
 }
 
 // CompileChecked is Compile with explicit control over the check-elimination
 // pass; elim=false produces the fully-checked baseline (every load and store
 // keeps its runtime bounds/null check).
 func CompileChecked(name string, root plan.Node, cat *rt.Catalog, elim bool) (*Compiled, error) {
+	return CompileOpts(name, root, cat, Options{Elim: elim})
+}
+
+// CompileOpts is Compile with full strategy control.
+func CompileOpts(name string, root plan.Node, cat *rt.Catalog, opts Options) (*Compiled, error) {
 	if err := plan.Validate(root); err != nil {
 		return nil, err
 	}
@@ -94,6 +141,7 @@ func CompileChecked(name string, root plan.Node, cat *rt.Catalog, elim bool) (*C
 		mod:  qir.NewModule(name),
 		cat:  cat,
 		name: name,
+		opts: opts,
 	}
 	c.out = &Compiled{Module: c.mod}
 	if err := c.produce(root, c.outputSink(root.Schema())); err != nil {
@@ -104,7 +152,7 @@ func CompileChecked(name string, root plan.Node, cat *rt.Catalog, elim bool) (*C
 		c.out.StateSize = 8
 	}
 	c.out.NumFuncs = len(c.mod.Funcs)
-	if elim {
+	if opts.Elim {
 		c.out.eliminateChecks(cat)
 	}
 	if err := c.mod.VerifyModule(); err != nil {
@@ -150,7 +198,7 @@ func cachedCols(n int, eval func(i int) qir.Value) func(i int) qir.Value {
 func (c *Compiler) beginPipeline(kind SourceKind) {
 	id := c.npipes
 	c.npipes++
-	c.out.Pipelines = append(c.out.Pipelines, Pipeline{Source: kind})
+	c.out.Pipelines = append(c.out.Pipelines, Pipeline{Source: kind, MergeFn: -1})
 	c.pipe = &c.out.Pipelines[len(c.out.Pipelines)-1]
 	c.pipe.SetupFn = len(c.mod.Funcs)
 	c.setup = qir.NewFunc(c.mod, fmt.Sprintf("%s_p%d_setup", c.name, id), qir.Void, qir.Ptr)
@@ -161,6 +209,9 @@ func (c *Compiler) beginPipeline(kind SourceKind) {
 	c.setProv(c.pipe.SetupFn, id, "setup")
 	c.setProv(c.pipe.MainFn, id, "main")
 	c.setProv(c.pipe.CleanupFn, id, "cleanup")
+	c.setMode(c.pipe.SetupFn, "tuple")
+	c.setMode(c.pipe.MainFn, "tuple")
+	c.setMode(c.pipe.CleanupFn, "tuple")
 }
 
 // endPipeline finishes the current pipeline's setup/cleanup functions.
@@ -268,6 +319,8 @@ func (c *Compiler) produce(n plan.Node, consume consumeFn) error {
 	case *plan.Limit:
 		off := c.allocState(8)
 		return c.produce(x.Input, func(rc *rowCtx) error {
+			// The shared row counter makes LIMIT inherently sequential.
+			c.pipe.NoParallel = true
 			b := rc.b
 			addr := b.GEP(b.Param(0), off, qir.NoValue, 0)
 			cnt := b.Load(qir.I64, addr)

@@ -99,3 +99,9 @@ func (c *Compiler) setProv(fn int, pipeline int, role string) {
 	op, sql := c.provenance()
 	c.mod.Funcs[fn].Prov = qir.Prov{Pipeline: pipeline, Operator: op, SQL: sql, Role: role}
 }
+
+// setMode stamps the execution mode ("tuple" or "batch") onto a generated
+// function; it must run after setProv, which rewrites the whole Prov.
+func (c *Compiler) setMode(fn int, mode string) {
+	c.mod.Funcs[fn].Prov.Mode = mode
+}

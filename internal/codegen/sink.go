@@ -17,7 +17,6 @@ const htHeaderSize = 16
 // inserts), then the probe-side pipeline whose matches flow into consume.
 func (c *Compiler) produceHashJoin(j *plan.HashJoin, consume consumeFn) error {
 	buildSchema := j.Build.Schema()
-	probeSchema := j.Probe.Schema()
 	nkeys := len(j.BuildKeys)
 
 	// Payload layout: widened keys, then all build-side columns.
@@ -35,6 +34,28 @@ func (c *Compiler) produceHashJoin(j *plan.HashJoin, consume consumeFn) error {
 	// hash table) and cleanup (finalize the bucket directory) — the sink
 	// closure runs while the enclosing pipeline's builders are active.
 	c.pushOp(joinProv(j, "build"))
+	var bc *batchChain
+	if c.opts.Batch {
+		bc = c.batchBuildChain(j)
+	}
+	if bc != nil {
+		spec, err := c.buildJoinSpec(j, bc, layout)
+		if err != nil {
+			c.popOp()
+			return err
+		}
+		c.emitBatchPipeline(bc, spec, SinkBuild, htOff,
+			func(sb *qir.Builder) {
+				width := sb.ConstInt(qir.I64, layout.width)
+				handle := sb.Call(qir.I64, rt.FnHTCreate, width)
+				storeStateHandle(sb, htOff, handle)
+			},
+			func(cb *qir.Builder) {
+				cb.Call(qir.Void, rt.FnHTFinal, loadStateHandle(cb, htOff))
+			})
+		c.popOp()
+		return c.produceJoinProbe(j, layout, htOff, consume)
+	}
 	err := c.produce(j.Build, func(rc *rowCtx) error {
 		sb := c.setup
 		width := sb.ConstInt(qir.I64, layout.width)
@@ -42,6 +63,8 @@ func (c *Compiler) produceHashJoin(j *plan.HashJoin, consume consumeFn) error {
 		storeStateHandle(sb, htOff, handle)
 		cb := c.cleanup
 		cb.Call(qir.Void, rt.FnHTFinal, loadStateHandle(cb, htOff))
+		c.pipe.Sink = SinkBuild
+		c.pipe.SinkOff = htOff
 
 		b := rc.b
 		hash, keyVals, err := c.hashKeys(rc, j.BuildKeys)
@@ -63,8 +86,16 @@ func (c *Compiler) produceHashJoin(j *plan.HashJoin, consume consumeFn) error {
 	if err != nil {
 		return err
 	}
+	return c.produceJoinProbe(j, layout, htOff, consume)
+}
 
-	// Probe side.
+// produceJoinProbe generates the probe-side pipeline of a hash join; the
+// build side (tuple or batch) has already filled the table at htOff.
+func (c *Compiler) produceJoinProbe(j *plan.HashJoin, layout rowLayout, htOff int64, consume consumeFn) error {
+	buildSchema := j.Build.Schema()
+	probeSchema := j.Probe.Schema()
+	nkeys := len(j.BuildKeys)
+
 	c.pushOp(joinProv(j, "probe"))
 	defer c.popOp()
 	return c.produce(j.Probe, func(rc *rowCtx) error {
@@ -147,8 +178,6 @@ func (c *Compiler) produceHashJoin(j *plan.HashJoin, consume consumeFn) error {
 // produceGroupBy generates the input pipeline with an aggregation sink,
 // then a group-scan pipeline feeding consume.
 func (c *Compiler) produceGroupBy(g *plan.GroupBy, consume consumeFn) error {
-	nkeys := len(g.Keys)
-
 	// Aggregate state layout: widened keys, then per-aggregate slots
 	// (Avg takes sum+count).
 	var slotTypes []qir.Type
@@ -173,11 +202,48 @@ func (c *Compiler) produceGroupBy(g *plan.GroupBy, consume consumeFn) error {
 	layout := layoutRow(slotTypes)
 	htOff := c.allocState(8)
 
+	// With the parallel executor enabled, every aggregation pipeline gets a
+	// partition-merge function (generated up front so its index is stable
+	// regardless of what the input subtree emits).
+	mergeFn := -1
+	if c.opts.Parallel {
+		mf, err := c.genAggMerge(g, layout, aggSlot, htOff)
+		if err != nil {
+			return err
+		}
+		mergeFn = mf
+	}
+	noPar := hasF64Sum(g) // float sums are order-sensitive
+
+	var bc *batchChain
+	if c.opts.Batch {
+		bc = c.batchAggChain(g)
+	}
+	if bc != nil {
+		spec, err := c.buildAggSpec(g, bc, layout, aggSlot)
+		if err != nil {
+			return err
+		}
+		c.emitBatchPipeline(bc, spec, SinkAgg, htOff,
+			func(sb *qir.Builder) {
+				width := sb.ConstInt(qir.I64, layout.width)
+				handle := sb.Call(qir.I64, rt.FnAggCreate, width)
+				storeStateHandle(sb, htOff, handle)
+			}, nil)
+		c.pipe.MergeFn = mergeFn
+		c.pipe.NoParallel = noPar
+		return c.produceGroupScan(g, layout, aggSlot, htOff, consume)
+	}
+
 	err := c.produce(g.Input, func(rc *rowCtx) error {
 		sb := c.setup
 		width := sb.ConstInt(qir.I64, layout.width)
 		handle := sb.Call(qir.I64, rt.FnAggCreate, width)
 		storeStateHandle(sb, htOff, handle)
+		c.pipe.Sink = SinkAgg
+		c.pipe.SinkOff = htOff
+		c.pipe.MergeFn = mergeFn
+		c.pipe.NoParallel = c.pipe.NoParallel || noPar
 
 		b := rc.b
 		hash, keyVals, err := c.hashKeys(rc, g.Keys)
@@ -270,12 +336,18 @@ func (c *Compiler) produceGroupBy(g *plan.GroupBy, consume consumeFn) error {
 		return err
 	}
 
-	// Group-scan pipeline.
+	return c.produceGroupScan(g, layout, aggSlot, htOff, consume)
+}
+
+// produceGroupScan generates the pipeline scanning the finished aggregate
+// table and feeding finalized group rows to consume.
+func (c *Compiler) produceGroupScan(g *plan.GroupBy, layout rowLayout, aggSlot []int, htOff int64, consume consumeFn) error {
+	nkeys := len(g.Keys)
 	c.beginPipeline(SrcGroups)
 	c.pipe.SourceOff = htOff
 	b := c.main
 	schema := g.Schema()
-	err = c.emitMorselLoop(func(i qir.Value, latch qir.BlockID) error {
+	err := c.emitMorselLoop(func(i qir.Value, latch qir.BlockID) error {
 		h := loadStateHandle(b, htOff)
 		p := b.Call(qir.Ptr, rt.FnHTEntry, h, i)
 		c.notePtrFact(b, p, htHeaderSize, layout.width, false)
@@ -448,6 +520,8 @@ func (c *Compiler) produceSort(s *plan.Sort, consume consumeFn) error {
 		width := sb.ConstInt(qir.I64, layout.width)
 		handle := sb.Call(qir.I64, rt.FnVecCreate, width)
 		storeStateHandle(sb, vecOff, handle)
+		c.pipe.Sink = SinkVec
+		c.pipe.SinkOff = vecOff
 		cb := c.cleanup
 		if single {
 			h := loadStateHandle(cb, vecOff)

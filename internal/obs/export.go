@@ -225,13 +225,16 @@ func WriteGlobalPrometheus(w io.Writer, labels map[string]string) error {
 }
 
 // --------------------------------------------------------------------------
-// Stable JSON report schema ("qcc.obs.report/v1").
+// Stable JSON report schema ("qcc.obs.report/v2").
 // --------------------------------------------------------------------------
 
 // Schema identifies the report format. Consumers (CI perf-trajectory
 // archiving, cmd/qtrace) key on this string; additive changes keep the
-// version, breaking changes bump it.
-const Schema = "qcc.obs.report/v1"
+// version, breaking changes bump it. v2: global_counters gained the batch
+// executor's rt_batch_kernel_calls/rt_batch_rows and exec_morsels/
+// exec_workers, and suite runs honor execution settings (-exec-jobs,
+// -batch), so same-schema reports are only comparable at equal settings.
+const Schema = "qcc.obs.report/v2"
 
 // Report is the machine-readable benchmark/observability report emitted by
 // `qbench -json` and `qtrace -format json`.

@@ -279,7 +279,7 @@ func TestReportWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if !strings.Contains(out, `"schema": "qcc.obs.report/v1"`) {
+	if !strings.Contains(out, `"schema": "qcc.obs.report/v2"`) {
 		t.Errorf("schema tag missing:\n%s", out)
 	}
 	if !strings.Contains(out, `"code_bytes": 1024`) {

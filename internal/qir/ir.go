@@ -334,8 +334,14 @@ type Prov struct {
 	// SQL is a best-effort SQL fragment for the innermost operator.
 	SQL string
 	// Role distinguishes the function's job within its pipeline: "setup",
-	// "main", "cleanup", or "comparator".
+	// "main", "cleanup", "comparator", or "merge".
 	Role string
+	// Mode records the pipeline's execution strategy: "batch" for
+	// pipelines whose main function drives the vectorized kernels,
+	// "tuple" (or empty) for tuple-at-a-time loops. qprof shows it so
+	// per-pipeline attribution stays meaningful when a pipeline's work
+	// moves into the runtime.
+	Mode string
 }
 
 // Func is one IR function.

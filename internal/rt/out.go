@@ -107,6 +107,35 @@ func (o *OutBuffer) EndRow() {
 // NumRows returns the committed row count.
 func (o *OutBuffer) NumRows() int { return len(o.Rows) }
 
+// DrainRows returns the committed rows and clears the buffer. The
+// morsel-parallel executor drains each worker's buffer after every morsel so
+// rows can be re-ordered deterministically by morsel index.
+func (o *OutBuffer) DrainRows() [][]OutVal {
+	rows := o.Rows
+	o.Rows = nil
+	return rows
+}
+
+// AppendRows appends previously drained rows.
+func (o *OutBuffer) AppendRows(rows [][]OutVal) {
+	o.Rows = append(o.Rows, rows...)
+}
+
+// Ordered renders all rows as text lines in row order (unlike Canonical,
+// which sorts). The sequential-vs-parallel differential uses it: the
+// executor must reproduce the sequential output order exactly.
+func (o *OutBuffer) Ordered() []string {
+	lines := make([]string, len(o.Rows))
+	for i, row := range o.Rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		lines[i] = strings.Join(parts, "|")
+	}
+	return lines
+}
+
 // Canonical renders all rows as sorted text lines, for cross-back-end result
 // comparison independent of row order.
 func (o *OutBuffer) Canonical() []string {

@@ -40,6 +40,12 @@ const (
 	FnOverflow  = "throw_overflow"
 	FnHTEntry   = "ht_entry"
 
+	// Batch (vectorized) kernels: prepare decodes a serialized BatchSpec
+	// into a kernel program handle during pipeline setup; exec runs the
+	// kernel over one morsel against the pipeline's sink hash table.
+	FnBatchPrep = "batch_prepare"
+	FnBatchExec = "batch_exec"
+
 	// Helper functions used by back-ends that lack dedicated instructions
 	// for these operations (the Cranelift custom-instruction ablation of
 	// Table II lowers to these).
@@ -277,6 +283,31 @@ func (db *DB) impl(name string) vm.RTFunc {
 	case FnOverflow:
 		return func(m *vm.Machine) error {
 			return &vm.Trap{Code: vt.TrapOverflow}
+		}
+	case FnBatchPrep:
+		return func(m *vm.Machine) error {
+			desc, err := db.strBytes(db.arg(0), db.arg(1))
+			if err != nil {
+				return err
+			}
+			bp, err := db.batchPrepare(desc)
+			if err != nil {
+				return err
+			}
+			db.ret(db.newHandle(bp))
+			return nil
+		}
+	case FnBatchExec:
+		return func(m *vm.Machine) error {
+			bp, ok := db.handle(db.arg(0)).(*batchProg)
+			if !ok {
+				return db.badHandle("batch_exec", db.arg(0))
+			}
+			ht, ok := db.handle(db.arg(1)).(*hashTable)
+			if !ok {
+				return db.badHandle("batch_exec sink", db.arg(1))
+			}
+			return db.batchExec(bp, ht, int64(db.arg(2)), int64(db.arg(3)))
 		}
 	case FnHTEntry:
 		return func(m *vm.Machine) error {

@@ -14,6 +14,7 @@ package rt
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sort"
 
 	"qcc/internal/vm"
@@ -32,6 +33,20 @@ type DB struct {
 	mark        uint64
 	target      *vt.Target
 	frozen      bool
+
+	// shared/ownerGID implement the concurrency-misuse guard: while a DB is
+	// frozen (parallel compilation) or shared with the morsel-parallel
+	// executor, mutating its handle table from any goroutine but the owner
+	// panics loudly instead of racing (mirroring the obs Fork/Adopt guard).
+	shared   bool
+	ownerGID int64
+
+	// stamping assigns every hash-table insert and vector append a
+	// monotonically increasing stamp ((morsel index << 32) | sequence).
+	// Worker DBs run with stamping on so the executor can merge
+	// partition-local sinks back into the sequential insertion order.
+	stamping  bool
+	stampNext uint64
 }
 
 // Freeze marks the compile-time intern table read-only: interning a string
@@ -39,8 +54,48 @@ type DB struct {
 // compilation driver freezes the DB while worker goroutines compile, so a
 // back-end that forgot to pre-intern a constant in BeginModule fails loudly
 // instead of racing on the intern map and the machine allocator.
-func (db *DB) Freeze()   { db.frozen = true }
+func (db *DB) Freeze() {
+	db.frozen = true
+	db.ownerGID = goid()
+}
 func (db *DB) Unfreeze() { db.frozen = false }
+
+// ShareForExec marks the DB as shared with the morsel-parallel executor:
+// until EndShare, handle-table mutation from any other goroutine panics.
+// The calling goroutine becomes the owner.
+func (db *DB) ShareForExec() {
+	db.shared = true
+	db.ownerGID = goid()
+}
+
+// EndShare lifts the ShareForExec guard.
+func (db *DB) EndShare() { db.shared = false }
+
+// checkOwner panics when a frozen or shared DB is mutated off its owner
+// goroutine. Only rare structural mutations (handle creation) are guarded —
+// the check parses the runtime stack for the goroutine id, far too slow for
+// per-row paths, and per-row mutations always follow a handle creation.
+func (db *DB) checkOwner(op string) {
+	if (db.frozen || db.shared) && goid() != db.ownerGID {
+		panic("rt: " + op + " on a frozen/shared DB from a non-owner goroutine; " +
+			"parallel executor workers must mutate only their own worker DB (NewWorkerDB)")
+	}
+}
+
+// goid parses the current goroutine's id from the runtime stack header
+// ("goroutine N [running]:"); only taken on guarded structural mutations.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	var id int64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
 
 // NewDB creates a runtime environment on machine m.
 func NewDB(m *vm.Machine) *DB {
@@ -71,6 +126,7 @@ func (db *DB) handle(id uint64) any {
 }
 
 func (db *DB) newHandle(v any) uint64 {
+	db.checkOwner("handle-table mutation")
 	db.handles = append(db.handles, v)
 	return uint64(len(db.handles))
 }
@@ -192,6 +248,9 @@ type hashTable struct {
 	buckets []uint64 // payload addresses, chained via next fields
 	mask    uint64
 	agg     bool
+	// stamps[i] is the insertion stamp of entries[i] when the owning DB runs
+	// with stamping enabled (worker DBs); empty otherwise.
+	stamps []uint64
 }
 
 func (db *DB) htCreate(width uint64, agg bool) uint64 {
@@ -212,6 +271,10 @@ func (db *DB) htInsert(ht *hashTable, hash uint64) uint64 {
 		put64(db.M.Mem[payload+i:], 0)
 	}
 	ht.entries = append(ht.entries, payload)
+	if db.stamping {
+		ht.stamps = append(ht.stamps, db.stampNext)
+		db.stampNext++
+	}
 	if ht.agg {
 		if uint64(len(ht.entries)) > ht.mask+1 {
 			// Growing relinks every entry, including the new one; do
@@ -273,6 +336,8 @@ type vector struct {
 	base  uint64
 	count uint64
 	cap   uint64
+	// stamps[i] is the append stamp of slot i under a stamping DB.
+	stamps []uint64
 }
 
 func (db *DB) vecAppend(v *vector) uint64 {
@@ -287,6 +352,10 @@ func (db *DB) vecAppend(v *vector) uint64 {
 	}
 	slot := v.base + v.count*v.width
 	v.count++
+	if db.stamping {
+		v.stamps = append(v.stamps, db.stampNext)
+		db.stampNext++
+	}
 	return slot
 }
 

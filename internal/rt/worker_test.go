@@ -1,0 +1,200 @@
+package rt
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSharedDBMisusePanics is the regression test for the parallel-executor
+// concurrency guard: once a DB is shared with the executor (or frozen),
+// creating a handle from any other goroutine must panic loudly instead of
+// silently corrupting the handle table.
+func TestSharedDBMisusePanics(t *testing.T) {
+	db := newDB(t)
+	db.ShareForExec()
+	defer db.EndShare()
+
+	// The owner goroutine may keep creating handles.
+	if id := db.newHandle("owner-ok"); id == 0 {
+		t.Fatal("owner handle creation failed")
+	}
+
+	var msg string
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				msg, _ = r.(string)
+			}
+		}()
+		db.newHandle("off-goroutine")
+	}()
+	wg.Wait()
+	if msg == "" {
+		t.Fatal("handle creation on a shared DB from a non-owner goroutine did not panic")
+	}
+	if !strings.Contains(msg, "non-owner goroutine") || !strings.Contains(msg, "NewWorkerDB") {
+		t.Fatalf("panic message %q does not explain the misuse or the fix", msg)
+	}
+}
+
+func TestFrozenDBMisusePanics(t *testing.T) {
+	db := newDB(t)
+	db.Freeze()
+	defer db.Unfreeze()
+
+	panicked := make(chan bool, 1)
+	go func() {
+		defer func() { panicked <- recover() != nil }()
+		db.newHandle("x")
+	}()
+	if !<-panicked {
+		t.Fatal("handle creation on a frozen DB from a non-owner goroutine did not panic")
+	}
+}
+
+// TestEndShareLiftsGuard checks the guard is scoped to the share window.
+func TestEndShareLiftsGuard(t *testing.T) {
+	db := newDB(t)
+	db.ShareForExec()
+	db.EndShare()
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("handle creation after EndShare panicked: %v", r)
+			}
+			done <- nil
+		}()
+		db.newHandle("fine")
+	}()
+	<-done
+}
+
+// TestWorkerOwnGuard checks a worker DB owned by one goroutine rejects
+// handle creation from another.
+func TestWorkerOwnGuard(t *testing.T) {
+	db := newDB(t)
+	wdb := db.NewWorkerDB(db.M)
+
+	ready := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wdb.Own()
+		wdb.newHandle("worker-local") // owner: fine
+		close(ready)
+		<-release
+		wdb.Release()
+	}()
+	<-ready
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("handle creation on an owned worker DB from another goroutine did not panic")
+			}
+		}()
+		wdb.newHandle("intruder")
+	}()
+	close(release)
+	wg.Wait()
+
+	// After Release the main goroutine may use it again.
+	wdb.newHandle("post-release")
+}
+
+// TestBatchSpecRoundTrip encodes a descriptor exercising every expression
+// kind, value type, sink and aggregate and decodes it back unchanged.
+func TestBatchSpecRoundTrip(t *testing.T) {
+	col := func(ty BatchType, base, elem uint64) *BatchExpr {
+		return &BatchExpr{Kind: BECol, Ty: ty, Base: base, Elem: elem}
+	}
+	spec := &BatchSpec{
+		Sink:  BatchSinkAgg,
+		Width: 64,
+		Filters: []*BatchExpr{
+			{Kind: BECmp, Ty: BTInt, Op: BCmpLE, L: col(BTInt, 0x1000, 4), R: &BatchExpr{Kind: BEConst, Ty: BTInt, I: -42}},
+			{Kind: BEAnd,
+				L: &BatchExpr{Kind: BEBetween, Ty: BTI128,
+					L: col(BTI128, 0x2000, 16),
+					R: &BatchExpr{Kind: BEConst, Ty: BTI128, D: I128{Lo: 5, Hi: 0}},
+					H: &BatchExpr{Kind: BEConst, Ty: BTI128, D: I128{Lo: ^uint64(0), Hi: ^uint64(0)}}},
+				R: &BatchExpr{Kind: BECmp, Ty: BTF64, Op: BCmpGT,
+					L: col(BTF64, 0x3000, 8),
+					R: &BatchExpr{Kind: BEConst, Ty: BTF64, F: 2.5}}},
+			{Kind: BECmp, Ty: BTStr, Op: BCmpEQ,
+				L: col(BTStr, 0x4000, 16),
+				R: &BatchExpr{Kind: BEConst, Ty: BTStr, S: []byte("BUILDING")}},
+		},
+		Keys: []BatchKey{
+			{Off: 0, Ty: BTStr, E: col(BTStr, 0x4000, 16)},
+			{Off: 16, Ty: BTInt, E: col(BTInt, 0x1000, 4)},
+		},
+		Aggs: []BatchAgg{
+			{Fn: BAggSum, Ty: BTI128, Off: 24,
+				Arg: &BatchExpr{Kind: BEArith, Ty: BTI128, Op: BArithMul,
+					L: col(BTI128, 0x2000, 16),
+					R: &BatchExpr{Kind: BEArith, Ty: BTI128, Op: BArithSub,
+						L: &BatchExpr{Kind: BEConst, Ty: BTI128, D: I128{Lo: 100}},
+						R: col(BTI128, 0x5000, 16)}}},
+			{Fn: BAggCount, Ty: BTInt, Off: 40},
+			{Fn: BAggAvg, Ty: BTInt, Off: 48, COff: 56,
+				Arg: &BatchExpr{Kind: BEArith, Ty: BTInt, Op: BArithAdd,
+					L: col(BTInt, 0x1000, 8),
+					R: &BatchExpr{Kind: BEConst, Ty: BTInt, I: 7}}},
+			{Fn: BAggMin, Ty: BTF64, Off: 60, Arg: col(BTF64, 0x3000, 8)},
+			{Fn: BAggMax, Ty: BTInt, Off: 62, Arg: col(BTInt, 0x1000, 2)},
+		},
+	}
+	got, err := DecodeBatchSpec(spec.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(spec, got) {
+		t.Fatalf("round trip mismatch:\nenc: %+v\ndec: %+v", spec, got)
+	}
+
+	build := &BatchSpec{
+		Sink:  BatchSinkBuild,
+		Width: 32,
+		Keys:  []BatchKey{{Off: 0, Ty: BTInt, E: col(BTInt, 0x100, 4)}},
+		Payload: []BatchCol{
+			{Off: 8, Base: 0x200, Elem: 8},
+			{Off: 16, Base: 0x300, Elem: 16},
+		},
+	}
+	got, err = DecodeBatchSpec(build.Encode())
+	if err != nil {
+		t.Fatalf("decode build spec: %v", err)
+	}
+	if !reflect.DeepEqual(build, got) {
+		t.Fatalf("build spec round trip mismatch:\nenc: %+v\ndec: %+v", build, got)
+	}
+}
+
+func TestDecodeBatchSpecRejectsGarbage(t *testing.T) {
+	if _, err := DecodeBatchSpec([]byte("not a descriptor")); err == nil {
+		t.Fatal("decoding garbage succeeded")
+	}
+	if _, err := DecodeBatchSpec(nil); err == nil {
+		t.Fatal("decoding empty descriptor succeeded")
+	}
+	// Truncation anywhere must error, not panic.
+	full := (&BatchSpec{
+		Sink:    BatchSinkAgg,
+		Width:   16,
+		Filters: []*BatchExpr{{Kind: BECmp, Ty: BTInt, Op: BCmpEQ, L: &BatchExpr{Kind: BECol, Ty: BTInt, Base: 8, Elem: 4}, R: &BatchExpr{Kind: BEConst, Ty: BTInt, I: 3}}},
+		Aggs:    []BatchAgg{{Fn: BAggCount, Ty: BTInt, Off: 0}},
+	}).Encode()
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeBatchSpec(full[:n]); err == nil {
+			t.Fatalf("decoding %d-byte prefix succeeded", n)
+		}
+	}
+}

@@ -243,6 +243,42 @@ func (m *Machine) ResetHeapTo(mark uint64) {
 	}
 }
 
+// HeapRoom returns how many more bytes Alloc can hand out before the
+// out-of-memory panic (the 1 MiB stack margin is already subtracted).
+// The morsel-parallel executor uses it to size worker arenas.
+func (m *Machine) HeapRoom() uint64 {
+	limit := m.stackTop - uint64(1<<20)
+	if m.heapTop >= limit {
+		return 0
+	}
+	return limit - m.heapTop
+}
+
+// NewWorker creates a machine that aliases base's flat memory but owns a
+// private register file, call stack, and counters, with its heap and stack
+// confined to the carved arena [arenaBase, arenaEnd). The arena must come
+// from base.Alloc so workers never overlap each other or the shared heap;
+// table data loaded into base is readable by every worker at the same
+// addresses. Workers are still single-goroutine machines — sharing Mem is
+// safe only because each worker writes exclusively inside its own arena.
+//
+// The arena end doubles as the worker's stack top, and Alloc keeps the
+// usual 1 MiB margin below it, so arenas smaller than ~2 MiB leave no
+// usable heap.
+func NewWorker(base *Machine, arenaBase, arenaEnd uint64) *Machine {
+	if arenaBase < nullGuard || arenaEnd > uint64(len(base.Mem)) || arenaBase >= arenaEnd {
+		panic(fmt.Sprintf("vm: NewWorker arena [%d,%d) outside memory", arenaBase, arenaEnd))
+	}
+	return &Machine{
+		Mem:             base.Mem,
+		RT:              base.RT,
+		StrictUnchecked: base.StrictUnchecked,
+		target:          base.target,
+		heapTop:         (arenaBase + 7) &^ 7,
+		stackTop:        arenaEnd,
+	}
+}
+
 // Bytes returns memory [addr, addr+n) or an error trap.
 func (m *Machine) Bytes(addr, n uint64) ([]byte, error) {
 	if addr < nullGuard {

@@ -47,10 +47,12 @@ const (
 type Option func(*config)
 
 type config struct {
-	arch   Arch
-	memMB  int
-	engine string
-	noFuse bool
+	arch     Arch
+	memMB    int
+	engine   string
+	noFuse   bool
+	execJobs int
+	batch    bool
 }
 
 // WithArch selects the target architecture (default VX64).
@@ -67,14 +69,25 @@ func WithEngine(name string) Option { return func(c *config) { c.engine = name }
 // decoded-switch dispatch loop, for dispatch-cost measurement.
 func WithFusion(on bool) Option { return func(c *config) { c.noFuse = !on } }
 
+// WithExecJobs sets the morsel-parallel executor's worker count (default 1,
+// sequential). Results are identical at any worker count — the executor
+// merges partitions in deterministic morsel order.
+func WithExecJobs(n int) Option { return func(c *config) { c.execJobs = n } }
+
+// WithBatch toggles batch-at-a-time operator kernels for eligible scan
+// pipelines (default off). Results are identical either way.
+func WithBatch(on bool) Option { return func(c *config) { c.batch = on } }
+
 // DB is an in-memory analytical database instance.
 type DB struct {
-	db      *rt.DB
-	cat     *rt.Catalog
-	arch    Arch
-	engines map[string]backend.Engine
-	def     string
-	noFuse  bool
+	db       *rt.DB
+	cat      *rt.Catalog
+	arch     Arch
+	engines  map[string]backend.Engine
+	def      string
+	noFuse   bool
+	execJobs int
+	batch    bool
 }
 
 // Engines lists the available back-end names.
@@ -103,8 +116,10 @@ func Open(opts ...Option) (*DB, error) {
 			"gcc":         cbe.New(),
 			"adaptive":    adaptive.New(),
 		},
-		def:    cfg.engine,
-		noFuse: cfg.noFuse,
+		def:      cfg.engine,
+		noFuse:   cfg.noFuse,
+		execJobs: cfg.execJobs,
+		batch:    cfg.batch,
 	}
 	if cfg.arch != VX64 && (cfg.engine == "directemit" || cfg.engine == "adaptive") {
 		d.def = "cranelift" // DirectEmit tiers are vx64-only
@@ -273,7 +288,15 @@ func (d *DB) ExecPlan(engine string, name string, node plan.Node) (*Result, erro
 }
 
 func (d *DB) run(eng backend.Engine, name string, node plan.Node) (*Result, error) {
-	c, err := codegen.Compile(name, node, d.cat)
+	batchExec := d.execJobs > 1 || d.batch
+	var c *codegen.Compiled
+	var err error
+	if batchExec {
+		c, err = codegen.CompileOpts(name, node, d.cat,
+			codegen.Options{Elim: true, Batch: d.batch, Parallel: d.execJobs > 1})
+	} else {
+		c, err = codegen.Compile(name, node, d.cat)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -285,8 +308,19 @@ func (d *DB) run(eng backend.Engine, name string, node plan.Node) (*Result, erro
 		return nil, err
 	}
 	d.db.ResetQueryState()
+	execute := func() error { return codegen.Run(d.db, d.cat, c, ex.Call) }
+	if batchExec {
+		var mod *vm.Module
+		if mh, ok := ex.(interface{ Module() *vm.Module }); ok {
+			mod = mh.Module()
+		}
+		execute = func() error {
+			return codegen.RunParallel(d.db, d.cat, c, ex.Call,
+				codegen.ExecOptions{Jobs: d.execJobs, Module: mod})
+		}
+	}
 	start := time.Now()
-	if err := codegen.Run(d.db, d.cat, c, ex.Call); err != nil {
+	if err := execute(); err != nil {
 		return nil, err
 	}
 	execTime := time.Since(start)
