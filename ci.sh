@@ -33,6 +33,15 @@
 #      q1 or q6 falls below a 1.3x parallel speedup at 4 workers, or when
 #      the single-worker batch path regresses the tuple baseline by more
 #      than 25% on any query
+#  13. the hoist differential under the race detector: every TPC-H and
+#      TPC-DS query with literals pooled vs baked inline must produce
+#      identical rows on every back-end (short mode: vx64), plus the
+#      trap-boundary corpus (literals exactly on overflow/div-zero edges
+#      must trap identically, with deterministic trap PCs, in both modes)
+#  14. the plan-cache gate: qbench cache fails when constant-only variants
+#      of the parameterized TPC-H families hit the warm cache below 90% on
+#      any compiling back-end, or when pooled (hoisted) bodies regress
+#      inline-literal execution by more than 3% pooled geomean
 #
 # The unchecked-conservation check (QIR marks must survive into every
 # back-end's machine code) runs inside step 5 as part of qverify.
@@ -102,5 +111,12 @@ go test -race ./internal/backend/conformance/ \
 
 echo "== qbench batch exec gate (sf 0.05, >= 1.3x on q1/q6 at 4 workers) =="
 go run ./cmd/qbench -sf 0.05 -runs 3 -exec-jobs 4 -batch-gate 1.3 batch >/dev/null
+
+echo "== hoist differential (-race, short) =="
+go test -race -short ./internal/backend/conformance/ \
+	-run 'TestHoistDifferential|TestHoistTrapBoundaryCorpus' -count=1
+
+echo "== qbench plan-cache gate (sf 0.05, >= 90% warm hits, <= 3% exec regression) =="
+go run ./cmd/qbench -sf 0.05 -runs 3 -cache-gate 0.9 cache >/dev/null
 
 echo "== ci.sh: all checks passed =="

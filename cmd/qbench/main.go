@@ -7,7 +7,16 @@
 //	       [-exec-jobs N] [-batch|-nobatch] <experiment>...
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7
-// ablate-llvm fallbacks scaling cachewarm exec prof checkelim batch all
+// ablate-llvm fallbacks scaling cachewarm exec prof checkelim batch cache all
+//
+// The cache experiment measures the constant-hoisted plan cache: per
+// back-end, each parameterized TPC-H family (q1/q3/q6/q15) compiles cold
+// once and then a deterministic Zipf-skewed replay of constant variants
+// runs against the same code cache, where hoisting makes every variant
+// share one parameterized body. -cache-json writes its qcc.bench.cache/v1
+// report (BENCH_cache.json); -cache-gate R fails the run when any engine's
+// warm hit rate falls below R or the hoisted body regresses execution by
+// more than 3% geomean over the fully inlined body.
 //
 // The batch experiment measures what batch-at-a-time kernels and the
 // morsel-parallel executor buy at execution time: every TPC-H query runs
@@ -85,6 +94,8 @@ func main() {
 	noBatch := flag.Bool("nobatch", false, "force tuple-at-a-time execution even with -exec-jobs > 1")
 	batchJSON := flag.String("batch-json", "", "write the batch experiment's report (schema qcc.bench.batch/v1) to this file")
 	batchGate := flag.Float64("batch-gate", 0, "fail (exit 1) if the batch experiment's q1/q6 parallel speedup falls below this factor (0 = no gate)")
+	cacheJSON := flag.String("cache-json", "", "write the cache experiment's plan-cache report (schema qcc.bench.cache/v1) to this file")
+	cacheGate := flag.Float64("cache-gate", 0, "fail (exit 1) if the cache experiment's warm hit rate falls below this fraction or hoisting regresses execution beyond 3% geomean (0 = no gate)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -223,6 +234,28 @@ func main() {
 			}
 			if *batchGate > 0 {
 				if err := bench.GateBatch(jrep, *batchGate, 1.25); err != nil {
+					return nil, err
+				}
+			}
+			return rep, nil
+		}},
+		{"cache", func() (*bench.Report, error) {
+			rep, jrep, err := bench.PlanCacheCost(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if *cacheJSON != "" {
+				f, err := os.Create(*cacheJSON)
+				if err != nil {
+					return nil, err
+				}
+				defer f.Close()
+				if err := jrep.Write(f); err != nil {
+					return nil, err
+				}
+			}
+			if *cacheGate > 0 {
+				if err := bench.GateCache(jrep, *cacheGate, 1.03); err != nil {
 					return nil, err
 				}
 			}

@@ -4,13 +4,19 @@
 // Usage:
 //
 //	qrun [-engine adaptive] [-workload tpch|tpcds] [-sf 0.05] [-arch vx64]
-//	     [-mem 512] [-nofuse] [-exec-jobs N] [-batch|-nobatch] "SELECT ..."
+//	     [-mem 512] [-nofuse] [-exec-jobs N] [-batch|-nobatch]
+//	     [-cache-mb N] [-repeat N] "SELECT ..."
 //
 // -exec-jobs N executes table pipelines through the morsel-parallel
 // executor with N workers; -batch compiles eligible scan pipelines to
 // batch-at-a-time kernels. Batch kernels default on when -exec-jobs > 1;
 // -nobatch forces tuple-at-a-time code either way. Results are identical
 // under every combination.
+//
+// -cache-mb N enables the content-addressed compiled-code cache; since
+// constant hoisting parameterizes compiled bodies, re-running the query (or
+// a constant-only variant of it — see -repeat) hits the cache and skips
+// back-end compilation. Hit/miss counts print with the stats summary.
 package main
 
 import (
@@ -33,6 +39,8 @@ func main() {
 	execJobs := flag.Int("exec-jobs", 1, "morsel-parallel executor workers (1 = sequential)")
 	batchOn := flag.Bool("batch", false, "compile eligible scan pipelines to batch-at-a-time kernels (default on when -exec-jobs > 1)")
 	noBatch := flag.Bool("nobatch", false, "force tuple-at-a-time execution even with -exec-jobs > 1")
+	cacheMB := flag.Int("cache-mb", 0, "compiled-code cache budget in MiB (0 = disabled)")
+	repeat := flag.Int("repeat", 1, "run the query N times (later runs hit the cache when -cache-mb > 0)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: qrun [flags] \"SELECT ...\"")
@@ -51,7 +59,8 @@ func main() {
 		arch = qc.VA64
 	}
 	db, err := qc.Open(qc.WithArch(arch), qc.WithMemoryMB(*mem), qc.WithEngine(*engine),
-		qc.WithFusion(!*noFuse), qc.WithExecJobs(*execJobs), qc.WithBatch(batch))
+		qc.WithFusion(!*noFuse), qc.WithExecJobs(*execJobs), qc.WithBatch(batch),
+		qc.WithCacheMB(*cacheMB))
 	if err != nil {
 		fatal(err)
 	}
@@ -67,9 +76,15 @@ func main() {
 		fatal(err)
 	}
 
-	res, err := db.Exec(flag.Arg(0))
-	if err != nil {
-		fatal(err)
+	var hits, misses int64
+	var res *qc.Result
+	for r := 0; r < *repeat; r++ {
+		res, err = db.Exec(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		hits += res.Stats.CacheHits
+		misses += res.Stats.CacheMisses
 	}
 	for _, row := range res.Rows {
 		fmt.Println(strings.Join(row, " | "))
@@ -77,6 +92,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "\n%d rows; engine %s; %d functions, %d bytes of code\n",
 		len(res.Rows), res.Stats.Engine, res.Stats.Functions, res.Stats.CodeBytes)
 	fmt.Fprintf(os.Stderr, "compile %v, execute %v\n", res.Stats.CompileTime, res.Stats.ExecTime)
+	if *cacheMB > 0 {
+		fmt.Fprintf(os.Stderr, "code cache (%d MiB): %d hits, %d misses across %d runs\n",
+			*cacheMB, hits, misses, *repeat)
+	}
 	var names []string
 	for n := range res.Stats.Phases {
 		names = append(names, n)

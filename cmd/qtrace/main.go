@@ -158,6 +158,12 @@ func main() {
 		}
 		traces = append(traces, tr.Snapshot(eng.Name()))
 		report.Engines = append(report.Engines, bench.EngineReportOf(run))
+		if cfg.CacheMB > 0 {
+			// The counts also land in -format prom/json output; this stderr
+			// line makes them visible in the default chrome-trace mode.
+			fmt.Fprintf(os.Stderr, "qtrace: %s code cache (%d MiB): %d hits, %d misses\n",
+				eng.Name(), cfg.CacheMB, run.Stats.Counters["cache_hits"], run.Stats.Counters["cache_misses"])
+		}
 	}
 	report.Global = obs.GlobalCounters()
 

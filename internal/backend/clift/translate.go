@@ -274,6 +274,23 @@ func (tr *translator) inst(v qir.Value, in *qir.Instr) error {
 	case qir.OpConstF:
 		cv := tr.emit(Inst{Op: OpF64const, Imm: in.Imm, Args: [3]Val{noVal, noVal, noVal}}, 1, ClassFloat).Res[0]
 		tr.set(v, cv)
+	case qir.OpConstPool:
+		// Execution-time load from the DB's constant pool; the slot address
+		// is compile-time stable, the value is not. Pool slots are
+		// always-valid machine memory (allocated in NewDB), so the loads
+		// carry the unchecked Aux. Slots hold canonical sign-extended
+		// values, so Load64 is correct for every scalar type.
+		addr := tr.iconst(int64(tr.env.DB.ConstPoolAddr(int(in.Imm))))
+		switch in.Type {
+		case qir.I128, qir.Str:
+			lo := tr.mem1(OpLoad64, addr, 1)
+			hiAddr := tr.op2(OpIadd, addr, tr.iconst(8))
+			tr.setPair(v, lo, tr.mem1(OpLoad64, hiAddr, 1))
+		case qir.F64:
+			tr.set(v, tr.emit(Inst{Op: OpFload, Args: [3]Val{addr, noVal, noVal}, Aux: 1}, 1, ClassFloat).Res[0])
+		default:
+			tr.set(v, tr.mem1(OpLoad64, addr, 1))
+		}
 	case qir.OpNull:
 		tr.set(v, tr.iconst(0))
 	case qir.OpFuncAddr:

@@ -1,0 +1,250 @@
+package conformance_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"qcc/internal/backend"
+	"qcc/internal/bench"
+	"qcc/internal/codegen"
+	"qcc/internal/plan"
+	"qcc/internal/qir"
+	"qcc/internal/rt"
+	"qcc/internal/vm"
+	"qcc/internal/vt"
+)
+
+// runSuiteHoistMode compiles and executes a workload's queries with one
+// engine on a fresh world, with constant hoisting on or off. Hoisting moves
+// query literals into the runtime constant pool (bound at execution time);
+// with it off every literal is baked into the unit. The two modes compile
+// different machine code, so everything observable — rows, errors — must
+// still agree exactly.
+func runSuiteHoistMode(t *testing.T, arch vt.Arch, workload string, eng backend.Engine, hoist bool) map[string]queryOutcome {
+	t.Helper()
+	cfg := bench.DefaultConfig()
+	cfg.Arch = arch
+	cfg.SF = 0.01
+	cfg.MemMB = 256
+	w, err := bench.NewWorldLoaded(cfg, workload)
+	if err != nil {
+		t.Fatalf("load %s: %v", workload, err)
+	}
+	var queries []bench.Query
+	if workload == "tpch" {
+		queries = bench.HQueries()
+	} else {
+		queries = bench.DSQueries()
+	}
+	out := map[string]queryOutcome{}
+	w.DB.Checkpoint()
+	hoistedTotal := 0
+	for _, q := range queries {
+		c, err := codegen.CompileOpts(q.Name, q.Build(), w.Cat, codegen.Options{Elim: true, Hoist: hoist})
+		if err != nil {
+			t.Fatalf("codegen %s: %v", q.Name, err)
+		}
+		hoistedTotal += c.Hoist.Hoisted
+		ex, _, err := eng.Compile(c.Module, &backend.Env{DB: w.DB, Arch: arch})
+		if err != nil {
+			t.Fatalf("%s/%s: compile: %v", eng.Name(), q.Name, err)
+		}
+		w.DB.ResetQueryState()
+		var o queryOutcome
+		if err := codegen.Run(w.DB, w.Cat, c, ex.Call); err != nil {
+			o.Err = err.Error()
+		}
+		o.Rows = w.DB.Out.Canonical()
+		out[q.Name] = o
+		w.DB.ResetToCheckpoint()
+	}
+	if hoist && hoistedTotal == 0 {
+		t.Fatalf("%s: hoisting moved no literals to the pool; the differential would be vacuous", workload)
+	}
+	return out
+}
+
+// TestHoistDifferential is the safety differential for constant hoisting:
+// every TPC-H and TPC-DS query runs on every back-end twice — literals
+// pooled vs. baked inline — and the outputs must be byte-identical. A
+// divergence means a pool load produced a different value than the literal
+// it replaced (mis-binding, wrong slot, stale pool) or hoisting perturbed
+// the eliminated-check set unsoundly.
+func TestHoistDifferential(t *testing.T) {
+	arches := []vt.Arch{vt.VX64, vt.VA64}
+	workloads := []string{"tpch", "tpcds"}
+	if testing.Short() {
+		arches = arches[:1]
+	}
+	for _, arch := range arches {
+		arch := arch
+		for _, workload := range workloads {
+			workload := workload
+			t.Run(arch.String()+"/"+workload, func(t *testing.T) {
+				for _, eng := range bench.Engines(arch) {
+					eng := eng
+					t.Run(eng.Name(), func(t *testing.T) {
+						inline := runSuiteHoistMode(t, arch, workload, eng, false)
+						pooled := runSuiteHoistMode(t, arch, workload, eng, true)
+						for name, ref := range inline {
+							got, ok := pooled[name]
+							if !ok {
+								t.Errorf("%s: missing from hoisted run", name)
+								continue
+							}
+							if got.Err != ref.Err {
+								t.Errorf("%s: errors differ\n hoisted: %q\n  inline: %q", name, got.Err, ref.Err)
+								continue
+							}
+							if !reflect.DeepEqual(got.Rows, ref.Rows) {
+								t.Errorf("%s: hoisted rows differ from inline\n hoisted (%d rows): %.6v\n  inline (%d rows): %.6v",
+									name, len(got.Rows), got.Rows, len(ref.Rows), ref.Rows)
+							}
+						}
+					})
+				}
+			})
+		}
+	}
+}
+
+// hoistTrapCase is one adversarial program whose literal sits on a trap
+// boundary: whether the query traps (and with which code) depends on the
+// literal's value, so a mis-bound pool slot flips the behavior.
+type hoistTrapCase struct {
+	name string
+	expr func() (plan.Expr, error)
+	// want is the expected trap (TrapUnreachable means "must not trap").
+	want  vt.TrapCode
+	traps bool
+}
+
+// hoistTrapWorld is a 16-row table t(x: 0..15).
+func hoistTrapWorld(arch vt.Arch) (*rt.DB, *rt.Catalog) {
+	m := vm.New(vm.Config{Arch: arch, MemSize: 64 << 20})
+	db := rt.NewDB(m)
+	cat := rt.NewCatalog(db)
+	tab := cat.CreateTable("t", 16, rt.ColSpec{Name: "x", Type: qir.I64})
+	for i := int64(0); i < 16; i++ {
+		cat.SetInt(tab.MustCol("x"), i, i)
+	}
+	return db, cat
+}
+
+func hoistTrapCorpus() []hoistTrapCase {
+	x := func() plan.Expr { return &plan.Col{Idx: 0, Ty: qir.I64} }
+	lit := func(v int64) plan.Expr { return &plan.ConstInt{Ty: qir.I64, V: v} }
+	const maxI64 = int64(^uint64(0) >> 1)
+	return []hoistTrapCase{
+		// x + (max-8): overflows once x reaches 9.
+		{name: "add-overflow", expr: func() (plan.Expr, error) {
+			return plan.NewArith(plan.OpAdd, x(), lit(maxI64-8))
+		}, want: vt.TrapOverflow, traps: true},
+		// x + (max-15): 15 + (max-15) = max exactly — the literal is one off
+		// the overflow edge and the query must complete.
+		{name: "add-at-edge", expr: func() (plan.Expr, error) {
+			return plan.NewArith(plan.OpAdd, x(), lit(maxI64-15))
+		}, traps: false},
+		// (max/8+1) * x: overflows once x reaches 8.
+		{name: "mul-overflow", expr: func() (plan.Expr, error) {
+			return plan.NewArith(plan.OpMul, lit(maxI64/8+1), x())
+		}, want: vt.TrapOverflow, traps: true},
+		// 100 / (x - 7): divisor hits zero at row 7.
+		{name: "div-zero", expr: func() (plan.Expr, error) {
+			den, err := plan.NewArith(plan.OpSub, x(), lit(7))
+			if err != nil {
+				return nil, err
+			}
+			return plan.NewArith(plan.OpDiv, lit(100), den)
+		}, want: vt.TrapDivZero, traps: true},
+		// 100 / (x + 1): divisor never zero; one off the boundary, must run.
+		{name: "div-near-zero", expr: func() (plan.Expr, error) {
+			den, err := plan.NewArith(plan.OpAdd, x(), lit(1))
+			if err != nil {
+				return nil, err
+			}
+			return plan.NewArith(plan.OpDiv, lit(100), den)
+		}, traps: false},
+	}
+}
+
+// TestHoistTrapBoundaryCorpus feeds every engine queries whose literals sit
+// exactly on trap boundaries, hoisted and inline. Both modes must agree on
+// whether the query traps, on the trap code, and (per mode) the trap PC must
+// be deterministic across repeated runs of the same compiled body. A
+// hoisting bug that perturbs a literal by one flips these outcomes.
+func TestHoistTrapBoundaryCorpus(t *testing.T) {
+	for _, tc := range hoistTrapCorpus() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for _, arch := range []vt.Arch{vt.VX64, vt.VA64} {
+				for _, eng := range bench.Engines(arch) {
+					run := func(hoist bool) (rows []string, trapCode vt.TrapCode, trapPC int32, trapped bool) {
+						db, cat := hoistTrapWorld(arch)
+						expr, err := tc.expr()
+						if err != nil {
+							t.Fatal(err)
+						}
+						node := &plan.Project{
+							Input: &plan.Scan{Table: "t", Cols: []plan.ColInfo{{Name: "x", Type: qir.I64}}},
+							Exprs: []plan.Expr{expr},
+						}
+						c, err := codegen.CompileOpts("q", node, cat, codegen.Options{Elim: true, Hoist: hoist})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if hoist && c.Hoist.Hoisted == 0 {
+							t.Fatal("no literal hoisted; boundary case is vacuous")
+						}
+						ex, _, err := eng.Compile(c.Module, &backend.Env{DB: db, Arch: arch})
+						if err != nil {
+							t.Fatalf("%s/%s: compile: %v", eng.Name(), arch, err)
+						}
+						var pcs []int32
+						for rep := 0; rep < 2; rep++ {
+							db.ResetQueryState()
+							err := codegen.Run(db, cat, c, ex.Call)
+							var trap *vm.Trap
+							if errors.As(err, &trap) {
+								trapped, trapCode = true, trap.Code
+								pcs = append(pcs, trap.PC)
+							} else if err != nil {
+								t.Fatalf("%s/%s hoist=%v: non-trap error: %v", eng.Name(), arch, hoist, err)
+							}
+						}
+						if len(pcs) == 2 && pcs[0] != pcs[1] {
+							t.Errorf("%s/%s hoist=%v: trap PC not deterministic: +%d vs +%d",
+								eng.Name(), arch, hoist, pcs[0], pcs[1])
+						}
+						if len(pcs) > 0 {
+							trapPC = pcs[0]
+						}
+						rows = db.Out.Canonical()
+						return
+					}
+					iRows, iCode, _, iTrapped := run(false)
+					hRows, hCode, _, hTrapped := run(true)
+					if iTrapped != tc.traps {
+						t.Fatalf("%s/%s inline: trapped=%v, corpus expects %v", eng.Name(), arch, iTrapped, tc.traps)
+					}
+					if hTrapped != iTrapped {
+						t.Errorf("%s/%s: hoisted trapped=%v, inline trapped=%v", eng.Name(), arch, hTrapped, iTrapped)
+						continue
+					}
+					if iTrapped {
+						if iCode != tc.want {
+							t.Errorf("%s/%s inline: trap %s, want %s", eng.Name(), arch, iCode, tc.want)
+						}
+						if hCode != iCode {
+							t.Errorf("%s/%s: hoisted trap %s, inline trap %s", eng.Name(), arch, hCode, iCode)
+						}
+					}
+					if !reflect.DeepEqual(hRows, iRows) {
+						t.Errorf("%s/%s: hoisted rows differ from inline", eng.Name(), arch)
+					}
+				}
+			}
+		})
+	}
+}

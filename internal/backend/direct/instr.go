@@ -80,6 +80,27 @@ func (g *codegen) genInstr(v qir.Value, in *qir.Instr) error {
 		d := g.defFPR(v)
 		g.emit(vt.Instr{Op: vt.FMovRI, RD: uint8(d), Imm: in.Imm})
 		g.finishDef(v)
+	case qir.OpConstPool:
+		// The slot address is a stable property of the DB; the value is
+		// whatever BindConstPool wrote there, read at execution time. The
+		// pool area is allocated in NewDB, so the loads need no checks.
+		// Slots hold canonical sign-extended values: a 64-bit load is the
+		// canonical register form for every scalar type.
+		t := g.tempGPR()
+		g.emit(vt.Instr{Op: vt.MovRI, RD: uint8(t), Imm: int64(g.env.DB.ConstPoolAddr(int(in.Imm)))})
+		switch in.Type {
+		case qir.I128, qir.Str:
+			dlo, dhi := g.defPair(v)
+			g.emit(vt.Instr{Op: uncheckedOf(vt.Load64), RD: uint8(dlo), RA: uint8(t)})
+			g.emit(vt.Instr{Op: uncheckedOf(vt.Load64), RD: uint8(dhi), RA: uint8(t), Imm: 8})
+		case qir.F64:
+			d := g.defFPR(v)
+			g.emit(vt.Instr{Op: uncheckedOf(vt.FLoad), RD: uint8(d), RA: uint8(t)})
+		default:
+			d := g.defGPR(v)
+			g.emit(vt.Instr{Op: uncheckedOf(vt.Load64), RD: uint8(d), RA: uint8(t)})
+		}
+		g.finishDef(v)
 	case qir.OpNull:
 		d := g.defGPR(v)
 		g.emit(vt.Instr{Op: vt.MovRI, RD: uint8(d), Imm: 0})
@@ -374,6 +395,15 @@ func (g *codegen) zextReg(from qir.Type, r int16) {
 	case qir.I32:
 		g.emit(vt.Instr{Op: vt.AndI, RD: uint8(r), RA: uint8(r), Imm: 0xFFFFFFFF})
 	}
+}
+
+// uncheckedOf returns the unconditionally-unchecked variant of a memory op
+// (for accesses the back-end itself knows are valid, like const-pool slots).
+func uncheckedOf(o vt.Op) vt.Op {
+	if u, ok := vt.UncheckedMemOf(o); ok {
+		return u
+	}
+	return o
 }
 
 // memOp selects the unchecked variant of a memory op when the QIR

@@ -182,6 +182,13 @@ func translate(f *qir.Func, env *backend.Env) (*bcFunc, error) {
 				bf.code = append(bf.code, bcInstr{Op: qir.OpConst128, Type: qir.Str, A: v, Imm: idx})
 			case qir.OpConstF:
 				bf.code = append(bf.code, bcInstr{Op: qir.OpConst, Type: qir.F64, A: v, Imm: in.Imm})
+			case qir.OpConstPool:
+				// The slot's machine address is resolved at translate time,
+				// but the value is read per execution (unlike OpConstStr
+				// above): BindConstPool runs after compilation, so the
+				// bytecode must not capture the current slot contents.
+				bf.code = append(bf.code, bcInstr{Op: qir.OpConstPool, Type: in.Type, A: v,
+					Imm: int64(env.DB.ConstPoolAddr(int(in.Imm)))})
 			case qir.OpCall:
 				args := f.CallArgs(v)
 				start := int32(len(bf.extra))

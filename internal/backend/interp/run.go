@@ -142,6 +142,13 @@ func (x *exec) run(fn int, args []uint64) ([2]uint64, error) {
 		case qir.OpConst128:
 			store(vals, in.A, f.pool[in.Imm])
 			vals[2*in.A+1] = f.pool[in.Imm+1]
+		case qir.OpConstPool:
+			// Imm is the const-pool slot's machine address; the load is
+			// unchecked because the pool area (allocated in NewDB) is
+			// always-valid machine memory.
+			if err := x.load(in.Type, uint64(in.Imm), vals[2*in.A:2*in.A+2], true); err != nil {
+				return [2]uint64{}, err
+			}
 		case qir.OpNull:
 			store(vals, in.A, 0)
 		case qir.OpFuncAddr:

@@ -27,6 +27,21 @@ func (bld *irBuilder) inst(qb qir.BlockID, v qir.Value, in *qir.Instr) error {
 		bld.makeStr(v, bld.iconst(TI64, int64(lo)), bld.iconst(TI64, int64(hi)))
 	case qir.OpConstF:
 		bld.set(v, bld.append(&Instr{Op: LOpConstF, Typ: TDouble, Imm: in.Imm}))
+	case qir.OpConstPool:
+		// Execution-time load from the DB's constant pool (value bound by
+		// BindConstPool after compilation). The slot area is always-valid
+		// machine memory allocated in NewDB, so the loads are unchecked;
+		// little-endian typed loads of the canonical sign-extended slot
+		// value are exact at every width.
+		addr := bld.iconst(TPtr, int64(bld.env.DB.ConstPoolAddr(int(in.Imm))))
+		if in.Type == qir.Str && !bld.cfg.StructPairs {
+			lo := bld.append(&Instr{Op: LOpLoad, Typ: TI64, Ops: []*Instr{addr}, Unchecked: true})
+			hiAddr := bld.append(&Instr{Op: LOpGEP, Typ: TPtr, Imm: 8, Ops: []*Instr{addr}})
+			hi := bld.append(&Instr{Op: LOpLoad, Typ: TI64, Ops: []*Instr{hiAddr}, Unchecked: true})
+			bld.setPair(v, lo, hi)
+		} else {
+			bld.set(v, bld.append(&Instr{Op: LOpLoad, Typ: typeOf(in.Type), Ops: []*Instr{addr}, Unchecked: true}))
+		}
 	case qir.OpNull:
 		bld.set(v, bld.append(&Instr{Op: LOpNull, Typ: TPtr}))
 	case qir.OpFuncAddr:

@@ -76,6 +76,13 @@ func unitKey(arch vt.Arch, variant string, mod *qir.Module, db *rt.DB, i int) st
 			w64(lo)
 			w64(hi)
 		}
+		if in.Op == qir.OpConstPool {
+			// The emitted unit bakes in the slot's machine address, not its
+			// value (bound at execution time) — hash exactly that. Same DB
+			// ⇒ same address ⇒ constant-only query variants share the unit;
+			// a different DB yields a different address and a sound miss.
+			w64(db.ConstPoolAddr(int(in.Imm)))
+		}
 	}
 	w64(uint64(len(f.Extra)))
 	for _, x := range f.Extra {

@@ -1,0 +1,114 @@
+package pcc
+
+import (
+	"testing"
+
+	"qcc/internal/codegen"
+	"qcc/internal/qir"
+	"qcc/internal/rt"
+	"qcc/internal/tpch"
+	"qcc/internal/vm"
+	"qcc/internal/vt"
+)
+
+// These tests pin down the key contract the constant-hoisted plan cache
+// rests on: with hoisting, a unit key names the *parameterized* body, so it
+// must be invariant across constant-only query variants and still sensitive
+// to everything that changes the emitted bytes — plan structure, target
+// arch, back-end variant, and the constant pool's shape (slot indices).
+
+// TestUnitKeyConstantVariantInvariance: every TPC-H parameterized family
+// must key identically across constant-only variants when compiled with
+// hoisting — this is precisely what lets one cache entry serve the whole
+// family. Compiled against one DB so interned addresses are comparable.
+func TestUnitKeyConstantVariantInvariance(t *testing.T) {
+	db := rt.NewDB(vm.New(vm.Config{Arch: vt.VX64, MemSize: 256 << 20}))
+	cat := rt.NewCatalog(db)
+	if err := tpch.Load(cat, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	opts := codegen.Options{Elim: true, Hoist: true}
+	for _, fam := range tpch.ParamQueries() {
+		t.Run(fam.Name, func(t *testing.T) {
+			a, err := codegen.CompileOpts(fam.Name, fam.Build(0), cat, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := codegen.CompileOpts(fam.Name, fam.Build(3), cat, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Module.Funcs) != len(b.Module.Funcs) {
+				t.Fatalf("variant changed function count: %d vs %d",
+					len(a.Module.Funcs), len(b.Module.Funcs))
+			}
+			for i := range a.Module.Funcs {
+				ka := unitKey(vt.VX64, "v", a.Module, db, i)
+				kb := unitKey(vt.VX64, "v", b.Module, db, i)
+				if ka != kb {
+					t.Errorf("func %d (%s): constant-only variant changed the unit key",
+						i, a.Module.Funcs[i].Name)
+				}
+			}
+			// Same body, different back-end variant tag: must not collide.
+			if unitKey(vt.VX64, "v", a.Module, db, 0) == unitKey(vt.VX64, "w", a.Module, db, 0) {
+				t.Error("variant tag not keyed for pooled units")
+			}
+		})
+	}
+}
+
+// TestUnitKeyStructuralSensitivity: two families with different plan
+// structure must never share keys, even under hoisting — only constants are
+// parameterized, never shape.
+func TestUnitKeyStructuralSensitivity(t *testing.T) {
+	db := rt.NewDB(vm.New(vm.Config{Arch: vt.VX64, MemSize: 256 << 20}))
+	cat := rt.NewCatalog(db)
+	if err := tpch.Load(cat, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	opts := codegen.Options{Elim: true, Hoist: true}
+	fams := tpch.ParamQueries()
+	seen := map[string]string{}
+	for _, fam := range fams {
+		c, err := codegen.CompileOpts("q", fam.Build(0), cat, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The pipeline driver function (last in the module) carries the
+		// family's whole fused loop structure; same module name keeps the
+		// comparison purely structural.
+		k := unitKey(vt.VX64, "v", c.Module, db, len(c.Module.Funcs)-1)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("structurally different families %s and %s share a unit key", prev, fam.Name)
+		}
+		seen[k] = fam.Name
+	}
+}
+
+// TestUnitKeyPoolShapeSensitivity: a pooled load bakes its slot's machine
+// address into the unit, so the key must track the slot index (and stay
+// deterministic for a fixed one).
+func TestUnitKeyPoolShapeSensitivity(t *testing.T) {
+	poolMod := func(slot int64) *qir.Module {
+		f := &qir.Func{
+			Name: "f",
+			Ret:  qir.I64,
+			Instrs: []qir.Instr{
+				{Op: qir.OpConstPool, Type: qir.I64, A: qir.NoValue, B: qir.NoValue, C: qir.NoValue, Imm: slot},
+				{Op: qir.OpRet, Type: qir.I64, A: 0},
+			},
+			Blocks: []qir.BasicBlock{{List: []qir.Value{0, 1}}},
+		}
+		return &qir.Module{Name: "m", Funcs: []*qir.Func{f},
+			Pool: []qir.PoolConst{{Type: qir.I64, Lo: 1}, {Type: qir.I64, Lo: 2}}}
+	}
+	db := rt.NewDB(vm.New(vm.Config{Arch: vt.VX64, MemSize: 64 << 20}))
+	a := unitKey(vt.VX64, "v1", poolMod(0), db, 0)
+	if b := unitKey(vt.VX64, "v1", poolMod(0), db, 0); a != b {
+		t.Fatal("pooled unit key not deterministic")
+	}
+	if b := unitKey(vt.VX64, "v1", poolMod(1), db, 0); a == b {
+		t.Fatal("different pool slots collided: the emitted address differs, the key must too")
+	}
+}

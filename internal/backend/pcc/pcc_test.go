@@ -276,18 +276,128 @@ func constSelect(t *testing.T, v int64) plan.Node {
 	}
 }
 
-// TestCacheConstantSensitivity is the end-to-end collision-resistance
-// check: a module recompiled verbatim hits, but changing a single literal
-// constant in the query must miss rather than serve the stale unit.
+// TestCacheConstantSensitivity is the end-to-end cache-contract check
+// around literal constants. With constant hoisting (the default), a
+// constant-only change is the headline warm hit: the parameterized body is
+// shared and the new literal is bound into the runtime constant pool, so
+// the recompiled variant must hit for every function AND execute with the
+// new value rather than the cached compile's. With hoisting disabled the
+// literal is baked into the unit, and the old collision-resistance contract
+// holds: a changed constant must miss rather than serve the stale unit.
 func TestCacheConstantSensitivity(t *testing.T) {
 	db, cat := tinyWorld(vt.VX64)
 	cache := pcc.NewCache(64 << 20)
 	wrapped := pcc.Wrap(clift.New(), pcc.Config{Jobs: 1, Cache: cache})
-	compile := func(v int64) *backend.Stats {
+	run := func(name string, v int64, opts codegen.Options) (*backend.Stats, int) {
 		t.Helper()
-		// The same module name both times: the only difference between the
-		// two compiles is the literal.
-		c, err := codegen.Compile("q", constSelect(t, v), cat)
+		// The same module name across calls: the only difference between
+		// the compiles is the literal.
+		c, err := codegen.CompileOpts(name, constSelect(t, v), cat, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, st, err := wrapped.Compile(c.Module, &backend.Env{DB: db, Arch: vt.VX64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := codegen.Run(db, cat, c, ex.Call); err != nil {
+			t.Fatal(err)
+		}
+		return st, len(db.Out.DrainRows())
+	}
+	hoisted := codegen.Options{Elim: true, Hoist: true}
+	cold, rows := run("q", 5, hoisted)
+	if cold.Counters["cache_hits"] != 0 {
+		t.Fatalf("cold compile hit: %v", cold.Counters)
+	}
+	if rows != 10 {
+		t.Fatalf("x > 5 over 0..15 returned %d rows, want 10", rows)
+	}
+	warm, _ := run("q", 5, hoisted)
+	if warm.Counters["cache_misses"] != 0 || warm.Counters["cache_hits"] == 0 {
+		t.Fatalf("verbatim recompile should hit for every function: %v", warm.Counters)
+	}
+	changed, rows := run("q", 6, hoisted)
+	if changed.Counters["cache_misses"] != 0 || changed.Counters["cache_hits"] == 0 {
+		t.Fatalf("constant-only variant should hit the parameterized cache: %v", changed.Counters)
+	}
+	if rows != 9 {
+		t.Fatalf("stale constant executed after cache hit: x > 6 returned %d rows, want 9", rows)
+	}
+
+	inline := codegen.Options{Elim: true}
+	coldI, rows := run("qi", 5, inline)
+	if coldI.Counters["cache_hits"] != 0 {
+		t.Fatalf("inline cold compile hit: %v", coldI.Counters)
+	}
+	if rows != 10 {
+		t.Fatalf("inline x > 5 returned %d rows, want 10", rows)
+	}
+	changedI, rows := run("qi", 6, inline)
+	if changedI.Counters["cache_misses"] == 0 {
+		t.Fatalf("inline constant change produced no miss — stale code served: %v", changedI.Counters)
+	}
+	if rows != 9 {
+		t.Fatalf("inline x > 6 returned %d rows, want 9", rows)
+	}
+}
+
+// TestCachePooledUnitEviction extends the eviction contract to pooled
+// units: with a ~1-byte budget at most one unit survives between compiles,
+// so every variant compile is forced back through the back-end for the
+// evicted functions (misses > 0) — and whatever mix of hits and recompiles
+// links must still execute with the variant's own constants. Eviction must
+// never corrupt the bind-at-execute discipline.
+func TestCachePooledUnitEviction(t *testing.T) {
+	db, cat := tinyWorld(vt.VX64)
+	cache := pcc.NewCache(1)
+	wrapped := pcc.Wrap(clift.New(), pcc.Config{Jobs: 1, Cache: cache})
+	hoisted := codegen.Options{Elim: true, Hoist: true}
+	for i, want := range []struct {
+		v, rows int64
+	}{{5, 10}, {6, 9}, {7, 8}} {
+		c, err := codegen.CompileOpts("q", constSelect(t, want.v), cat, hoisted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, st, err := wrapped.Compile(c.Module, &backend.Env{DB: db, Arch: vt.VX64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Counters["cache_misses"] == 0 {
+			t.Fatalf("round %d: tiny budget must evict and force recompiles, got %v", i, st.Counters)
+		}
+		if err := codegen.Run(db, cat, c, ex.Call); err != nil {
+			t.Fatal(err)
+		}
+		if n := int64(len(db.Out.DrainRows())); n != want.rows {
+			t.Fatalf("round %d: x > %d returned %d rows, want %d", i, want.v, n, want.rows)
+		}
+	}
+	if cache.Len() > 1 {
+		t.Fatalf("budget-1 cache retains %d units", cache.Len())
+	}
+}
+
+// TestCacheStructuralSensitivity: hoisting parameterizes constants only —
+// a structural change (comparison direction) under the same module name
+// must miss rather than reuse the pooled body.
+func TestCacheStructuralSensitivity(t *testing.T) {
+	db, cat := tinyWorld(vt.VX64)
+	cache := pcc.NewCache(64 << 20)
+	wrapped := pcc.Wrap(clift.New(), pcc.Config{Jobs: 1, Cache: cache})
+	hoisted := codegen.Options{Elim: true, Hoist: true}
+	compile := func(op plan.CmpOp) *backend.Stats {
+		t.Helper()
+		pred, err := plan.NewCmp(op, &plan.Col{Idx: 0, Ty: qir.I64}, &plan.ConstInt{Ty: qir.I64, V: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := &plan.Select{
+			Input: &plan.Scan{Table: "t", Cols: []plan.ColInfo{{Name: "x", Type: qir.I64}}},
+			Pred:  pred,
+		}
+		c, err := codegen.CompileOpts("q", node, cat, hoisted)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -297,17 +407,10 @@ func TestCacheConstantSensitivity(t *testing.T) {
 		}
 		return st
 	}
-	cold := compile(5)
-	if cold.Counters["cache_hits"] != 0 {
-		t.Fatalf("cold compile hit: %v", cold.Counters)
-	}
-	warm := compile(5)
-	if warm.Counters["cache_misses"] != 0 || warm.Counters["cache_hits"] == 0 {
-		t.Fatalf("verbatim recompile should hit for every function: %v", warm.Counters)
-	}
-	changed := compile(6)
-	if changed.Counters["cache_misses"] == 0 {
-		t.Fatalf("constant change produced no miss — stale code served: %v", changed.Counters)
+	compile(plan.CmpGT)
+	st := compile(plan.CmpGE)
+	if st.Counters["cache_misses"] == 0 {
+		t.Fatalf("structural change (GT→GE) served from cache: %v", st.Counters)
 	}
 }
 

@@ -121,6 +121,10 @@ func BatchCost(cfg Config) (*Report, *BatchReport, error) {
 		}
 		er := BatchEngine{Engine: eng.Name()}
 		var batchRatios, parRatios, scanHeavy []float64
+		// Persistent worker pool for the parallel regime, carved below the
+		// checkpoint so it survives per-query resets; the 1-worker batch
+		// regime stays pool-free (nothing to pool at one worker).
+		pool := codegen.NewExecPool(w.DB, jobs, 0)
 		w.DB.Checkpoint()
 		skipped := false
 		for _, q := range HQueries() {
@@ -201,7 +205,7 @@ func BatchCost(cfg Config) (*Report, *BatchReport, error) {
 			workersBefore := obs.NewCounter("exec_workers").Load()
 			par, err := measure(func() error {
 				return codegen.RunParallel(w.DB, w.Cat, cb, exb.Call,
-					codegen.ExecOptions{Jobs: jobs, Module: mod})
+					codegen.ExecOptions{Jobs: jobs, Module: mod, Pool: pool})
 			})
 			if err != nil {
 				return nil, nil, err

@@ -239,6 +239,13 @@ func RunSuiteExec(w *World, eng backend.Engine, arch vt.Arch, queries []Query, r
 		runs = 1
 	}
 	out := &EngineRun{Engine: eng.Name(), Stats: &backend.Stats{}}
+	// Persistent executor workers: arenas carved below the checkpoint mark
+	// survive the per-query ResetToCheckpoint, so RunParallel re-arms them
+	// instead of rebuilding machines and runtimes for every query.
+	var pool *codegen.ExecPool
+	if es.Jobs > 1 {
+		pool = codegen.NewExecPool(w.DB, es.Jobs, 0)
+	}
 	w.DB.Checkpoint()
 	for _, q := range queries {
 		qsp := tr.BeginCat("query:"+q.Name, "query")
@@ -271,7 +278,7 @@ func RunSuiteExec(w *World, eng backend.Engine, arch vt.Arch, queries []Query, r
 			}
 			execute = func() error {
 				return codegen.RunParallel(w.DB, w.Cat, c, ex.Call,
-					codegen.ExecOptions{Jobs: es.Jobs, Module: mod})
+					codegen.ExecOptions{Jobs: es.Jobs, Module: mod, Pool: pool})
 			}
 		}
 		var best time.Duration

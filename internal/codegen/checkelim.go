@@ -14,7 +14,7 @@ import (
 // already), and this version string lets cache consumers invalidate entries
 // when the pass semantics themselves change. Bump on any change to the facts
 // derivation or the safety proofs.
-const CheckElimVersion = "sace1"
+const CheckElimVersion = "sace2"
 
 var (
 	obsMemOps      = obs.NewCounter("sa.mem_ops")

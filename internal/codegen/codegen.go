@@ -76,6 +76,9 @@ type Compiled struct {
 	// Elim reports what the compile-time check-elimination pass proved
 	// (zero value when the pass was disabled).
 	Elim ElimStats
+	// Hoist reports what the constant-hoisting pass did (zero value when
+	// the pass was disabled).
+	Hoist HoistStats
 	// ValFacts records, per function, the runtime pointer contracts the
 	// code generator knows about the values it emitted (hash-table entry
 	// pointers, vector slots, comparator row parameters). They feed the
@@ -96,6 +99,11 @@ type Options struct {
 	// compilations stay byte-identical with and without the executor
 	// built in.
 	Parallel bool
+	// Hoist moves query literals out of the compiled body into the module
+	// constant pool (qir.OpConstPool), making the body independent of the
+	// literal values so constant-only query variants share one entry in
+	// the content-addressed code cache (on in Compile).
+	Hoist bool
 }
 
 // Compiler holds per-query code generation state.
@@ -117,19 +125,38 @@ type Compiler struct {
 	// ops is the operator-path stack mirroring the produce() recursion;
 	// see prov.go.
 	ops []provEntry
+
+	// hoistCands records, per function, the SSA values of user-supplied
+	// query literals in emission order — the candidate set of the
+	// constant-hoisting pass (see hoist.go). Internal constants (scan base
+	// addresses, loop increments, hash mixers) are never recorded.
+	hoistCands map[*qir.Func][]qir.Value
+}
+
+// noteHoistCand records v as a hoistable user literal and returns it.
+func (c *Compiler) noteHoistCand(b *qir.Builder, v qir.Value) qir.Value {
+	if !c.opts.Hoist {
+		return v
+	}
+	if c.hoistCands == nil {
+		c.hoistCands = make(map[*qir.Func][]qir.Value)
+	}
+	f := b.Func()
+	c.hoistCands[f] = append(c.hoistCands[f], v)
+	return v
 }
 
 // Compile lowers a validated plan into a QIR module and runs the static
 // check-elimination pass over the result.
 func Compile(name string, root plan.Node, cat *rt.Catalog) (*Compiled, error) {
-	return CompileOpts(name, root, cat, Options{Elim: true})
+	return CompileOpts(name, root, cat, Options{Elim: true, Hoist: true})
 }
 
 // CompileChecked is Compile with explicit control over the check-elimination
 // pass; elim=false produces the fully-checked baseline (every load and store
 // keeps its runtime bounds/null check).
 func CompileChecked(name string, root plan.Node, cat *rt.Catalog, elim bool) (*Compiled, error) {
-	return CompileOpts(name, root, cat, Options{Elim: elim})
+	return CompileOpts(name, root, cat, Options{Elim: elim, Hoist: true})
 }
 
 // CompileOpts is Compile with full strategy control.
@@ -152,6 +179,12 @@ func CompileOpts(name string, root plan.Node, cat *rt.Catalog, opts Options) (*C
 		c.out.StateSize = 8
 	}
 	c.out.NumFuncs = len(c.mod.Funcs)
+	if opts.Hoist {
+		// Hoisting runs before check elimination so the eliminator proves
+		// safety on the rewritten IR: every check it marks redundant is
+		// sound by construction under pooled constants.
+		c.hoistConstants(cat)
+	}
 	if opts.Elim {
 		c.out.eliminateChecks(cat)
 	}

@@ -28,6 +28,12 @@ func RunMorsels(db *rt.DB, cat *rt.Catalog, c *Compiled, call CallFunc, morsel i
 	if morsel <= 0 {
 		return fmt.Errorf("codegen: bad morsel size %d", morsel)
 	}
+	// Bind the module's hoisted literals into the runtime constant pool;
+	// compiled bodies read their values from the pool slots at execution
+	// time. Idempotent and cheap when already bound.
+	if err := db.BindConstPool(c.Module.Pool); err != nil {
+		return err
+	}
 	state := db.M.Alloc(uint64(c.StateSize))
 	for i := int64(0); i < c.StateSize; i++ {
 		db.M.Mem[state+uint64(i)] = 0

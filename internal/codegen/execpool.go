@@ -1,0 +1,79 @@
+package codegen
+
+import (
+	"qcc/internal/obs"
+	"qcc/internal/rt"
+	"qcc/internal/vm"
+)
+
+var ctrPoolReuses = obs.NewCounter("exec_pool_reuses")
+
+// ExecPool is a persistent morsel-executor worker pool: the per-worker
+// arenas, machines, and scratch runtimes that RunParallel would otherwise
+// build from scratch on every call are carved and constructed once, then
+// re-armed (heap reset, handle/intern re-sync, runtime rebind) per query.
+// Fan-out cost drops from arena allocation + machine + runtime construction
+// to a few pointer resets, which matters exactly in the plan-cache regime
+// where compilation is already amortized and per-query overhead dominates.
+//
+// Create the pool before db.Checkpoint(): the arenas must sit below the
+// checkpoint mark or per-query ResetToCheckpoint would free them. The pool
+// is single-owner like the DB itself — one query executes at a time.
+type ExecPool struct {
+	db    *rt.DB
+	arena uint64
+	ws    []*worker
+	marks []uint64 // per-worker post-construction heap marks
+}
+
+// NewExecPool builds a persistent pool of jobs workers with arenaMB MiB
+// arenas (same defaults and minimums as ExecOptions). Returns nil when jobs
+// leaves nothing to pool (<= 1) or the heap cannot fit the arenas — callers
+// fall back to per-query workers or sequential execution.
+func NewExecPool(db *rt.DB, jobs, arenaMB int) *ExecPool {
+	if jobs <= 1 {
+		return nil
+	}
+	arena := uint64(arenaMB)
+	if arena == 0 {
+		arena = defaultArenaMB
+	}
+	if arena < 2 {
+		arena = 2
+	}
+	arena <<= 20
+	if db.M.HeapRoom() < uint64(jobs)*arena+(1<<20) {
+		return nil
+	}
+	pl := &ExecPool{db: db, arena: arena}
+	for i := 0; i < jobs; i++ {
+		base := db.M.Alloc(arena)
+		wm := vm.NewWorker(db.M, base, base+arena)
+		wdb := db.NewWorkerDB(wm)
+		pl.ws = append(pl.ws, &worker{m: wm, db: wdb})
+		pl.marks = append(pl.marks, wm.HeapMark())
+	}
+	return pl
+}
+
+// Jobs returns the pool's worker count.
+func (pl *ExecPool) Jobs() int { return len(pl.ws) }
+
+// acquire re-arms the pool for one query: worker heaps reset to their
+// post-construction marks, worker runtimes re-synced against the main DB
+// (whose intern map and handle table a ResetToCheckpoint may have replaced
+// since the last query), fresh per-query state allocated, and the module's
+// runtime imports bound. Returns nil if a bind fails, which sends the caller
+// down the sequential path.
+func (pl *ExecPool) acquire(c *Compiled) []*worker {
+	for i, wk := range pl.ws {
+		wk.m.ResetHeapTo(pl.marks[i])
+		wk.db.ResetForQuery(pl.db)
+		if err := wk.db.Bind(c.Module.RTNames); err != nil {
+			return nil
+		}
+		wk.state = wk.m.Alloc(uint64(c.StateSize))
+	}
+	ctrPoolReuses.Inc()
+	return pl.ws
+}

@@ -18,13 +18,13 @@ func (c *Compiler) evalExpr(rc *rowCtx, e plan.Expr) (qir.Value, error) {
 	case *plan.Col:
 		return rc.col(x.Idx), nil
 	case *plan.ConstInt:
-		return b.ConstInt(x.Ty, x.V), nil
+		return c.noteHoistCand(b, b.ConstInt(x.Ty, x.V)), nil
 	case *plan.ConstDec:
-		return b.Const128(x.V.Lo, x.V.Hi), nil
+		return c.noteHoistCand(b, b.Const128(x.V.Lo, x.V.Hi)), nil
 	case *plan.ConstFloat:
-		return b.ConstF(x.V), nil
+		return c.noteHoistCand(b, b.ConstF(x.V)), nil
 	case *plan.ConstStr:
-		return b.ConstStr(x.V), nil
+		return c.noteHoistCand(b, b.ConstStr(x.V)), nil
 	case *plan.Arith:
 		l, err := c.evalExpr(rc, x.L)
 		if err != nil {
@@ -70,7 +70,7 @@ func (c *Compiler) evalExpr(rc *rowCtx, e plan.Expr) (qir.Value, error) {
 		if err != nil {
 			return 0, err
 		}
-		pat := b.ConstStr(x.Pattern)
+		pat := c.noteHoistCand(b, b.ConstStr(x.Pattern))
 		r := b.Call(qir.I64, rt.FnStrLike, v, pat)
 		return b.Convert(qir.OpTrunc, qir.I1, r), nil
 	case *plan.Between:

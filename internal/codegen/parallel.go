@@ -28,6 +28,11 @@ type ExecOptions struct {
 	// ArenaMB is the per-worker heap arena in MiB (default 4, minimum 2 —
 	// the vm reserves the top 1 MiB of each arena as the worker's stack).
 	ArenaMB int
+	// Pool, when set (and built over the same DB), supplies persistent
+	// workers re-armed per query instead of constructing arenas, machines,
+	// and runtimes on every RunParallel call. Its worker count overrides
+	// Jobs for the parallel path.
+	Pool *ExecPool
 }
 
 const defaultArenaMB = 4
@@ -53,6 +58,13 @@ func RunParallel(db *rt.DB, cat *rt.Catalog, c *Compiled, call CallFunc, opts Ex
 	if jobs <= 0 {
 		jobs = 1
 	}
+	pool := opts.Pool
+	if pool != nil && pool.db != db {
+		pool = nil // pool workers alias a different machine's memory
+	}
+	if pool != nil {
+		jobs = pool.Jobs()
+	}
 	arena := uint64(opts.ArenaMB)
 	if arena == 0 {
 		arena = defaultArenaMB
@@ -67,6 +79,12 @@ func RunParallel(db *rt.DB, cat *rt.Catalog, c *Compiled, call CallFunc, opts Ex
 	seqMorsel := int64(DefaultMorselSize)
 	if opts.MorselSize > 0 {
 		seqMorsel = opts.MorselSize
+	}
+
+	// Bind hoisted literals into the runtime constant pool before anything
+	// executes; workers read the main pool through shared machine memory.
+	if err := db.BindConstPool(c.Module.Pool); err != nil {
+		return err
 	}
 
 	state := db.M.Alloc(uint64(c.StateSize))
@@ -106,7 +124,11 @@ func RunParallel(db *rt.DB, cat *rt.Catalog, c *Compiled, call CallFunc, opts Ex
 			!(p.Sink == SinkAgg && p.MergeFn < 0) &&
 			hasEntries(entries, p)
 		if parallel && workers == nil && !workersFailed {
-			workers = makeWorkers(db, c, jobs, arena)
+			if pool != nil {
+				workers = pool.acquire(c)
+			} else {
+				workers = makeWorkers(db, c, jobs, arena)
+			}
 			workersFailed = workers == nil
 		}
 		if !parallel || workers == nil {

@@ -111,10 +111,16 @@ const (
 	// the float64 bit pattern. OpNull: the null pointer. OpFuncAddr:
 	// Aux is the index of a function in the same module; the value is
 	// its code address after compilation (used for callbacks).
+	// OpConstPool: Imm indexes the module constant pool (Module.Pool);
+	// the value is read from the runtime's pool slot at execution time,
+	// so the compiled body is independent of the literal — the basis of
+	// the parameterized plan cache (constant-only query variants share
+	// compiled code, with values bound per execution).
 	OpConst
 	OpConst128
 	OpConstStr
 	OpConstF
+	OpConstPool
 	OpNull
 	OpFuncAddr
 
@@ -200,7 +206,8 @@ const (
 
 var opNames = [NumOps]string{
 	OpParam: "param", OpConst: "const", OpConst128: "const128",
-	OpConstStr: "conststr", OpConstF: "constf", OpNull: "null",
+	OpConstStr: "conststr", OpConstF: "constf", OpConstPool: "constpool",
+	OpNull:     "null",
 	OpFuncAddr: "funcaddr",
 	OpAdd:      "add", OpSub: "sub", OpMul: "mul", OpSDiv: "sdiv", OpSRem: "srem",
 	OpUDiv: "udiv", OpURem: "urem", OpAnd: "and", OpOr: "or", OpXor: "xor",
@@ -234,7 +241,10 @@ func (o Op) IsTerminator() bool {
 	return false
 }
 
-// IsConst reports whether the operation produces a constant.
+// IsConst reports whether the operation produces a compile-time constant.
+// OpConstPool is deliberately excluded: its value is bound per execution and
+// unknown at compile time, so passes that fold or key on constant values must
+// not treat it as one.
 func (o Op) IsConst() bool {
 	switch o {
 	case OpConst, OpConst128, OpConstStr, OpConstF, OpNull, OpFuncAddr:
@@ -342,6 +352,13 @@ type Prov struct {
 	// per-pipeline attribution stays meaningful when a pipeline's work
 	// moves into the runtime.
 	Mode string
+	// Hoisted/KeptInline record the constant-hoisting pass's decisions for
+	// this function: literals moved to the module constant pool vs literals
+	// classified range-load-bearing and kept inline (hoisting them would
+	// have erased a value-range fact the sa check-elimination pass needed).
+	// Metadata only, never hashed into cache keys.
+	Hoisted    int
+	KeptInline int
 }
 
 // Func is one IR function.
@@ -364,6 +381,21 @@ type Func struct {
 	mod *Module
 }
 
+// PoolConst is one hoisted literal in the module constant pool: the value an
+// OpConstPool slot must hold when this module executes. The compiled body
+// never embeds the value — back-ends emit a load from the runtime's pool slot
+// — so code-cache keys cover only the slot index and type, and modules
+// differing solely in pool values share compiled units.
+type PoolConst struct {
+	Type Type
+	// Lo/Hi hold the value for numeric types (Lo sign-extended for narrow
+	// integers, float64 bits for F64, lo/hi words for I128).
+	Lo, Hi uint64
+	// Str holds the value for Str slots; it is interned into the runtime at
+	// bind time (content-addressed, so repeated binds are stable).
+	Str string
+}
+
 // Module groups the functions compiled together (one query pipeline in the
 // database setting), plus shared constant pools.
 type Module struct {
@@ -371,6 +403,11 @@ type Module struct {
 	Funcs []*Func
 	// Strings is the string constant pool referenced by OpConstStr.
 	Strings []string
+	// Pool is the hoisted-literal constant pool referenced by OpConstPool,
+	// in slot order. Values are bound into the runtime's pool area before
+	// execution (rt.DB.BindConstPool); only the slot shape (count + types)
+	// affects compiled code.
+	Pool []PoolConst
 	// RTNames maps runtime-callee ids used in OpCall to names, for
 	// printing and for binding at execution time.
 	RTNames []string
@@ -417,6 +454,18 @@ func (m *Module) InternString(s string) int64 {
 	}
 	m.Strings = append(m.Strings, s)
 	return int64(len(m.Strings) - 1)
+}
+
+// AddPoolConst appends a constant-pool slot and returns its index for use as
+// an OpConstPool Imm. Slots are never deduplicated: two textually equal
+// literals get distinct slots so a future variant can change either
+// independently without perturbing the slot shape.
+func (m *Module) AddPoolConst(pc PoolConst) int64 {
+	if m.frozen {
+		panic("qir: AddPoolConst on frozen module")
+	}
+	m.Pool = append(m.Pool, pc)
+	return int64(len(m.Pool) - 1)
 }
 
 // Module returns the module a function belongs to.
@@ -473,8 +522,8 @@ func (f *Func) Succs(b BlockID, dst []BlockID) []BlockID {
 func (f *Func) Operands(v Value, dst []Value) []Value {
 	in := &f.Instrs[v]
 	switch in.Op {
-	case OpParam, OpConst, OpConst128, OpConstStr, OpConstF, OpNull, OpFuncAddr,
-		OpBr, OpUnreachable:
+	case OpParam, OpConst, OpConst128, OpConstStr, OpConstF, OpConstPool,
+		OpNull, OpFuncAddr, OpBr, OpUnreachable:
 		return dst
 	case OpPhi:
 		pairs := f.PhiPairs(v)

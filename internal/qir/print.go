@@ -71,6 +71,15 @@ func (f *Func) instrString(v Value) string {
 		return fmt.Sprintf("%sconststr %q", res, f.mod.Strings[in.Imm])
 	case OpConstF:
 		return fmt.Sprintf("%sconstf %g", res, math.Float64frombits(uint64(in.Imm)))
+	case OpConstPool:
+		if f.mod != nil && in.Imm >= 0 && int(in.Imm) < len(f.mod.Pool) {
+			pc := &f.mod.Pool[in.Imm]
+			if pc.Type == Str {
+				return fmt.Sprintf("%sconstpool %s [%d] (%q)", res, in.Type, in.Imm, pc.Str)
+			}
+			return fmt.Sprintf("%sconstpool %s [%d] (%#x:%#x)", res, in.Type, in.Imm, pc.Hi, pc.Lo)
+		}
+		return fmt.Sprintf("%sconstpool %s [%d]", res, in.Type, in.Imm)
 	case OpNull:
 		return res + "null"
 	case OpFuncAddr:

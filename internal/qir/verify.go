@@ -268,6 +268,14 @@ func (f *Func) checkTypes(v Value) error {
 		if in.B != NoValue && !ty(in.B).IsInt() {
 			return fail("gep index must be integer")
 		}
+	case OpConstPool:
+		if f.mod == nil || in.Imm < 0 || int(in.Imm) >= len(f.mod.Pool) {
+			return fail("const-pool slot out of range")
+		}
+		if f.mod.Pool[in.Imm].Type != in.Type {
+			return fail(fmt.Sprintf("const-pool slot type %s vs result %s",
+				f.mod.Pool[in.Imm].Type, in.Type))
+		}
 	case OpLoad:
 		if ty(in.A) != Ptr {
 			return fail("load address not a pointer")

@@ -34,6 +34,14 @@ type DB struct {
 	target      *vt.Target
 	frozen      bool
 
+	// poolBase is the machine address of the runtime constant-pool area
+	// (ConstPoolSlots 16-byte slots). It is allocated eagerly in NewDB —
+	// before any Checkpoint — so the address compiled code bakes in stays
+	// valid across ResetToCheckpoint, which is what lets constant-only query
+	// variants share cached code. Zero on worker DBs, which read the main
+	// DB's pool through the shared machine memory.
+	poolBase uint64
+
 	// shared/ownerGID implement the concurrency-misuse guard: while a DB is
 	// frozen (parallel compilation) or shared with the morsel-parallel
 	// executor, mutating its handle table from any goroutine but the owner
@@ -99,12 +107,17 @@ func goid() int64 {
 
 // NewDB creates a runtime environment on machine m.
 func NewDB(m *vm.Machine) *DB {
-	return &DB{
+	db := &DB{
 		M:       m,
 		Out:     &OutBuffer{},
 		strings: make(map[string][2]uint64),
 		target:  m.Target(),
 	}
+	// The constant-pool area is allocated up front, never lazily: it must
+	// sit below every Checkpoint mark so its address survives
+	// ResetToCheckpoint and stays a stable compile-time immediate.
+	db.poolBase = m.Alloc(ConstPoolSlots * constPoolSlotBytes)
+	return db
 }
 
 // arg returns the i-th integer argument register value.

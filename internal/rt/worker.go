@@ -33,6 +33,20 @@ func (db *DB) NewWorkerDB(m *vm.Machine) *DB {
 	}
 }
 
+// ResetForQuery re-arms a persistent worker runtime for a new query: it
+// re-snapshots the main DB's handle table, re-points the shared intern map
+// (ResetToCheckpoint replaces the main DB's map object, so a worker created
+// in an earlier query would otherwise hold a stale reference), and discards
+// any leftover output rows and stamp state. The caller resets the worker
+// machine's heap separately (the arena itself is persistent).
+func (db *DB) ResetForQuery(main *DB) {
+	db.checkOwner("ResetForQuery")
+	db.handles = append(db.handles[:0], main.handles...)
+	db.strings = main.strings
+	db.Out = &OutBuffer{}
+	db.stampNext = 0
+}
+
 // SyncHandles resets the worker's handle table to a snapshot of from's.
 // The executor calls it before each parallel pipeline so workers see the
 // merged sink objects of every earlier pipeline under the same handle ids

@@ -42,6 +42,13 @@ type Facts struct {
 	// MinValid is the size of the guard page: addresses below it always
 	// trap. Defaults to 4096 (the VM null guard) via NewFacts.
 	MinValid int64
+	// WideConsts marks OpConst values whose literal must be treated as
+	// unknown (widened to the type's load bounds). The constant-hoisting
+	// pass uses it to ask "which checks would the eliminator lose if this
+	// literal were no longer compile-time known?" — a constant whose
+	// widening shrinks the eliminable set is range-load-bearing and stays
+	// inline.
+	WideConsts map[qir.Value]bool
 }
 
 // NewFacts returns an empty fact set with the VM's default null-guard size.
@@ -353,8 +360,22 @@ func (a *Analysis) eval(v qir.Value, get func(qir.Value) absVal) absVal {
 
 	case qir.OpConst:
 		out := topVal()
+		if a.Facts != nil && a.Facts.WideConsts[v] {
+			// Hypothetically hoisted: the value is bound at execution time,
+			// so only the type width is known.
+			out.r = loadBounds(in.Type)
+			return out
+		}
 		out.r = Point(in.Imm)
 		out.nonNull = in.Type == qir.Ptr && in.Imm >= a.Facts.MinValid
+		return out
+
+	case qir.OpConstPool:
+		// The slot value is bound per execution; only the type width is
+		// known (slots hold canonical sign-extended values, so the typed
+		// load bounds are exact).
+		out := topVal()
+		out.r = loadBounds(in.Type)
 		return out
 
 	case qir.OpNull:

@@ -68,27 +68,7 @@ func Queries() []Query {
 }
 
 // q1: pricing summary report — heavy decimal aggregation.
-func q1() plan.Node {
-	sel := &plan.Select{
-		Input: scanL(),
-		Pred:  cmp(plan.CmpLE, col(9, qir.I32), i32v(10400)),
-	}
-	g := &plan.GroupBy{
-		Input: sel,
-		Keys:  []plan.Expr{col(7, qir.Str), col(8, qir.Str)},
-		Aggs: []plan.AggExpr{
-			{Fn: plan.AggSum, Arg: col(3, qir.I128)},
-			{Fn: plan.AggSum, Arg: col(4, qir.I128)},
-			{Fn: plan.AggSum, Arg: revenue(0)},
-			{Fn: plan.AggAvg, Arg: col(3, qir.I128)},
-			{Fn: plan.AggAvg, Arg: col(4, qir.I128)},
-			{Fn: plan.AggCount},
-		},
-	}
-	return &plan.Sort{Input: g, Keys: []plan.SortKey{
-		{E: col(0, qir.Str)}, {E: col(1, qir.Str)},
-	}}
-}
+func q1() plan.Node { return q1Param(10400) }
 
 // q2: minimum-cost supplier (simplified): part x lineitem, min price per brand.
 func q2() plan.Node {
@@ -111,30 +91,7 @@ func q2() plan.Node {
 }
 
 // q3: shipping priority — 3-way join, revenue sort, limit 10.
-func q3() plan.Node {
-	cust := &plan.Select{Input: scanC(), Pred: cmp(plan.CmpEQ, col(3, qir.Str), strv("BUILDING"))}
-	ords := &plan.Select{Input: scanO(), Pred: cmp(plan.CmpLT, col(4, qir.I32), i32v(9200))}
-	jco := &plan.HashJoin{
-		Build: cust, Probe: ords,
-		BuildKeys: []plan.Expr{col(0, qir.I64)},
-		ProbeKeys: []plan.Expr{col(1, qir.I64)},
-	}
-	// schema: c(0..4) ++ o(5..10)
-	line := &plan.Select{Input: scanL(), Pred: cmp(plan.CmpGT, col(9, qir.I32), i32v(9200))}
-	j := &plan.HashJoin{
-		Build: jco, Probe: line,
-		BuildKeys: []plan.Expr{col(5, qir.I64)},
-		ProbeKeys: []plan.Expr{col(0, qir.I64)},
-	}
-	// schema: c,o (0..10) ++ l (11..23)
-	g := &plan.GroupBy{
-		Input: j,
-		Keys:  []plan.Expr{col(5, qir.I64), col(9, qir.I32)},
-		Aggs:  []plan.AggExpr{{Fn: plan.AggSum, Arg: revenue(11)}},
-	}
-	s := &plan.Sort{Input: g, Keys: []plan.SortKey{{E: &plan.Cast{E: col(2, qir.I128), To: qir.I64}, Desc: true}}}
-	return &plan.Limit{Input: s, N: 10}
-}
+func q3() plan.Node { return q3Param("BUILDING", 9200) }
 
 // q4: order priority checking (simplified join form).
 func q4() plan.Node {
@@ -184,21 +141,7 @@ func q5() plan.Node {
 }
 
 // q6: forecasting revenue change — highly selective scan.
-func q6() plan.Node {
-	pred := and(
-		and(cmp(plan.CmpGE, col(9, qir.I32), i32v(9000)),
-			cmp(plan.CmpLT, col(9, qir.I32), i32v(9365))),
-		and(&plan.Between{E: col(5, qir.I128), Lo: decv(4), Hi: decv(6)},
-			cmp(plan.CmpLT, col(3, qir.I128), decv(24))))
-	sel := &plan.Select{Input: scanL(), Pred: pred}
-	return &plan.GroupBy{
-		Input: sel,
-		Aggs: []plan.AggExpr{
-			{Fn: plan.AggSum, Arg: arith(plan.OpMul, col(4, qir.I128), col(5, qir.I128))},
-			{Fn: plan.AggCount},
-		},
-	}
-}
+func q6() plan.Node { return q6Param(9000, 9365, 4, 6, 24) }
 
 // q7: volume shipping (simplified 3-way join by nation pair).
 func q7() plan.Node {
@@ -371,18 +314,7 @@ func q14() plan.Node {
 }
 
 // q15: top supplier — per-supplier revenue, descending, limit 1.
-func q15() plan.Node {
-	sel := &plan.Select{Input: scanL(), Pred: and(
-		cmp(plan.CmpGE, col(9, qir.I32), i32v(9800)),
-		cmp(plan.CmpLT, col(9, qir.I32), i32v(9890)))}
-	g := &plan.GroupBy{
-		Input: sel,
-		Keys:  []plan.Expr{col(2, qir.I64)},
-		Aggs:  []plan.AggExpr{{Fn: plan.AggSum, Arg: revenue(0)}},
-	}
-	s := &plan.Sort{Input: g, Keys: []plan.SortKey{{E: &plan.Cast{E: col(1, qir.I128), To: qir.I64}, Desc: true}}}
-	return &plan.Limit{Input: s, N: 1}
-}
+func q15() plan.Node { return q15Param(9800, 9890) }
 
 // q16: parts/supplier relationship counts.
 func q16() plan.Node {

@@ -1,0 +1,127 @@
+package tpch
+
+import (
+	"qcc/internal/plan"
+	"qcc/internal/qir"
+)
+
+// Parameterized query families for the plan-cache experiment. Each family
+// fixes one plan shape and varies only literal constants (predicate
+// thresholds, date windows, market segments) — the situation the
+// constant-hoisted plan cache targets: under hoisting every variant of a
+// family compiles to the same parameterized body, so a cache warmed by one
+// variant serves all of them and only the bound constant pool changes
+// between executions. Variant 0 is always the canonical paper query.
+
+// ParamQuery is one parameterized family: Build(v) returns the family's
+// plan shape instantiated with variant v's constants.
+type ParamQuery struct {
+	Name  string
+	Build func(variant int) plan.Node
+}
+
+// ParamQueries returns the constant-variant families. The chosen parameters
+// all sit in selection predicates, away from anything structural: variants
+// differ in selectivity, never in plan shape, schema, or aggregate list.
+func ParamQueries() []ParamQuery {
+	segments := []string{"BUILDING", "AUTOMOBILE", "MACHINERY", "FURNITURE", "HOUSEHOLD"}
+	return []ParamQuery{
+		{"q1", func(v int) plan.Node {
+			return q1Param(10400 - int64(v)*15)
+		}},
+		{"q3", func(v int) plan.Node {
+			return q3Param(segments[v%len(segments)], 9200-int64(v)*10)
+		}},
+		{"q6", func(v int) plan.Node {
+			lo := 9000 + int64(v)*20
+			return q6Param(lo, lo+365, 3+int64(v%3), 6+int64(v%3), 24-int64(v%6))
+		}},
+		{"q15", func(v int) plan.Node {
+			lo := 9800 - int64(v)*12
+			return q15Param(lo, lo+90)
+		}},
+	}
+}
+
+// q1Param is q1 with a parameterized shipdate cutoff.
+func q1Param(shipCut int64) plan.Node {
+	sel := &plan.Select{
+		Input: scanL(),
+		Pred:  cmp(plan.CmpLE, col(9, qir.I32), i32v(shipCut)),
+	}
+	g := &plan.GroupBy{
+		Input: sel,
+		Keys:  []plan.Expr{col(7, qir.Str), col(8, qir.Str)},
+		Aggs: []plan.AggExpr{
+			{Fn: plan.AggSum, Arg: col(3, qir.I128)},
+			{Fn: plan.AggSum, Arg: col(4, qir.I128)},
+			{Fn: plan.AggSum, Arg: revenue(0)},
+			{Fn: plan.AggAvg, Arg: col(3, qir.I128)},
+			{Fn: plan.AggAvg, Arg: col(4, qir.I128)},
+			{Fn: plan.AggCount},
+		},
+	}
+	return &plan.Sort{Input: g, Keys: []plan.SortKey{
+		{E: col(0, qir.Str)}, {E: col(1, qir.Str)},
+	}}
+}
+
+// q3Param is q3 with a parameterized market segment and order-date cutoff
+// (the cutoff bounds both the order date and the ship date, as in the
+// canonical query).
+func q3Param(segment string, dateCut int64) plan.Node {
+	cust := &plan.Select{Input: scanC(), Pred: cmp(plan.CmpEQ, col(3, qir.Str), strv(segment))}
+	ords := &plan.Select{Input: scanO(), Pred: cmp(plan.CmpLT, col(4, qir.I32), i32v(dateCut))}
+	jco := &plan.HashJoin{
+		Build: cust, Probe: ords,
+		BuildKeys: []plan.Expr{col(0, qir.I64)},
+		ProbeKeys: []plan.Expr{col(1, qir.I64)},
+	}
+	// schema: c(0..4) ++ o(5..10)
+	line := &plan.Select{Input: scanL(), Pred: cmp(plan.CmpGT, col(9, qir.I32), i32v(dateCut))}
+	j := &plan.HashJoin{
+		Build: jco, Probe: line,
+		BuildKeys: []plan.Expr{col(5, qir.I64)},
+		ProbeKeys: []plan.Expr{col(0, qir.I64)},
+	}
+	// schema: c,o (0..10) ++ l (11..23)
+	g := &plan.GroupBy{
+		Input: j,
+		Keys:  []plan.Expr{col(5, qir.I64), col(9, qir.I32)},
+		Aggs:  []plan.AggExpr{{Fn: plan.AggSum, Arg: revenue(11)}},
+	}
+	s := &plan.Sort{Input: g, Keys: []plan.SortKey{{E: &plan.Cast{E: col(2, qir.I128), To: qir.I64}, Desc: true}}}
+	return &plan.Limit{Input: s, N: 10}
+}
+
+// q6Param is q6 with a parameterized shipdate window [shipLo, shipHi),
+// discount band [discLo, discHi], and quantity cutoff.
+func q6Param(shipLo, shipHi, discLo, discHi, qty int64) plan.Node {
+	pred := and(
+		and(cmp(plan.CmpGE, col(9, qir.I32), i32v(shipLo)),
+			cmp(plan.CmpLT, col(9, qir.I32), i32v(shipHi))),
+		and(&plan.Between{E: col(5, qir.I128), Lo: decv(discLo), Hi: decv(discHi)},
+			cmp(plan.CmpLT, col(3, qir.I128), decv(qty))))
+	sel := &plan.Select{Input: scanL(), Pred: pred}
+	return &plan.GroupBy{
+		Input: sel,
+		Aggs: []plan.AggExpr{
+			{Fn: plan.AggSum, Arg: arith(plan.OpMul, col(4, qir.I128), col(5, qir.I128))},
+			{Fn: plan.AggCount},
+		},
+	}
+}
+
+// q15Param is q15 with a parameterized shipdate window [shipLo, shipHi).
+func q15Param(shipLo, shipHi int64) plan.Node {
+	sel := &plan.Select{Input: scanL(), Pred: and(
+		cmp(plan.CmpGE, col(9, qir.I32), i32v(shipLo)),
+		cmp(plan.CmpLT, col(9, qir.I32), i32v(shipHi)))}
+	g := &plan.GroupBy{
+		Input: sel,
+		Keys:  []plan.Expr{col(2, qir.I64)},
+		Aggs:  []plan.AggExpr{{Fn: plan.AggSum, Arg: revenue(0)}},
+	}
+	s := &plan.Sort{Input: g, Keys: []plan.SortKey{{E: &plan.Cast{E: col(1, qir.I128), To: qir.I64}, Desc: true}}}
+	return &plan.Limit{Input: s, N: 1}
+}

@@ -23,6 +23,7 @@ import (
 	"qcc/internal/backend/direct"
 	"qcc/internal/backend/interp"
 	"qcc/internal/backend/lbe"
+	"qcc/internal/backend/pcc"
 	"qcc/internal/codegen"
 	"qcc/internal/plan"
 	"qcc/internal/qir"
@@ -53,6 +54,7 @@ type config struct {
 	noFuse   bool
 	execJobs int
 	batch    bool
+	cacheMB  int
 }
 
 // WithArch selects the target architecture (default VX64).
@@ -78,6 +80,14 @@ func WithExecJobs(n int) Option { return func(c *config) { c.execJobs = n } }
 // pipelines (default off). Results are identical either way.
 func WithBatch(on bool) Option { return func(c *config) { c.batch = on } }
 
+// WithCacheMB enables the content-addressed compiled-code cache with the
+// given budget in MiB (default 0, disabled). Constant hoisting parameterizes
+// compiled bodies, so queries that differ only in literal constants share one
+// cache entry; per-query hit/miss counts appear in Stats.CacheHits/
+// CacheMisses. Engines without a cacheable per-function pipeline (the
+// interpreter, the adaptive tier driver) run uncached.
+func WithCacheMB(mb int) Option { return func(c *config) { c.cacheMB = mb } }
+
 // DB is an in-memory analytical database instance.
 type DB struct {
 	db       *rt.DB
@@ -88,6 +98,7 @@ type DB struct {
 	noFuse   bool
 	execJobs int
 	batch    bool
+	cache    *pcc.Cache
 }
 
 // Engines lists the available back-end names.
@@ -120,6 +131,9 @@ func Open(opts ...Option) (*DB, error) {
 		noFuse:   cfg.noFuse,
 		execJobs: cfg.execJobs,
 		batch:    cfg.batch,
+	}
+	if cfg.cacheMB > 0 {
+		d.cache = pcc.NewCache(int64(cfg.cacheMB) << 20)
 	}
 	if cfg.arch != VX64 && (cfg.engine == "directemit" || cfg.engine == "adaptive") {
 		d.def = "cranelift" // DirectEmit tiers are vx64-only
@@ -245,6 +259,10 @@ type Stats struct {
 	ExecTime    time.Duration
 	Functions   int
 	CodeBytes   int
+	// CacheHits and CacheMisses count this query's compiled-unit cache
+	// lookups (always zero unless Open got WithCacheMB).
+	CacheHits   int64
+	CacheMisses int64
 	// Phases is the compile-time breakdown (phase name to duration).
 	Phases map[string]time.Duration
 }
@@ -293,12 +311,18 @@ func (d *DB) run(eng backend.Engine, name string, node plan.Node) (*Result, erro
 	var err error
 	if batchExec {
 		c, err = codegen.CompileOpts(name, node, d.cat,
-			codegen.Options{Elim: true, Batch: d.batch, Parallel: d.execJobs > 1})
+			codegen.Options{Elim: true, Hoist: true, Batch: d.batch, Parallel: d.execJobs > 1})
 	} else {
 		c, err = codegen.Compile(name, node, d.cat)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if d.cache != nil {
+		// The wrapper consults the shared cache per function; the variant
+		// tag keys entries by check-elimination pass version so a pass
+		// change never revives stale code.
+		eng = pcc.Wrap(eng, pcc.Config{Jobs: 1, Cache: d.cache, VariantTag: codegen.CheckElimVersion})
 	}
 	ex, stats, err := eng.Compile(c.Module, &backend.Env{
 		DB: d.db, Arch: d.arch,
@@ -331,6 +355,8 @@ func (d *DB) run(eng backend.Engine, name string, node plan.Node) (*Result, erro
 		ExecTime:    execTime,
 		Functions:   stats.Funcs,
 		CodeBytes:   stats.CodeBytes,
+		CacheHits:   stats.Counters["cache_hits"],
+		CacheMisses: stats.Counters["cache_misses"],
 		Phases:      map[string]time.Duration{},
 	}}
 	for _, p := range stats.Phases {
